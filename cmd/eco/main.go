@@ -1,0 +1,83 @@
+// Command eco runs timing-driven gate sizing: block-based STA against a
+// clock period, then iterative upsizing of critical gates (X2 drive
+// variants) with incremental re-analysis until timing is met.
+//
+// Usage:
+//
+//	eco -circuit c432 -tech 130nm -period 2.5ns
+//	eco -circuit c880 -period 0            # 0 = 7% below the unconstrained arrival
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tpsta/internal/block"
+	"tpsta/internal/cell"
+	"tpsta/internal/charlib"
+	"tpsta/internal/circuits"
+	"tpsta/internal/eco"
+	"tpsta/internal/tech"
+)
+
+func main() {
+	var (
+		circuitName = flag.String("circuit", "c432", "built-in circuit name")
+		techName    = flag.String("tech", "130nm", "technology: 130nm, 90nm or 65nm")
+		period      = flag.Duration("period", 0, "clock period (0: 7% below the unconstrained worst arrival)")
+		maxMoves    = flag.Int("max-moves", 50, "resizing budget")
+		quickChar   = flag.Bool("quick-char", true, "characterize on the reduced grid")
+	)
+	flag.Parse()
+	if err := run(*circuitName, *techName, period.Seconds(), *maxMoves, *quickChar); err != nil {
+		fmt.Fprintln(os.Stderr, "eco:", err)
+		os.Exit(1)
+	}
+}
+
+func run(circuitName, techName string, period float64, maxMoves int, quickChar bool) error {
+	tc, err := tech.ByName(techName)
+	if err != nil {
+		return err
+	}
+	cir, err := circuits.Get(circuitName)
+	if err != nil {
+		return err
+	}
+	grid := charlib.NominalGrid()
+	if quickChar {
+		grid = charlib.TestGrid()
+	}
+	fmt.Printf("characterizing %s library with drive variants...\n", tc.Name)
+	t0 := time.Now()
+	lib, err := charlib.Characterize(tc, cell.Extended(), grid, charlib.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("characterized %d arcs in %.1fs\n", len(lib.Poly), time.Since(t0).Seconds())
+
+	if period <= 0 {
+		base, err := block.New(cir, tc, lib, block.Options{}).Run()
+		if err != nil {
+			return err
+		}
+		period = base.WorstArrival * 0.93
+		fmt.Printf("no period given: targeting %.1f ps (7%% below the unconstrained arrival)\n", period*1e12)
+	}
+
+	t0 = time.Now()
+	res, err := eco.Optimize(cir, tc, lib, eco.Options{ClockPeriod: period, MaxMoves: maxMoves})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\noptimized in %.2fs\n", time.Since(t0).Seconds())
+	fmt.Printf("worst slack: %.2f ps → %.2f ps (met=%v)\n",
+		res.SlackBefore*1e12, res.SlackAfter*1e12, res.Met)
+	fmt.Printf("area cost: +%.2f%% input capacitance, %d moves:\n", res.AreaCostFrac*100, len(res.Moves))
+	for i, m := range res.Moves {
+		fmt.Printf("  %2d. %-10s %-10s → %-12s slack %.2f ps\n", i+1, m.Gate, m.From, m.To, m.SlackAfter*1e12)
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation (Tables 1–9 plus the Fig. 2/3 transistor-state analysis) and
+// prints them in order. This is the harness behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	tables                 # full run (characterizes 3 technologies first)
+//	tables -quick          # reduced grids and budgets (minutes → seconds)
+//	tables -only 5,6       # regenerate a subset
+//	tables -libdir d/      # load lib130nm.json etc. from d/ when present
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tpsta/internal/charlib"
+	"tpsta/internal/exp"
+	"tpsta/internal/report"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "reduced grids, samples and budgets")
+		only   = flag.String("only", "", "comma-separated table ids to run (1,2,3,4,23,5,6,7,8,9)")
+		libdir = flag.String("libdir", "", "directory with pre-characterized lib<tech>.json files")
+	)
+	flag.Parse()
+	if err := run(*quick, *only, *libdir); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, only, libdir string) error {
+	cfg := exp.Config{Quick: quick}
+	want := map[string]bool{}
+	if only != "" {
+		for _, id := range strings.Split(only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	if libdir != "" {
+		for _, name := range []string{"130nm", "90nm", "65nm"} {
+			path := filepath.Join(libdir, "lib"+name+".json")
+			f, err := os.Open(path)
+			if err != nil {
+				continue
+			}
+			lib, err := charlib.Load(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("loading %s: %w", path, err)
+			}
+			exp.InjectLibrary(lib, quick)
+			fmt.Printf("loaded %s from %s\n", lib, path)
+		}
+	}
+
+	start := time.Now()
+	out := os.Stdout
+	render := func(tb *report.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		return tb.Render(out)
+	}
+
+	if sel("1") {
+		_, tb := exp.Table1()
+		if err := tb.Render(out); err != nil {
+			return err
+		}
+	}
+	if sel("2") {
+		_, tb := exp.Table2()
+		if err := tb.Render(out); err != nil {
+			return err
+		}
+	}
+	if sel("3") {
+		_, tb, err := exp.Table3()
+		if err := render(tb, err); err != nil {
+			return err
+		}
+	}
+	if sel("4") {
+		_, tb, err := exp.Table4()
+		if err := render(tb, err); err != nil {
+			return err
+		}
+	}
+	if sel("23") {
+		txt, err := exp.Fig23()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, txt)
+	}
+	if sel("5") {
+		_, tb, err := exp.Table5(cfg)
+		if err := render(tb, err); err != nil {
+			return err
+		}
+	}
+	if sel("6") {
+		_, tb, err := exp.Table6(cfg, exp.DefaultTable6Specs(quick))
+		if err := render(tb, err); err != nil {
+			return err
+		}
+	}
+	for _, spec := range []struct {
+		id  string
+		fn  func(exp.Config) ([]exp.AccuracyRow, *report.Table, error)
+		teq string
+	}{
+		{"7", exp.Table7, "130nm"},
+		{"8", exp.Table8, "90nm"},
+		{"9", exp.Table9, "65nm"},
+	} {
+		if !sel(spec.id) {
+			continue
+		}
+		_, tb, err := spec.fn(cfg)
+		if err := render(tb, err); err != nil {
+			return fmt.Errorf("table %s (%s): %w", spec.id, spec.teq, err)
+		}
+	}
+	fmt.Fprintf(out, "total wall time: %.1fs\n", time.Since(start).Seconds())
+	return nil
+}

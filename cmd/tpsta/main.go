@@ -1,0 +1,252 @@
+// Command tpsta runs the true-path STA engine on a circuit: it loads (or
+// characterizes) a technology library, enumerates true paths with
+// exhaustive sensitization-vector exploration, and prints the K worst
+// paths with their vectors, input cubes and polynomial-model delays.
+//
+// Usage:
+//
+//	tpsta -circuit c432 -tech 130nm -k 10
+//	tpsta -bench my.bench -lib lib130.json -k 25 -complex-only
+//	tpsta -verilog my.v -outputs z1,z2 -report          # cone + per-gate report
+//	tpsta -circuit c880 -robust -tests tests.txt        # robust two-pattern tests
+//	tpsta -circuit c17 -sdf c17.sdf                     # SDF annotation only
+//	tpsta -circuit c432 -dot crit.dot                   # Graphviz with worst path
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/charlib"
+	"tpsta/internal/circuits"
+	"tpsta/internal/core"
+	"tpsta/internal/netlist"
+	"tpsta/internal/report"
+	"tpsta/internal/sdf"
+	"tpsta/internal/tech"
+)
+
+func main() {
+	var (
+		circuitName = flag.String("circuit", "c17", "built-in circuit name (see -list)")
+		benchFile   = flag.String("bench", "", "path to a .bench netlist (overrides -circuit)")
+		verilogFile = flag.String("verilog", "", "path to a structural Verilog netlist (overrides -circuit)")
+		sdfFile     = flag.String("sdf", "", "write SDF delay annotations for the circuit and exit")
+		testsFile   = flag.String("tests", "", "also write two-pattern path-delay tests for the reported paths")
+		dotFile     = flag.String("dot", "", "also write a Graphviz view with the worst path highlighted")
+		detail      = flag.Bool("report", false, "print a per-gate timing report for each path")
+		coneOutputs = flag.String("outputs", "", "comma-separated outputs: restrict analysis to their fanin cone")
+		robust      = flag.Bool("robust", false, "conservatively robust sensitization (steady side inputs)")
+		techName    = flag.String("tech", "130nm", "technology: 130nm, 90nm or 65nm")
+		libFile     = flag.String("lib", "", "characterized library JSON (default: characterize now)")
+		k           = flag.Int("k", 10, "number of worst paths to report")
+		complexOnly = flag.Bool("complex-only", false, "report only paths through multi-vector gates")
+		maxSteps    = flag.Int64("max-steps", 2_000_000, "search budget (sensitization attempts)")
+		quickChar   = flag.Bool("quick-char", false, "characterize on the reduced grid (faster startup)")
+		list        = flag.Bool("list", false, "list built-in circuits and exit")
+		structural  = flag.Bool("structural", false, "skip delay models (order paths by length)")
+	)
+	flag.Parse()
+	if *list {
+		for _, n := range circuits.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if err := run(*circuitName, *benchFile, *verilogFile, *sdfFile, *testsFile, *dotFile, *coneOutputs, *detail, *robust, *techName, *libFile, *k, *complexOnly, *maxSteps, *quickChar, *structural); err != nil {
+		fmt.Fprintln(os.Stderr, "tpsta:", err)
+		os.Exit(1)
+	}
+}
+
+func run(circuitName, benchFile, verilogFile, sdfFile, testsFile, dotFile, coneOutputs string, detail, robust bool, techName, libFile string, k int, complexOnly bool, maxSteps int64, quickChar, structural bool) error {
+	tc, err := tech.ByName(techName)
+	if err != nil {
+		return err
+	}
+	var cir *netlist.Circuit
+	if verilogFile != "" {
+		f, err := os.Open(verilogFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cir, err = netlist.ParseVerilog(verilogFile, f)
+		if err != nil {
+			return err
+		}
+	} else if benchFile != "" {
+		f, err := os.Open(benchFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cir, err = netlist.ParseExtendedBench(benchFile, f)
+		if err != nil {
+			return err
+		}
+	} else {
+		cir, err = circuits.Get(circuitName)
+		if err != nil {
+			return err
+		}
+	}
+	if coneOutputs != "" {
+		var outs []string
+		for _, o := range strings.Split(coneOutputs, ",") {
+			outs = append(outs, strings.TrimSpace(o))
+		}
+		cone, err := netlist.ExtractCone(cir, cell.Default(), outs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("restricted to the cone of %v: %d of %d gates\n", outs, len(cone.Gates), len(cir.Gates))
+		cir = cone
+	}
+
+	st, err := cir.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d inputs, %d outputs, %d gates (depth %d, %d complex)\n",
+		st.Name, st.Inputs, st.Outputs, st.Gates, st.Depth, st.ComplexGates)
+
+	var lib *charlib.Library
+	if structural {
+		lib = nil
+	} else if libFile != "" {
+		f, err := os.Open(libFile)
+		if err != nil {
+			return err
+		}
+		lib, err = charlib.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if lib.TechName != tc.Name {
+			return fmt.Errorf("library is for %s, not %s", lib.TechName, tc.Name)
+		}
+		fmt.Printf("loaded %s\n", lib)
+	} else {
+		grid := charlib.NominalGrid()
+		if quickChar {
+			grid = charlib.TestGrid()
+		}
+		fmt.Printf("characterizing %s library...\n", tc.Name)
+		t0 := time.Now()
+		lib, err = charlib.Characterize(tc, cell.Default(), grid, charlib.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("characterized %d arcs in %.1fs\n", len(lib.Poly), time.Since(t0).Seconds())
+	}
+
+	if sdfFile != "" {
+		if lib == nil {
+			return fmt.Errorf("-sdf needs a characterized library (omit -structural)")
+		}
+		f, err := os.Create(sdfFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sdf.Write(f, cir, tc, lib, sdf.Options{}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", sdfFile)
+		return nil
+	}
+
+	eng := core.New(cir, tc, lib, core.Options{ComplexOnly: complexOnly, MaxSteps: maxSteps, Robust: robust})
+	t0 := time.Now()
+	res, err := eng.KWorst(k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("search: %d steps in %.2fs (truncated=%v, justification aborts=%d)\n\n",
+		res.Steps, time.Since(t0).Seconds(), res.Truncated, res.JustificationAborts)
+
+	if testsFile != "" {
+		f, err := os.Create(testsFile)
+		if err != nil {
+			return err
+		}
+		if err := core.WriteTestPairs(f, res.Paths); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d-path test set to %s\n", len(res.Paths), testsFile)
+	}
+
+	if dotFile != "" && len(res.Paths) > 0 {
+		f, err := os.Create(dotFile)
+		if err != nil {
+			return err
+		}
+		if err := netlist.WriteDot(f, cir, res.Paths[0].Nodes); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (worst path highlighted)\n", dotFile)
+	}
+
+	tb := report.New(fmt.Sprintf("%d worst true paths", len(res.Paths)),
+		"#", "delay(ps)", "edge", "path [cell.pin#case]", "input cube")
+	for i, p := range res.Paths {
+		edge := "rise"
+		if p.FallDelay >= p.RiseDelay {
+			edge = "fall"
+		}
+		tb.Row(i+1, report.Ps(p.WorstDelay()), edge, p.String(), cubeString(p))
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	if detail {
+		for _, p := range res.Paths {
+			rising := p.RiseOK
+			if p.FallOK && p.FallDelay > p.RiseDelay {
+				rising = false
+			}
+			if err := eng.WritePathReport(os.Stdout, p, rising); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func cubeString(p *core.TruePath) string {
+	out := p.Start + "=T"
+	for _, name := range sortedCubeKeys(p) {
+		v := p.Cube[name]
+		out += fmt.Sprintf(" %s=%s", name, v)
+	}
+	return out
+}
+
+func sortedCubeKeys(p *core.TruePath) []string {
+	keys := make([]string, 0, len(p.Cube))
+	for kname := range p.Cube {
+		keys = append(keys, kname)
+	}
+	// Insertion sort keeps the helper dependency-free.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunEndToEnd drives the CLI entry point over the bundled testdata in
+// both netlist formats, structure-only (no characterization) for speed.
+func TestRunEndToEnd(t *testing.T) {
+	for _, src := range []struct{ bench, verilog string }{
+		{bench: "../../testdata/mini.bench"},
+		{verilog: "../../testdata/mini.v"},
+	} {
+		if err := run("", src.bench, src.verilog, "", "", "", "", false, false, "130nm", "", 5, false, 10000, true, true); err != nil {
+			t.Fatalf("run(%+v): %v", src, err)
+		}
+	}
+	// Built-in circuit path.
+	if err := run("c17", "", "", "", "", "", "22", true, false, "130nm", "", 3, false, 10000, true, true); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown tech and unknown circuit fail cleanly.
+	if err := run("c17", "", "", "", "", "", "", false, false, "28nm", "", 3, false, 1000, true, true); err == nil {
+		t.Error("unknown tech should fail")
+	}
+	if err := run("c9999", "", "", "", "", "", "", false, false, "130nm", "", 3, false, 1000, true, true); err == nil {
+		t.Error("unknown circuit should fail")
+	}
+}
+
+// TestRunWithSDFAndTests exercises the artifact-writing paths with a
+// quick characterization.
+func TestRunWithSDFAndTests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterizes a library")
+	}
+	dir := t.TempDir()
+	sdfPath := filepath.Join(dir, "out.sdf")
+	if err := run("", "../../testdata/mini.bench", "", sdfPath, "", "", "", false, false, "130nm", "", 3, false, 10000, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(sdfPath); err != nil || st.Size() == 0 {
+		t.Fatalf("sdf not written: %v", err)
+	}
+	testsPath := filepath.Join(dir, "tests.txt")
+	if err := run("c17", "", "", "", testsPath, "", "", false, false, "130nm", "", 3, false, 10000, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(testsPath); err != nil || st.Size() == 0 {
+		t.Fatalf("tests not written: %v", err)
+	}
+}

@@ -1,0 +1,13 @@
+// Package tpsta is the repository root of a true-path static timing
+// analyzer with exhaustive sensitization-vector exploration — a from-
+// scratch Go reproduction of Barceló, Gili, Bota and Segura, "An
+// efficient and scalable STA tool with direct path estimation and
+// exhaustive sensitization vector exploration for optimal delay
+// computation" (DATE 2011).
+//
+// The public API lives in package tpsta/sta; the per-table benchmark
+// harness in bench_test.go regenerates every table and figure of the
+// paper's evaluation (see EXPERIMENTS.md). Executables: cmd/tpsta (the
+// analyzer), cmd/charlib (library characterization), cmd/tables (the
+// full evaluation).
+package tpsta

@@ -1,0 +1,76 @@
+// Criticalpath replays the paper's Section V.A story on the Fig. 4 sample
+// circuit: the developed tool reports two sensitization vectors for the
+// same critical path — the easy one (AO22 Case 1, which the emulated
+// commercial tool also finds) and the harder, slower one (Case 2) that a
+// vector-blind flow misses. Both are cross-checked against the chained
+// transient simulation (Table 5).
+//
+//	go run ./examples/criticalpath
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"tpsta/internal/exp"
+	"tpsta/sta"
+)
+
+func main() {
+	tc, err := sta.TechByName("130nm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cir, err := sta.BuiltinCircuit("fig4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("the Fig. 4 sample circuit:")
+	if err := sta.WriteBench(os.Stdout, cir); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	fmt.Println("characterizing + enumerating (quick grid)...")
+	rows, table, err := exp.Table5(exp.Config{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	var hard, easy exp.Table5Row
+	for _, r := range rows {
+		if r.ReportedByBaseline {
+			easy = r
+		} else if hard.SpiceDelay == 0 {
+			hard = r // rows come worst-first
+		}
+	}
+	delta := (hard.SpiceDelay - easy.SpiceDelay) / easy.SpiceDelay * 100
+	fmt.Printf("the commercial flow underestimates the path by %.1f%% — it reports\n", delta)
+	fmt.Printf("  %s\n", easy.Vector)
+	fmt.Printf("and never finds the slower sensitization\n")
+	fmt.Printf("  %s\n", hard.Vector)
+	fmt.Printf("(the paper measures the same miss at +7.3%%: 387.55 ps vs 361.06 ps)\n\n")
+
+	// The developed engine finds both in one pass, as distinct paths.
+	tcLib, err := sta.Characterize(tc, sta.QuickGrid())
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := sta.NewEngine(cir, tc, tcLib, sta.EngineOptions{})
+	res, err := eng.Enumerate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("developed tool's view of the critical course:")
+	for _, p := range res.Paths {
+		if strings.HasPrefix(p.CourseKey(), "N1→") {
+			fmt.Printf("  %s  fall delay %.2f ps\n", p, p.FallDelay*1e12)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Ssta demonstrates the statistical-timing extension (the paper's cited
+// future work, reference [3]): per-arc delays carry a shared global
+// process term and independent per-gate local terms; arrival times
+// propagate as canonical Gaussian forms with Clark's max; the resulting
+// worst-arrival distribution and parametric yield curve are validated
+// in-line against Monte Carlo sampling of the identical model.
+//
+//	go run ./examples/ssta
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"tpsta/sta"
+)
+
+func main() {
+	tc, err := sta.TechByName("65nm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("characterizing 65nm library (quick grid)...")
+	lib, err := sta.Characterize(tc, sta.QuickGrid())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cir, err := sta.BuiltinCircuit("c880")
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := sta.NewSSTA(cir, tc, lib, sta.SSTAOptions{BetaGlobal: 0.06, BetaLocal: 0.04})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := an.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncanonical worst arrival: mean %.1f ps, sigma %.2f ps (global share %.0f%%)\n",
+		rep.Worst.Mean*1e12, rep.Worst.Sigma()*1e12,
+		100*rep.Worst.Global*rep.Worst.Global/(rep.Worst.Sigma()*rep.Worst.Sigma()))
+
+	samples, err := an.MonteCarlo(3000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean, varsum := 0.0, 0.0
+	for _, x := range samples {
+		mean += x
+	}
+	mean /= float64(len(samples))
+	for _, x := range samples {
+		varsum += (x - mean) * (x - mean)
+	}
+	fmt.Printf("Monte Carlo (3000):      mean %.1f ps, sigma %.2f ps\n",
+		mean*1e12, math.Sqrt(varsum/float64(len(samples)))*1e12)
+
+	fmt.Println("\nparametric yield vs clock period:")
+	for _, z := range []float64{-2, -1, 0, 1, 2, 3} {
+		period := rep.Worst.Quantile(z)
+		// Empirical yield from the samples for comparison.
+		cnt := 0
+		for _, x := range samples {
+			if x <= period {
+				cnt++
+			}
+		}
+		fmt.Printf("  T = %7.1f ps: canonical %5.1f%%   monte carlo %5.1f%%\n",
+			period*1e12, rep.Yield(period)*100, 100*float64(cnt)/float64(len(samples)))
+	}
+}

@@ -1,0 +1,3 @@
+module tpsta
+
+go 1.22

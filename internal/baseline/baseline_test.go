@@ -1,0 +1,294 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/charlib"
+	"tpsta/internal/circuits"
+	"tpsta/internal/core"
+	"tpsta/internal/logic"
+	"tpsta/internal/netlist"
+	"tpsta/internal/sim"
+	"tpsta/internal/tech"
+)
+
+var lib130 *charlib.Library
+
+func t130(t testing.TB) *tech.Tech {
+	t.Helper()
+	tc, err := tech.ByName("130nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc
+}
+
+// smallLib characterizes just the cells the test circuits use.
+func smallLib(t testing.TB) *charlib.Library {
+	t.Helper()
+	if lib130 != nil {
+		return lib130
+	}
+	l, err := charlib.Characterize(t130(t), cell.Default(), charlib.TestGrid(), charlib.Options{
+		Cells: []string{"INV", "NAND2", "AND2", "OR2", "AO22"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib130 = l
+	return l
+}
+
+func newTool(t testing.TB, circuitName string, opts Options) *Tool {
+	t.Helper()
+	c, err := circuits.Get(circuitName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(c, t130(t), smallLib(t), opts)
+}
+
+func TestStructuralPathsC17(t *testing.T) {
+	tool := newTool(t, "c17", Options{})
+	paths, err := tool.StructuralPaths(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c17 has exactly 11 structural paths.
+	if len(paths) != 11 {
+		t.Fatalf("c17 structural paths = %d, want 11", len(paths))
+	}
+	// Non-increasing structural delay.
+	for i := 1; i < len(paths); i++ {
+		if paths[i].StructuralDelay > paths[i-1].StructuralDelay+1e-18 {
+			t.Errorf("paths out of order at %d: %g > %g", i, paths[i].StructuralDelay, paths[i-1].StructuralDelay)
+		}
+	}
+	// The longest c17 paths have 3 arcs.
+	if len(paths[0].Arcs) != 3 {
+		t.Errorf("longest path has %d arcs", len(paths[0].Arcs))
+	}
+	// Truncation works.
+	three, err := tool.StructuralPaths(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(three) != 3 {
+		t.Errorf("k=3 returned %d", len(three))
+	}
+	for i := range three {
+		if three[i].StructuralDelay != paths[i].StructuralDelay {
+			t.Error("k-truncated enumeration differs from prefix")
+		}
+	}
+	if _, err := tool.StructuralPaths(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestRunC17AllTrue(t *testing.T) {
+	tool := newTool(t, "c17", Options{})
+	rep, err := tool.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c17 has no false paths; all 11 sensitize easily.
+	if rep.True != 11 || rep.False != 0 || rep.Abandoned != 0 {
+		t.Fatalf("verdicts: true=%d false=%d abandoned=%d", rep.True, rep.False, rep.Abandoned)
+	}
+	for _, o := range rep.Outcomes {
+		if o.Verdict != VerdictTrue {
+			continue
+		}
+		if o.Delay <= 0 {
+			t.Errorf("true path with no delay: %v", o.Nodes)
+		}
+		// The reported cube must truly sensitize the path (rising launch).
+		if err := sim.Verify(tool.Circuit, o.Nodes, o.Nodes[0], true, o.Cube); err != nil {
+			t.Errorf("baseline cube fails verification: %v", err)
+		}
+	}
+}
+
+// TestBaselineMissesHardVector reproduces the paper's Section V.A story on
+// the fig4 circuit: the emulated commercial tool reports the critical path
+// with the easy vector (N6=0), never the slower hard vector.
+func TestBaselineMissesHardVector(t *testing.T) {
+	tool := newTool(t, "fig4", Options{})
+	rep, err := tool.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range rep.Outcomes {
+		if len(o.Nodes) == 5 && o.Nodes[0] == "N1" && o.Nodes[4] == "N20" {
+			found = true
+			if o.Verdict != VerdictTrue {
+				t.Fatalf("critical path verdict: %v", o.Verdict)
+			}
+			// Easiest vector: N6=0 (AO22 Case 1); N7 left undetermined.
+			if o.Cube["N6"] != logic.T0 {
+				t.Errorf("baseline picked N6=%v, want 0 (easy vector)", o.Cube["N6"])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("critical path not among structural paths")
+	}
+	// The developed tool finds the hard vector too, and its worst variant
+	// delay exceeds the baseline's single report.
+	eng := core.New(tool.Circuit, tool.Tech, tool.Lib, core.Options{})
+	res, err := eng.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worstDeveloped float64
+	for _, p := range res.Paths {
+		if p.Nodes[0] == "N1" && p.Nodes[len(p.Nodes)-1] == "N20" && p.WorstDelay() > worstDeveloped {
+			worstDeveloped = p.WorstDelay()
+		}
+	}
+	var baselineDelay float64
+	for _, o := range rep.Outcomes {
+		if len(o.Nodes) == 5 && o.Nodes[0] == "N1" {
+			baselineDelay = o.Delay
+		}
+	}
+	if worstDeveloped <= baselineDelay {
+		t.Errorf("developed tool worst (%g) should exceed baseline report (%g)", worstDeveloped, baselineDelay)
+	}
+}
+
+// TestFalseMisidentification builds a path that is true only under a
+// non-default vector; the baseline must declare it false while the
+// developed tool proves it true.
+func TestFalseMisidentification(t *testing.T) {
+	lib := cell.Default()
+	c := netlist.New("hardvec")
+	for _, in := range []string{"a", "p", "q"} {
+		if _, err := c.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk := func(cellName, out string, pins map[string]string) {
+		if _, err := c.AddGate(lib, cellName, out, pins); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// z1 = AO22(A=a, B=p, C=q, D=nq): sensitizing A needs B=1 and C·D=0.
+	// Case 1 wants C=0,D=0, but D=!C makes that impossible: only Case 2
+	// (C=1,D=0) or Case 3 (C=0,D=1) work. The baseline, fixed on Case 1,
+	// declares the path false.
+	mk("INV", "nq", map[string]string{"A": "q"})
+	mk("AO22", "z1", map[string]string{"A": "a", "B": "p", "C": "q", "D": "nq"})
+	c.MarkOutput("z1")
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	clib, err := charlib.Characterize(t130(t), lib, charlib.TestGrid(), charlib.Options{
+		Cells: []string{"INV", "AO22"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := New(c, t130(t), clib, Options{})
+	rep, err := tool.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var verdict Verdict = -1
+	for _, o := range rep.Outcomes {
+		if o.Nodes[0] == "a" && o.Nodes[len(o.Nodes)-1] == "z1" {
+			verdict = o.Verdict
+		}
+	}
+	if verdict != VerdictFalse {
+		t.Fatalf("baseline verdict for hard-vector path: %v, want false", verdict)
+	}
+	// The developed tool proves it true (cases 2 and 3).
+	eng := core.New(c, t130(t), nil, core.Options{})
+	res, err := eng.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := 0
+	for _, p := range res.Paths {
+		if p.Nodes[0] == "a" && p.Nodes[len(p.Nodes)-1] == "z1" {
+			variants++
+		}
+	}
+	if variants != 2 {
+		t.Errorf("developed tool found %d variants, want 2 (cases 2 and 3)", variants)
+	}
+}
+
+func TestBacktrackLimitAbandons(t *testing.T) {
+	// With a tiny limit, a justification-heavy circuit abandons paths.
+	c, err := circuits.Generate(circuits.Profile{Name: "btl", Inputs: 10, Outputs: 4, Gates: 80, Depth: 8, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clib, err := charlib.Characterize(t130(t), cell.Default(), charlib.TestGrid(), charlib.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := New(c, t130(t), clib, Options{BacktrackLimit: 1})
+	repTight, err := tight.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose := New(c, t130(t), clib, Options{BacktrackLimit: 100000})
+	repLoose, err := loose.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repLoose.Abandoned > repTight.Abandoned {
+		t.Errorf("looser limit should abandon no more: %d vs %d", repLoose.Abandoned, repTight.Abandoned)
+	}
+	if repTight.True > repLoose.True {
+		t.Errorf("tight limit should not find more true paths: %d vs %d", repTight.True, repLoose.True)
+	}
+	total := repLoose.True + repLoose.False + repLoose.Abandoned
+	if total != len(repLoose.Outcomes) {
+		t.Error("verdict counts inconsistent")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if VerdictTrue.String() != "true" || VerdictFalse.String() != "false" || VerdictAbandoned.String() != "backtrack-limited" {
+		t.Error("verdict strings")
+	}
+}
+
+func TestBaselineDelayMatchesLUTChaining(t *testing.T) {
+	tool := newTool(t, "c17", Options{})
+	rep, err := tool.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Outcomes[0]
+	// Recompute by hand for the rising launch.
+	lib := tool.Lib
+	worst := 0.0
+	for _, launch := range []bool{true, false} {
+		total, slew, rising := 0.0, tool.Opts.InputSlew, launch
+		for _, a := range o.Arcs {
+			d, sl, err := lib.LUTDelay(a.Gate.Cell.Name, a.Pin, rising, tool.load(a.Gate), slew)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += d
+			slew = sl
+			outR, _ := a.Gate.Cell.OutputEdge(a.Gate.Cell.Vectors(a.Pin)[0], rising)
+			rising = outR
+		}
+		if total > worst {
+			worst = total
+		}
+	}
+	if math.Abs(worst-o.Delay) > 1e-18 {
+		t.Errorf("delay %g != recomputed %g", o.Delay, worst)
+	}
+}

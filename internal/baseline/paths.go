@@ -1,0 +1,150 @@
+package baseline
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// StructuralPaths enumerates the k longest structural input-to-output
+// paths by static (vector-blind) LUT arc delay — step one of the two-step
+// flow. Enumeration is exact: a best-first search over partial paths with
+// the exact longest-suffix delay as priority emits completed paths in
+// non-increasing delay order.
+func (t *Tool) StructuralPaths(k int) ([]Outcome, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("baseline: k must be positive")
+	}
+	c := t.Circuit
+	topo, err := c.TopoGates()
+	if err != nil {
+		return nil, err
+	}
+	// Exact longest suffix per node (vector-blind arc delays).
+	suffix := make([]float64, len(c.Nodes))
+	for i := range suffix {
+		suffix[i] = math.Inf(-1)
+	}
+	for _, n := range c.Nodes {
+		if n.IsOutput {
+			suffix[n.ID] = 0
+		}
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		g := topo[i]
+		down := suffix[g.Out.ID]
+		if math.IsInf(down, -1) {
+			continue
+		}
+		for _, pin := range g.Cell.Inputs {
+			d, err := t.staticArcDelay(g, pin)
+			if err != nil {
+				return nil, err
+			}
+			in := g.Fanin[pin]
+			if cand := d + down; cand > suffix[in.ID] {
+				suffix[in.ID] = cand
+			}
+		}
+	}
+
+	// Best-first expansion. Items share prefixes through parent pointers.
+	var q itemHeap
+	seq := 0
+	push := func(it *item) {
+		seq++
+		it.seq = seq
+		heap.Push(&q, it)
+	}
+	for _, in := range c.Inputs {
+		if math.IsInf(suffix[in.ID], -1) {
+			continue // input that reaches no output
+		}
+		push(&item{node: in.ID, delay: 0, bound: suffix[in.ID]})
+	}
+	var out []Outcome
+	for q.Len() > 0 && len(out) < k {
+		it := heap.Pop(&q).(*item)
+		n := c.Nodes[it.node]
+		if n.IsOutput && it.terminal {
+			out = append(out, t.materialize(it))
+			continue
+		}
+		if n.IsOutput && it.parent != nil {
+			// A completed path candidate: re-queue as terminal with its
+			// exact total as priority.
+			term := *it
+			term.terminal = true
+			term.bound = 0
+			push(&term)
+		}
+		for _, ref := range n.Fanout {
+			g := ref.Gate
+			if math.IsInf(suffix[g.Out.ID], -1) {
+				continue
+			}
+			d, err := t.staticArcDelay(g, ref.Pin)
+			if err != nil {
+				return nil, err
+			}
+			push(&item{
+				node:   g.Out.ID,
+				delay:  it.delay + d,
+				bound:  suffix[g.Out.ID],
+				parent: it,
+				pin:    ref.Pin,
+				gate:   g.ID,
+			})
+		}
+	}
+	return out, nil
+}
+
+// materialize walks the parent chain into an Outcome.
+func (t *Tool) materialize(it *item) Outcome {
+	var rev []*item
+	for cur := it; cur != nil; cur = cur.parent {
+		rev = append(rev, cur)
+	}
+	o := Outcome{StructuralDelay: it.delay}
+	for i := len(rev) - 1; i >= 0; i-- {
+		cur := rev[i]
+		o.Nodes = append(o.Nodes, t.Circuit.Nodes[cur.node].Name)
+		if cur.parent != nil {
+			o.Arcs = append(o.Arcs, PathArc{Gate: t.Circuit.Gates[cur.gate], Pin: cur.pin})
+		}
+	}
+	return o
+}
+
+// item is a partial (or terminal) path in the best-first queue.
+type item struct {
+	node     int
+	delay    float64 // exact delay of the prefix
+	bound    float64 // exact longest suffix from node
+	terminal bool
+	parent   *item
+	pin      string
+	gate     int
+	seq      int
+}
+
+type itemHeap []*item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	pi, pj := h[i].delay+h[i].bound, h[j].delay+h[j].bound
+	if pi != pj {
+		return pi > pj // max-heap
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(*item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,229 @@
+package baseline
+
+import (
+	"tpsta/internal/cell"
+	"tpsta/internal/logic"
+	"tpsta/internal/netlist"
+	"tpsta/internal/sim"
+)
+
+// sensitize attempts to find one sensitizing input vector for the fixed
+// structural path, the way the emulated commercial tool does:
+//
+//   - every complex gate takes its default Case-1 vector (the assignment
+//     that is easiest to justify) — alternatives are never explored;
+//   - side-value justification backtracks over the alternative supporting
+//     cubes of each driving cell, with a global backtrack limit.
+//
+// The verdict is VerdictTrue with the found cube, VerdictFalse when the
+// restricted search space is exhausted (possibly a misidentification),
+// or VerdictAbandoned when the backtrack limit trips.
+func (t *Tool) sensitize(arcs []PathArc) (Verdict, sim.InputCube, int) {
+	if len(arcs) == 0 {
+		return VerdictFalse, nil, 0
+	}
+	s := &sensSearch{
+		tool:   t,
+		c:      t.Circuit,
+		values: make([]logic.Value, len(t.Circuit.Nodes)),
+		limit:  t.Opts.BacktrackLimit,
+	}
+	for i := range s.values {
+		s.values[i] = logic.VX
+	}
+	start := arcs[0].Gate.Fanin[arcs[0].Pin]
+	if !s.assign(start.ID, logic.VR) {
+		return VerdictFalse, nil, s.backtracks
+	}
+	rising := true
+	var pending []obligation
+	for _, a := range arcs {
+		vecs := a.Gate.Cell.Vectors(a.Pin)
+		if len(vecs) == 0 {
+			return VerdictFalse, nil, s.backtracks
+		}
+		vec := vecs[0] // the easiest vector, never reconsidered
+		strict := len(vecs) > 1
+		for _, pin := range a.Gate.Cell.Inputs {
+			if pin == vec.Pin {
+				continue
+			}
+			if !s.assignSide(a.Gate.Fanin[pin], vec.Side[pin], strict, &pending) {
+				return VerdictFalse, nil, s.backtracks
+			}
+		}
+		nextRising, ok := a.Gate.Cell.OutputEdge(vec, rising)
+		if !ok {
+			return VerdictFalse, nil, s.backtracks
+		}
+		if !viableValue(s.values[a.Gate.Out.ID], nextRising) {
+			return VerdictFalse, nil, s.backtracks
+		}
+		rising = nextRising
+	}
+	ok := s.justify(pending)
+	if s.aborted {
+		return VerdictAbandoned, nil, s.backtracks
+	}
+	if !ok {
+		return VerdictFalse, nil, s.backtracks
+	}
+	cube := sim.InputCube{}
+	for _, in := range s.c.Inputs {
+		if in == start {
+			continue
+		}
+		cube[in.Name] = s.values[in.ID].Final()
+	}
+	return VerdictTrue, cube, s.backtracks
+}
+
+// obligation mirrors core's: a side value awaiting justification; strict
+// obligations demand a steady trajectory, others only the settled level.
+type obligation struct {
+	node   *netlist.Node
+	val    bool
+	strict bool
+}
+
+// requiredValue builds the trajectory requirement of a side value.
+func requiredValue(val, strict bool) logic.Value {
+	t := logic.T0
+	if val {
+		t = logic.T1
+	}
+	if strict {
+		return logic.StableOf(t)
+	}
+	return logic.FinalOf(t)
+}
+
+// viableValue checks floating-mode path-node viability: settles at the
+// expected level without being pinned there from the start.
+func viableValue(v logic.Value, rising bool) bool {
+	want := logic.T0
+	if rising {
+		want = logic.T1
+	}
+	return v.Final() == want && v.Initial() != want
+}
+
+// sensSearch is the single-scenario constraint store of the emulated
+// tool (no dual values: the commercial tool analyzes one launch edge at
+// a time; static side values make the found cube edge-independent).
+type sensSearch struct {
+	tool       *Tool
+	c          *netlist.Circuit
+	values     []logic.Value
+	trail      []trailEntry
+	backtracks int
+	limit      int
+	aborted    bool
+}
+
+type trailEntry struct {
+	nid int
+	old logic.Value
+}
+
+func (s *sensSearch) save() int { return len(s.trail) }
+
+func (s *sensSearch) restore(mark int) {
+	for i := len(s.trail) - 1; i >= mark; i-- {
+		s.values[s.trail[i].nid] = s.trail[i].old
+	}
+	s.trail = s.trail[:mark]
+}
+
+// assign intersects and forward-propagates; false on conflict.
+func (s *sensSearch) assign(nid int, val logic.Value) bool {
+	type work struct {
+		nid int
+		val logic.Value
+	}
+	queue := []work{{nid, val}}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		cur := s.values[w.nid]
+		next, ok := logic.Intersect(cur, w.val)
+		if !ok {
+			return false
+		}
+		if next == cur {
+			continue
+		}
+		s.trail = append(s.trail, trailEntry{w.nid, cur})
+		s.values[w.nid] = next
+		for _, ref := range s.c.Nodes[w.nid].Fanout {
+			g := ref.Gate
+			env := make(map[string]logic.Value, len(g.Cell.Inputs))
+			for _, pin := range g.Cell.Inputs {
+				env[pin] = s.values[g.Fanin[pin].ID]
+			}
+			queue = append(queue, work{g.Out.ID, g.Cell.Eval(env)})
+		}
+	}
+	return true
+}
+
+func (s *sensSearch) implied(n *netlist.Node, val, strict bool) bool {
+	if n.IsInput {
+		return true
+	}
+	g := n.Driver
+	env := make(map[string]logic.Value, len(g.Cell.Inputs))
+	for _, pin := range g.Cell.Inputs {
+		env[pin] = s.values[g.Fanin[pin].ID]
+	}
+	return logic.Refines(g.Cell.Eval(env), requiredValue(val, strict))
+}
+
+func (s *sensSearch) assignSide(n *netlist.Node, val, strict bool, pending *[]obligation) bool {
+	if !s.assign(n.ID, requiredValue(val, strict)) {
+		return false
+	}
+	if !s.implied(n, val, strict) {
+		*pending = append(*pending, obligation{n, val, strict})
+	}
+	return true
+}
+
+// justify resolves the obligations depth-first, backtracking over cube
+// alternatives. Each failed alternative counts one backtrack; crossing
+// the limit aborts the whole attempt.
+func (s *sensSearch) justify(pending []obligation) bool {
+	if s.aborted {
+		return false
+	}
+	for len(pending) > 0 && s.implied(pending[0].node, pending[0].val, pending[0].strict) {
+		pending = pending[1:]
+	}
+	if len(pending) == 0 {
+		return true
+	}
+	ob := pending[0]
+	rest := pending[1:]
+	for _, cb := range cell.JustifyCubes(ob.node.Driver.Cell, ob.val) {
+		mark := s.save()
+		next := append([]obligation(nil), rest...)
+		ok := true
+		for _, l := range cb {
+			child := ob.node.Driver.Fanin[l.Pin]
+			if !s.assignSide(child, l.Val, ob.strict, &next) {
+				ok = false
+				break
+			}
+		}
+		if ok && s.justify(next) {
+			return true
+		}
+		s.restore(mark)
+		s.backtracks++
+		if s.backtracks >= s.limit {
+			s.aborted = true
+			return false
+		}
+	}
+	return false
+}

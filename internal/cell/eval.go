@@ -1,0 +1,92 @@
+package cell
+
+import (
+	"fmt"
+
+	"tpsta/internal/expr"
+	"tpsta/internal/logic"
+)
+
+// evalFn evaluates the cell function over values indexed by input-pin
+// position.
+type evalFn func(vals []logic.Value) logic.Value
+
+// EvalFast evaluates the cell function over vals, where vals[i] is the
+// value of Inputs[i]. It avoids the map allocations of Eval and is the
+// hot path of the search engines. The evaluator is compiled once; library
+// construction precompiles every cell, so concurrent use is safe for
+// library cells.
+func (c *Cell) EvalFast(vals []logic.Value) logic.Value {
+	if c.fastEval == nil {
+		c.compileEval()
+	}
+	return c.fastEval(vals)
+}
+
+// compileEval builds and caches the fast evaluator.
+func (c *Cell) compileEval() {
+	idx := make(map[string]int, len(c.Inputs))
+	for i, p := range c.Inputs {
+		idx[p] = i
+	}
+	c.fastEval = compile(c.Function, idx)
+}
+
+// compile lowers the expression tree to a closure tree with variable
+// references resolved to pin indices.
+func compile(e expr.Node, idx map[string]int) evalFn {
+	switch n := e.(type) {
+	case expr.Var:
+		i, ok := idx[n.Name]
+		if !ok {
+			panic(fmt.Sprintf("cell: compile: unknown pin %q", n.Name))
+		}
+		return func(v []logic.Value) logic.Value { return v[i] }
+	case expr.Const:
+		val := logic.V0
+		if n.Val {
+			val = logic.V1
+		}
+		return func([]logic.Value) logic.Value { return val }
+	case expr.Not:
+		f := compile(n.X, idx)
+		return func(v []logic.Value) logic.Value { return logic.Not(f(v)) }
+	case expr.And:
+		fs := compileAll(n.Xs, idx)
+		return func(v []logic.Value) logic.Value {
+			out := fs[0](v)
+			for _, f := range fs[1:] {
+				if out == logic.V0 {
+					return logic.V0
+				}
+				out = logic.And(out, f(v))
+			}
+			return out
+		}
+	case expr.Or:
+		fs := compileAll(n.Xs, idx)
+		return func(v []logic.Value) logic.Value {
+			out := fs[0](v)
+			for _, f := range fs[1:] {
+				if out == logic.V1 {
+					return logic.V1
+				}
+				out = logic.Or(out, f(v))
+			}
+			return out
+		}
+	case expr.Xor:
+		fa, fb := compile(n.A, idx), compile(n.B, idx)
+		return func(v []logic.Value) logic.Value { return logic.Xor(fa(v), fb(v)) }
+	default:
+		panic(fmt.Sprintf("cell: compile: unsupported node %T", e))
+	}
+}
+
+func compileAll(xs []expr.Node, idx map[string]int) []evalFn {
+	fs := make([]evalFn, len(xs))
+	for i, x := range xs {
+		fs[i] = compile(x, idx)
+	}
+	return fs
+}

@@ -1,0 +1,171 @@
+package cell
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpsta/internal/logic"
+)
+
+// TestEvalFastMatchesEval: the compiled evaluator must agree with the
+// map-based one for every cell over random transition-value assignments.
+func TestEvalFastMatchesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, c := range Default().Cells() {
+		vals := make([]logic.Value, len(c.Inputs))
+		env := make(map[string]logic.Value, len(c.Inputs))
+		for trial := 0; trial < 200; trial++ {
+			for i, pin := range c.Inputs {
+				v := logic.Value(r.Intn(logic.NumValues))
+				vals[i] = v
+				env[pin] = v
+			}
+			want := c.Eval(env)
+			got := c.EvalFast(vals)
+			if got != want {
+				t.Fatalf("%s: EvalFast(%v) = %s, want %s", c.Name, vals, got, want)
+			}
+		}
+	}
+}
+
+// TestEvalFastExhaustiveSmallCells checks full agreement on all 9^n
+// assignments for cells with up to 3 inputs.
+func TestEvalFastExhaustiveSmallCells(t *testing.T) {
+	for _, c := range Default().Cells() {
+		n := len(c.Inputs)
+		if n > 3 {
+			continue
+		}
+		total := 1
+		for i := 0; i < n; i++ {
+			total *= logic.NumValues
+		}
+		vals := make([]logic.Value, n)
+		env := make(map[string]logic.Value, n)
+		for code := 0; code < total; code++ {
+			x := code
+			for i, pin := range c.Inputs {
+				v := logic.Value(x % logic.NumValues)
+				x /= logic.NumValues
+				vals[i] = v
+				env[pin] = v
+			}
+			if got, want := c.EvalFast(vals), c.Eval(env); got != want {
+				t.Fatalf("%s: mismatch at %v: %s vs %s", c.Name, vals, got, want)
+			}
+		}
+	}
+}
+
+// TestJustifyCubesForceOutput: every cube really forces the required
+// output value for every completion of the unassigned inputs, and no
+// cube literal is redundant (minimality).
+func TestJustifyCubesForceOutput(t *testing.T) {
+	for _, c := range Default().Cells() {
+		for _, val := range []bool{false, true} {
+			cubes := JustifyCubes(c, val)
+			if len(cubes) == 0 {
+				t.Errorf("%s=%v: no cubes", c.Name, val)
+				continue
+			}
+			for _, cb := range cubes {
+				if !cubeForces(c, cb, val) {
+					t.Errorf("%s=%v: cube %v does not force the output", c.Name, val, cb)
+				}
+				for drop := range cb {
+					smaller := append(append(Cube{}, cb[:drop]...), cb[drop+1:]...)
+					if cubeForces(c, smaller, val) {
+						t.Errorf("%s=%v: cube %v has redundant literal %v", c.Name, val, cb, cb[drop])
+					}
+				}
+			}
+		}
+	}
+}
+
+// cubeForces evaluates the cell over every completion of the cube.
+func cubeForces(c *Cell, cb Cube, val bool) bool {
+	fixed := map[string]bool{}
+	for _, l := range cb {
+		fixed[l.Pin] = l.Val
+	}
+	var free []string
+	for _, pin := range c.Inputs {
+		if _, ok := fixed[pin]; !ok {
+			free = append(free, pin)
+		}
+	}
+	for r := 0; r < 1<<len(free); r++ {
+		env := map[string]logic.Value{}
+		for pin, v := range fixed {
+			env[pin] = logic.StableOf(trit(v))
+		}
+		for i, pin := range free {
+			env[pin] = logic.StableOf(trit(r>>i&1 == 1))
+		}
+		out := c.Eval(env)
+		if (out == logic.V1) != val {
+			return false
+		}
+	}
+	return true
+}
+
+// TestJustifyCubesComplete: every satisfying assignment is covered by
+// some cube.
+func TestJustifyCubesComplete(t *testing.T) {
+	for _, c := range Default().Cells() {
+		for _, val := range []bool{false, true} {
+			cubes := JustifyCubes(c, val)
+			n := len(c.Inputs)
+			for r := 0; r < 1<<n; r++ {
+				env := map[string]logic.Value{}
+				bits := map[string]bool{}
+				for i, pin := range c.Inputs {
+					b := r>>i&1 == 1
+					bits[pin] = b
+					env[pin] = logic.StableOf(trit(b))
+				}
+				if (c.Eval(env) == logic.V1) != val {
+					continue
+				}
+				covered := false
+				for _, cb := range cubes {
+					match := true
+					for _, l := range cb {
+						if bits[l.Pin] != l.Val {
+							match = false
+							break
+						}
+					}
+					if match {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Errorf("%s=%v: assignment %v not covered", c.Name, val, bits)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkEvalFastAO22(b *testing.B) {
+	c := Default().MustGet("AO22")
+	vals := []logic.Value{logic.VR, logic.V1, logic.V0, logic.V0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.EvalFast(vals)
+	}
+}
+
+func BenchmarkEvalMapAO22(b *testing.B) {
+	c := Default().MustGet("AO22")
+	env := map[string]logic.Value{"A": logic.VR, "B": logic.V1, "C": logic.V0, "D": logic.V0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Eval(env)
+	}
+}

@@ -1,0 +1,151 @@
+package cell
+
+import (
+	"fmt"
+
+	"tpsta/internal/expr"
+)
+
+// Device is one MOS transistor of an elaborated cell.
+type Device struct {
+	// Gate is the net controlling the device: a cell input pin or an
+	// internal stage output.
+	Gate string
+	// NMOS is true for n-channel devices (pull-down), false for p-channel.
+	NMOS bool
+	// A and B are the channel terminal nets. For pull-down networks A is
+	// nearer the stage output and B nearer GND; for pull-up networks A is
+	// nearer VDD and B nearer the stage output.
+	A, B string
+	// W is the width multiplier relative to the technology minimum width
+	// of the device's polarity.
+	W float64
+}
+
+// Rail net names of every topology.
+const (
+	VDD = "VDD"
+	GND = "GND"
+)
+
+// Topology is the flattened transistor network of a cell.
+type Topology struct {
+	// Devices lists every transistor.
+	Devices []Device
+	// Nets lists every non-rail net in a stable order: cell inputs first,
+	// then internal channel/stage nets, with "Z" last.
+	Nets []string
+}
+
+// Topology elaborates (and caches) the cell's transistor network. Each
+// stage contributes an nMOS series/parallel network implementing PD
+// between the stage output and GND, and a pMOS network implementing the
+// structural dual of PD between VDD and the stage output.
+func (c *Cell) Topology() *Topology {
+	if c.topology != nil {
+		return c.topology
+	}
+	b := &topoBuilder{seen: map[string]bool{}}
+	for _, pin := range c.Inputs {
+		b.addNet(pin)
+	}
+	for _, st := range c.Stages {
+		b.addNet(st.Out)
+		// Pull-down: PD between st.Out (A side) and GND.
+		b.build(st.PD, st.Out, GND, true, st.WN)
+		// Pull-up: dual(PD) between VDD (A side) and st.Out.
+		b.build(expr.Dual(st.PD), VDD, st.Out, false, st.WP)
+	}
+	// Move Z to the end for readability.
+	nets := make([]string, 0, len(b.nets))
+	for _, n := range b.nets {
+		if n != Output {
+			nets = append(nets, n)
+		}
+	}
+	nets = append(nets, Output)
+	c.topology = &Topology{Devices: b.devices, Nets: nets}
+	return c.topology
+}
+
+type topoBuilder struct {
+	devices []Device
+	nets    []string
+	seen    map[string]bool
+	next    int
+}
+
+func (b *topoBuilder) addNet(name string) {
+	if name == VDD || name == GND || b.seen[name] {
+		return
+	}
+	b.seen[name] = true
+	b.nets = append(b.nets, name)
+}
+
+func (b *topoBuilder) fresh() string {
+	b.next++
+	name := fmt.Sprintf("x%d", b.next)
+	b.addNet(name)
+	return name
+}
+
+// build emits the series/parallel network for e between nets a and
+// b (a is the "upper" terminal). And nodes become series chains with
+// fresh internal nets; Or nodes become parallel branches.
+func (b *topoBuilder) build(e expr.Node, top, bot string, nmos bool, w float64) {
+	switch n := e.(type) {
+	case expr.Var:
+		b.devices = append(b.devices, Device{Gate: n.Name, NMOS: nmos, A: top, B: bot, W: w})
+	case expr.And:
+		cur := top
+		for i, x := range n.Xs {
+			next := bot
+			if i < len(n.Xs)-1 {
+				next = b.fresh()
+			}
+			b.build(x, cur, next, nmos, w)
+			cur = next
+		}
+	case expr.Or:
+		for _, x := range n.Xs {
+			b.build(x, top, bot, nmos, w)
+		}
+	default:
+		panic(fmt.Sprintf("cell: cannot elaborate %T into a transistor network", e))
+	}
+}
+
+// seriesDepth returns the longest series chain (stack height) the
+// expression elaborates to: And sums, Or maxes.
+func seriesDepth(e expr.Node) int {
+	switch n := e.(type) {
+	case expr.Var:
+		return 1
+	case expr.And:
+		d := 0
+		for _, x := range n.Xs {
+			d += seriesDepth(x)
+		}
+		return d
+	case expr.Or:
+		d := 0
+		for _, x := range n.Xs {
+			if sd := seriesDepth(x); sd > d {
+				d = sd
+			}
+		}
+		return d
+	default:
+		panic(fmt.Sprintf("cell: seriesDepth of %T", e))
+	}
+}
+
+// sizeStage applies stack-depth compensation: every device in a series
+// stack of depth k is drawn k times minimum width, the standard sizing
+// rule that keeps worst-case stage resistance near the inverter's.
+func sizeStage(st Stage) Stage {
+	st.WN = float64(seriesDepth(st.PD))
+	st.WP = float64(seriesDepth(expr.Dual(st.PD)))
+	return st
+}

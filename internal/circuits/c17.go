@@ -1,0 +1,30 @@
+package circuits
+
+import (
+	"strings"
+
+	"tpsta/internal/netlist"
+)
+
+// c17Bench is the original ISCAS-85 c17 benchmark netlist, the one
+// circuit small enough to embed verbatim.
+const c17Bench = `# c17 (ISCAS-85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+// C17 parses the embedded exact c17 netlist.
+func C17() (*netlist.Circuit, error) {
+	return netlist.ParseBench("c17", strings.NewReader(c17Bench))
+}

@@ -1,0 +1,69 @@
+package circuits
+
+import (
+	"tpsta/internal/cell"
+	"tpsta/internal/netlist"
+)
+
+// Fig4 reconstructs the paper's Fig. 4 sample circuit. The paper does not
+// print the full netlist; it specifies (Section V.A and Table 5):
+//
+//   - seven primary inputs N1…N7 and an output N20;
+//   - the critical path N1 → n10 → n11 → n12 → N20, launched by a falling
+//     edge on N1 and passing through input A of an AO22 gate;
+//   - two sensitizing input vectors for that same path:
+//     the easy one  N1=F, N2..N5=1, N6=0, N7=X  (AO22 Case 1, faster) and
+//     the hard one  N1=F, N2..N5=1, N6=1, N7=0  (AO22 Case 2, ~7 % slower),
+//     where the hard vector needs node n13 justified back to the inputs.
+//
+// The reconstruction below satisfies every stated property:
+//
+//	n10 = AND2(N1, N2)           // path gate 1 (non-inverting, so the
+//	                             // falling launch reaches the AO22 as a
+//	                             // falling edge — the direction with the
+//	                             // large vector-dependent delta)
+//	n9  = AND2(N3, N4)           // AO22 side input B (must be 1)
+//	n13 = AND2(N6, N5)           // AO22 side input C
+//	n14 = AND2(N6, N7)           // AO22 side input D
+//	n11 = AO22(A=n10, B=n9, C=n13, D=n14)   // path gate 2 (via input A)
+//	n12 = NAND2(n11, N5)         // path gate 3
+//	n15 = OR2(N5, N7)            // keeps N20's side input at 1
+//	N20 = NAND2(n12, n15)        // path gate 4
+//
+// With N6=0 both C and D are 0 regardless of N7 (Case 1, N7 = don't
+// care); with N6=1, N5=1, N7=0 the gate sees C=1, D=0 (Case 2), the
+// vector whose justification must reach through n13 — and the slower one,
+// exactly as in Table 5.
+func Fig4() (*netlist.Circuit, error) {
+	lib := cell.Default()
+	c := netlist.New("fig4")
+	for _, in := range []string{"N1", "N2", "N3", "N4", "N5", "N6", "N7"} {
+		if _, err := c.AddInput(in); err != nil {
+			return nil, err
+		}
+	}
+	type g struct {
+		cell, out string
+		pins      map[string]string
+	}
+	gates := []g{
+		{"AND2", "n10", map[string]string{"A": "N1", "B": "N2"}},
+		{"AND2", "n9", map[string]string{"A": "N3", "B": "N4"}},
+		{"AND2", "n13", map[string]string{"A": "N6", "B": "N5"}},
+		{"AND2", "n14", map[string]string{"A": "N6", "B": "N7"}},
+		{"AO22", "n11", map[string]string{"A": "n10", "B": "n9", "C": "n13", "D": "n14"}},
+		{"NAND2", "n12", map[string]string{"A": "n11", "B": "N5"}},
+		{"OR2", "n15", map[string]string{"A": "N5", "B": "N7"}},
+		{"NAND2", "N20", map[string]string{"A": "n12", "B": "n15"}},
+	}
+	for _, spec := range gates {
+		if _, err := c.AddGate(lib, spec.cell, spec.out, spec.pins); err != nil {
+			return nil, err
+		}
+	}
+	c.MarkOutput("N20")
+	return c, nil
+}
+
+// Fig4CriticalPath names the nodes of the paper's critical path in order.
+func Fig4CriticalPath() []string { return []string{"N1", "n10", "n11", "n12", "N20"} }

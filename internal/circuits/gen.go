@@ -1,0 +1,296 @@
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/netlist"
+)
+
+// Profile describes a synthesis-like random circuit matched to a
+// published ISCAS-85 benchmark: input/output/gate counts and levelized
+// depth. Seed makes generation deterministic per circuit.
+type Profile struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	Gates   int
+	Depth   int
+	Seed    int64
+}
+
+// cellMix is the weighted cell distribution of the generator — dominated
+// by the primitive gates a synthesis netlist contains, with a share of
+// directly mapped complex cells and AND/OR pairs that the technology
+// mapper later fuses into more complex cells.
+var cellMix = []struct {
+	name   string
+	weight int
+}{
+	{"NAND2", 16}, {"NOR2", 8}, {"INV", 4}, {"BUF", 1},
+	{"AND2", 10}, {"OR2", 10}, {"AND3", 3}, {"OR3", 3},
+	{"NAND3", 5}, {"NOR3", 3}, {"NAND4", 2}, {"NOR4", 1},
+	{"XOR2", 5},
+	{"AO22", 4}, {"OA12", 4}, {"AO21", 3}, {"OA22", 2},
+	{"AOI21", 3}, {"OAI12", 3}, {"AOI22", 2}, {"OAI22", 2},
+	{"MUX2", 2}, {"MAJ3", 1},
+}
+
+// Generate builds a random acyclic netlist matching the profile, then
+// technology-maps it. The result's gate count lands near (not exactly on)
+// Profile.Gates: output-merging gates add a few instances and the mapper
+// fuses others away, as in a real synthesis flow.
+func Generate(p Profile) (*netlist.Circuit, error) {
+	if p.Inputs < 2 || p.Outputs < 1 || p.Gates < 1 || p.Depth < 1 {
+		return nil, fmt.Errorf("circuits: bad profile %+v", p)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	lib := cell.Default()
+	c := netlist.New(p.Name)
+
+	totalWeight := 0
+	for _, m := range cellMix {
+		totalWeight += m.weight
+	}
+	pickCell := func() *cell.Cell {
+		r := rng.Intn(totalWeight)
+		for _, m := range cellMix {
+			r -= m.weight
+			if r < 0 {
+				return lib.MustGet(m.name)
+			}
+		}
+		return lib.MustGet("NAND2")
+	}
+
+	words := (p.Inputs + 63) / 64
+	type netInfo struct {
+		name    string
+		level   int
+		support []uint64 // primary-input support mask
+	}
+	overlap := func(a, b []uint64) int {
+		n := 0
+		for i := range a {
+			x := a[i] & b[i]
+			for x != 0 {
+				x &= x - 1
+				n++
+			}
+		}
+		return n
+	}
+	union := func(dst, src []uint64) {
+		for i := range dst {
+			dst[i] |= src[i]
+		}
+	}
+	var byLevel [][]netInfo // nets available per level
+	var unconsumed []netInfo
+	consumedIdx := map[string]bool{}
+
+	byLevel = append(byLevel, nil)
+	for i := 0; i < p.Inputs; i++ {
+		name := fmt.Sprintf("i%d", i)
+		if _, err := c.AddInput(name); err != nil {
+			return nil, err
+		}
+		sup := make([]uint64, words)
+		sup[i/64] |= 1 << (i % 64)
+		ni := netInfo{name, 0, sup}
+		byLevel[0] = append(byLevel[0], ni)
+		unconsumed = append(unconsumed, ni)
+	}
+
+	// Level widths: even split with ±40 % jitter, at least 1 gate each.
+	widths := make([]int, p.Depth)
+	remaining := p.Gates
+	for l := 0; l < p.Depth; l++ {
+		left := p.Depth - l
+		base := remaining / left
+		w := base + rng.Intn(base/2+2) - base/4
+		if w < 1 {
+			w = 1
+		}
+		if l == p.Depth-1 || w > remaining-(left-1) {
+			w = remaining - (left - 1)
+			if w < 1 {
+				w = 1
+			}
+		}
+		widths[l] = w
+		remaining -= w
+	}
+
+	// pickFrom returns a random net below maxLevel. Shallow picks draw
+	// from the primary inputs and the first couple of levels — the
+	// "control/select" side signals of a structured datapath, whose
+	// cones rarely contain the launching input, keeping a realistic
+	// share of long paths statically sensitizable. Deep picks prefer
+	// unconsumed nets for connectivity, falling back to recent levels.
+	pickFrom := func(maxLevel int, shallow bool, exclude map[string]bool) netInfo {
+		if shallow {
+			hi := 3
+			if hi > maxLevel {
+				hi = maxLevel
+			}
+			for try := 0; try < 10; try++ {
+				l := rng.Intn(hi)
+				if len(byLevel[l]) == 0 {
+					continue
+				}
+				ni := byLevel[l][rng.Intn(len(byLevel[l]))]
+				if !exclude[ni.name] {
+					return ni
+				}
+			}
+		}
+		// Try the unconsumed pool a few times.
+		for try := 0; try < 6 && len(unconsumed) > 0; try++ {
+			k := rng.Intn(len(unconsumed))
+			ni := unconsumed[k]
+			if consumedIdx[ni.name] {
+				// Lazy deletion.
+				unconsumed[k] = unconsumed[len(unconsumed)-1]
+				unconsumed = unconsumed[:len(unconsumed)-1]
+				continue
+			}
+			if ni.level < maxLevel && !exclude[ni.name] {
+				return ni
+			}
+		}
+		// Fall back to any net from any lower level (uniform): spreading
+		// side fanins across the whole depth keeps transition cones
+		// sparse in deep circuits.
+		for try := 0; ; try++ {
+			l := rng.Intn(maxLevel)
+			if len(byLevel[l]) == 0 {
+				continue
+			}
+			ni := byLevel[l][rng.Intn(len(byLevel[l]))]
+			if !exclude[ni.name] || try > 20 {
+				return ni
+			}
+		}
+	}
+
+	gateNum := 0
+	for l := 1; l <= p.Depth; l++ {
+		byLevel = append(byLevel, nil)
+		for k := 0; k < widths[l-1]; k++ {
+			cl := pickCell()
+			pins := map[string]string{}
+			exclude := map[string]bool{}
+			gateSupport := make([]uint64, words)
+			var firstSupport []uint64
+			for pi, pin := range cl.Inputs {
+				var ni netInfo
+				if pi == 0 {
+					// Anchor the first pin to the previous level so the
+					// target depth is realized.
+					prev := byLevel[l-1]
+					if len(prev) == 0 {
+						ni = pickFrom(l, false, exclude)
+					} else {
+						ni = prev[rng.Intn(len(prev))]
+						if exclude[ni.name] {
+							ni = pickFrom(l, false, exclude)
+						}
+					}
+					firstSupport = ni.support
+				} else {
+					// Side pins: sample a few candidates (half of them
+					// shallow "control" signals) and take the one whose
+					// input support overlaps the first pin's the least —
+					// the datapath property that keeps side inputs out of
+					// the cone of a transition arriving on the first pin,
+					// so a realistic share of long paths stays statically
+					// sensitizable.
+					best := pickFrom(l, rng.Intn(2) == 0, exclude)
+					bestOv := overlap(best.support, firstSupport)
+					for try := 0; try < 12 && bestOv > 0; try++ {
+						cand := pickFrom(l, rng.Intn(2) == 0, exclude)
+						if ov := overlap(cand.support, firstSupport); ov < bestOv {
+							best, bestOv = cand, ov
+						}
+					}
+					ni = best
+				}
+				pins[pin] = ni.name
+				exclude[ni.name] = true
+				consumedIdx[ni.name] = true
+				union(gateSupport, ni.support)
+			}
+			gateNum++
+			out := fmt.Sprintf("n%d", gateNum)
+			if _, err := c.AddGate(lib, cl.Name, out, pins); err != nil {
+				return nil, err
+			}
+			ni := netInfo{out, l, gateSupport}
+			byLevel[l] = append(byLevel[l], ni)
+			unconsumed = append(unconsumed, ni)
+		}
+	}
+
+	// Collect genuinely unconsumed nets (inputs excluded: an unconsumed
+	// input is tolerable but must not become an output of nothing).
+	var dangling []netInfo
+	for _, ni := range unconsumed {
+		if !consumedIdx[ni.name] && ni.level > 0 {
+			dangling = append(dangling, ni)
+		}
+	}
+	// Merge surplus dangling nets down to the output budget with NAND
+	// reducers.
+	for len(dangling) > p.Outputs {
+		take := 4
+		if take > len(dangling) {
+			take = len(dangling)
+		}
+		if len(dangling)-take+1 < p.Outputs {
+			take = len(dangling) - p.Outputs + 1
+		}
+		if take < 2 {
+			break
+		}
+		pins := map[string]string{}
+		letters := []string{"A", "B", "C", "D"}
+		maxLevel := 0
+		for i := 0; i < take; i++ {
+			pins[letters[i]] = dangling[i].name
+			if dangling[i].level > maxLevel {
+				maxLevel = dangling[i].level
+			}
+		}
+		gateNum++
+		out := fmt.Sprintf("n%d", gateNum)
+		if _, err := c.AddGate(lib, fmt.Sprintf("NAND%d", take), out, pins); err != nil {
+			return nil, err
+		}
+		dangling = append(dangling[take:], netInfo{out, maxLevel + 1, make([]uint64, words)})
+	}
+	for _, ni := range dangling {
+		c.MarkOutput(ni.name)
+	}
+	// Top up the output count with random internal nets.
+	for extra := 0; len(c.Outputs) < p.Outputs; extra++ {
+		l := 1 + rng.Intn(p.Depth)
+		if len(byLevel[l]) == 0 {
+			continue
+		}
+		c.MarkOutput(byLevel[l][rng.Intn(len(byLevel[l]))].name)
+		if extra > 10*p.Outputs {
+			return nil, fmt.Errorf("circuits: cannot reach %d outputs for %s", p.Outputs, p.Name)
+		}
+	}
+
+	if err := c.Check(); err != nil {
+		return nil, err
+	}
+	mapped, _, err := netlist.TechMap(c, lib)
+	if err != nil {
+		return nil, err
+	}
+	return mapped, nil
+}

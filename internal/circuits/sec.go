@@ -1,0 +1,130 @@
+package circuits
+
+import (
+	"fmt"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/netlist"
+)
+
+// SEC builds a 32-bit single-error-correction-style circuit in the shape
+// of ISCAS c499: 41 inputs (32 data bits d0..d31, 8 received check bits
+// r0..r7, one correction-enable ce), 32 outputs. Eight syndrome XOR trees
+// combine data and check bits; each output conditionally flips its data
+// bit when its syndrome pattern matches:
+//
+//	s_k   = r_k ⊕ ⨁ { d_i : i in group k }
+//	e_i   = AND3(s_{i%8}, s_{(i/8+3)%8}, s_{(i%5)+3 mod 8})
+//	out_i = d_i ⊕ (e_i ∧ ce)
+//
+// With expandXor=false the circuit uses XOR2 cells (c499's gate style);
+// with expandXor=true every XOR2 is expanded into the classic four-NAND2
+// network — which is exactly how c1355 relates to c499 in the original
+// benchmark suite.
+func SEC(name string, expandXor bool) (*netlist.Circuit, error) {
+	lib := cell.Default()
+	c := netlist.New(name)
+	for i := 0; i < 32; i++ {
+		if _, err := c.AddInput(fmt.Sprintf("d%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	for k := 0; k < 8; k++ {
+		if _, err := c.AddInput(fmt.Sprintf("r%d", k)); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := c.AddInput("ce"); err != nil {
+		return nil, err
+	}
+
+	gate := func(cellName, out string, pins map[string]string) error {
+		_, err := c.AddGate(lib, cellName, out, pins)
+		return err
+	}
+	tmp := 0
+	fresh := func() string { tmp++; return fmt.Sprintf("x%d", tmp) }
+
+	// xor2 emits one 2-input XOR, either as the cell or NAND-expanded.
+	xor2 := func(a, b, out string) error {
+		if !expandXor {
+			return gate("XOR2", out, map[string]string{"A": a, "B": b})
+		}
+		m := fresh()
+		if err := gate("NAND2", m, map[string]string{"A": a, "B": b}); err != nil {
+			return err
+		}
+		p, q := fresh(), fresh()
+		if err := gate("NAND2", p, map[string]string{"A": a, "B": m}); err != nil {
+			return err
+		}
+		if err := gate("NAND2", q, map[string]string{"A": b, "B": m}); err != nil {
+			return err
+		}
+		return gate("NAND2", out, map[string]string{"A": p, "B": q})
+	}
+	// xorTree reduces nets pairwise to a single net named out.
+	xorTree := func(nets []string, out string) error {
+		for len(nets) > 2 {
+			var next []string
+			for i := 0; i+1 < len(nets); i += 2 {
+				t := fresh()
+				if err := xor2(nets[i], nets[i+1], t); err != nil {
+					return err
+				}
+				next = append(next, t)
+			}
+			if len(nets)%2 == 1 {
+				next = append(next, nets[len(nets)-1])
+			}
+			nets = next
+		}
+		return xor2(nets[0], nets[1], out)
+	}
+
+	// Syndromes: group k contains data bits with bit (k%5) of their index
+	// set, xor the received check bit.
+	for k := 0; k < 8; k++ {
+		var members []string
+		for i := 0; i < 32; i++ {
+			if (i>>(k%5))&1 == 1 || (k >= 5 && i%3 == k-5) {
+				members = append(members, fmt.Sprintf("d%d", i))
+			}
+		}
+		members = append(members, fmt.Sprintf("r%d", k))
+		if err := xorTree(members, fmt.Sprintf("syn%d", k)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Correction and output stage.
+	for i := 0; i < 32; i++ {
+		k1 := i % 8
+		k2 := (i/8 + 3) % 8
+		k3 := (i%5 + 3) % 8
+		if k2 == k1 {
+			k2 = (k2 + 1) % 8
+		}
+		for k3 == k1 || k3 == k2 {
+			k3 = (k3 + 1) % 8
+		}
+		e := fmt.Sprintf("e%d", i)
+		if err := gate("AND3", e, map[string]string{
+			"A": fmt.Sprintf("syn%d", k1),
+			"B": fmt.Sprintf("syn%d", k2),
+			"C": fmt.Sprintf("syn%d", k3),
+		}); err != nil {
+			return nil, err
+		}
+		flip := fmt.Sprintf("f%d", i)
+		if err := gate("AND2", flip, map[string]string{"A": e, "B": "ce"}); err != nil {
+			return nil, err
+		}
+		out := fmt.Sprintf("z%d", i)
+		if err := xor2(fmt.Sprintf("d%d", i), flip, out); err != nil {
+			return nil, err
+		}
+		c.MarkOutput(out)
+	}
+	return c, nil
+}

@@ -1,0 +1,15 @@
+package core
+
+import "tpsta/internal/cell"
+
+// lit and cube alias the shared justification machinery of the cell
+// package; see cell.JustifyCubes.
+type lit = cell.Lit
+
+type cube = cell.Cube
+
+// justifyChoices returns the alternative supporting cubes for a required
+// cell output value.
+func justifyChoices(c *cell.Cell, val bool) []cube {
+	return cell.JustifyCubes(c, val)
+}

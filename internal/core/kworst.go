@@ -1,0 +1,168 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+
+	"tpsta/internal/netlist"
+)
+
+// KWorst finds the k slowest true paths with branch-and-bound pruning:
+// a partial path is abandoned as soon as an optimistic upper bound on its
+// completed delay cannot beat the k-th best path found so far. This is
+// the "programmed to find efficiently the N true paths" mode the paper's
+// single-pass design enables — no two-step structural list whose
+// required length is unknown in advance.
+func (e *Engine) KWorst(k int) (*Result, error) {
+	if k <= 0 {
+		k = 1
+	}
+	s, err := newSearcher(e)
+	if err != nil {
+		return nil, err
+	}
+	s.prune, err = newPruner(e, k)
+	if err != nil {
+		return nil, err
+	}
+	for _, in := range e.Circuit.Inputs {
+		s.searchFrom(in)
+		if s.stopped {
+			break
+		}
+	}
+	return s.result(), nil
+}
+
+// pruner holds the bound tables and the current k-best heap.
+type pruner struct {
+	eng      *Engine
+	k        int
+	arcUB    []float64 // per gate ID: max delay of any arc through the gate
+	suffixUB []float64 // per node ID: max remaining delay to any output
+	heap     pathHeap
+}
+
+func newPruner(e *Engine, k int) (*pruner, error) {
+	p := &pruner{eng: e, k: k}
+	c := e.Circuit
+	p.arcUB = make([]float64, len(c.Gates))
+	for _, g := range c.Gates {
+		ub, err := p.gateUB(g)
+		if err != nil {
+			return nil, err
+		}
+		p.arcUB[g.ID] = ub
+	}
+	topo, err := c.TopoGates()
+	if err != nil {
+		return nil, err
+	}
+	p.suffixUB = make([]float64, len(c.Nodes))
+	for i := range p.suffixUB {
+		p.suffixUB[i] = math.Inf(-1) // dead ends prune themselves
+	}
+	// Reverse-topological DP over gates; outputs terminate with 0.
+	for _, n := range c.Nodes {
+		if n.IsOutput {
+			p.suffixUB[n.ID] = 0
+		}
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		g := topo[i]
+		down := p.suffixUB[g.Out.ID]
+		for _, pin := range g.Cell.Inputs {
+			in := g.Fanin[pin]
+			if cand := p.arcUB[g.ID] + down; cand > p.suffixUB[in.ID] {
+				p.suffixUB[in.ID] = cand
+			}
+		}
+	}
+	return p, nil
+}
+
+// gateUB returns an optimistic (large) delay for any traversal of g: the
+// worst characterized arc at the gate's actual load and the slowest
+// characterized input slew. Without a library, every traversal counts 1
+// (K-worst degenerates to K-longest by gate count).
+func (p *pruner) gateUB(g *netlist.Gate) (float64, error) {
+	lib := p.eng.Lib
+	if lib == nil {
+		return 1, nil
+	}
+	fo, err := lib.Fo(g.Cell.Name, p.eng.load(g))
+	if err != nil {
+		return 0, err
+	}
+	slowest := lib.Grid.Tin[len(lib.Grid.Tin)-1]
+	worst := 0.0
+	for _, pin := range g.Cell.Inputs {
+		for _, vec := range g.Cell.Vectors(pin) {
+			for _, rising := range []bool{true, false} {
+				d, _, err := lib.GateDelay(g.Cell.Name, pin, vec.Key(), rising, fo, slowest, p.eng.Opts.Temp, p.eng.Opts.VDD)
+				if err != nil {
+					return 0, err
+				}
+				if d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	// 15 % headroom keeps the bound admissible against slew-chaining
+	// effects the per-arc maximum does not capture.
+	return worst * 1.15, nil
+}
+
+// threshold returns the delay a new path must beat (-inf while the heap
+// is not full).
+func (p *pruner) threshold() float64 {
+	if len(p.heap) < p.k {
+		return math.Inf(-1)
+	}
+	return p.heap[0].WorstDelay()
+}
+
+// viable reports whether extending the current partial path through gate
+// g could still beat the threshold.
+func (p *pruner) viable(s *searcher, g *netlist.Gate) bool {
+	th := p.threshold()
+	if math.IsInf(th, -1) {
+		return !math.IsInf(p.suffixUB[g.Out.ID], -1) // still prune dead ends
+	}
+	partial := 0.0
+	for _, a := range s.arcs {
+		partial += p.arcUB[a.Gate.ID]
+	}
+	return partial+p.arcUB[g.ID]+p.suffixUB[g.Out.ID] > th
+}
+
+// add offers a completed path to the k-best heap.
+func (p *pruner) add(tp *TruePath) {
+	if len(p.heap) < p.k {
+		heap.Push(&p.heap, tp)
+		return
+	}
+	if tp.WorstDelay() > p.heap[0].WorstDelay() {
+		p.heap[0] = tp
+		heap.Fix(&p.heap, 0)
+	}
+}
+
+// all returns the kept paths (unsorted).
+func (p *pruner) all() []*TruePath { return append([]*TruePath(nil), p.heap...) }
+
+// pathHeap is a min-heap by worst delay.
+type pathHeap []*TruePath
+
+func (h pathHeap) Len() int            { return len(h) }
+func (h pathHeap) Less(i, j int) bool  { return h[i].WorstDelay() < h[j].WorstDelay() }
+func (h pathHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pathHeap) Push(x interface{}) { *h = append(*h, x.(*TruePath)) }
+func (h *pathHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

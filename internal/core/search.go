@@ -1,0 +1,606 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/logic"
+	"tpsta/internal/netlist"
+	"tpsta/internal/sim"
+)
+
+// searcher holds the mutable state of one enumeration run: the
+// constraint store (one dual value per net), the undo trail, the current
+// partial path and the recorded results.
+type searcher struct {
+	eng *Engine
+	c   *netlist.Circuit
+
+	values         []logic.Dual
+	trail          []trailEntry
+	aliveR, aliveF bool
+	pending        []obligation // side values awaiting end-of-path justification
+
+	// gateFanins[g.ID][i] is the node ID on pin Inputs[i] of gate g;
+	// scratchR/scratchF are evaluation buffers (max pin count is 4).
+	gateFanins         [][]int
+	scratchR, scratchF []logic.Value
+
+	start     *netlist.Node
+	pathNodes []string
+	arcs      []Arc
+	// curRising is the edge polarity of the current path head in the
+	// rise-launch scenario (the fall scenario is always its complement).
+	curRising bool
+
+	paths      []*TruePath
+	seen       map[string]bool
+	steps      int64
+	justAborts int64
+	stopped    bool
+	truncated  bool
+
+	// inputQuota bounds the steps of the current launching input's DFS
+	// (0 = unlimited); inputStart and inputExhausted implement it.
+	inputQuota     int64
+	inputStart     int64
+	inputExhausted bool
+
+	// kworst pruning (nil when not in K-worst mode).
+	prune *pruner
+}
+
+type trailEntry struct {
+	nid int
+	old logic.Dual
+}
+
+// frame snapshots the searcher for backtracking.
+type frame struct {
+	trailLen       int
+	pendingLen     int
+	aliveR, aliveF bool
+}
+
+// obligation is a side value awaiting justification through its driver.
+// strict obligations demand a steady value (both ends of the trajectory);
+// non-strict ones only the final level (floating-mode sensitization).
+type obligation struct {
+	node   *netlist.Node
+	val    bool
+	strict bool
+}
+
+// required builds the trajectory requirement of a side value.
+func required(val, strict bool) logic.Value {
+	if strict {
+		return logic.StableOf(boolTrit(val))
+	}
+	return logic.FinalOf(boolTrit(val))
+}
+
+func newSearcher(e *Engine) (*searcher, error) {
+	if _, err := e.Circuit.TopoGates(); err != nil {
+		return nil, err
+	}
+	s := &searcher{
+		eng:      e,
+		c:        e.Circuit,
+		values:   make([]logic.Dual, len(e.Circuit.Nodes)),
+		seen:     map[string]bool{},
+		scratchR: make([]logic.Value, 8),
+		scratchF: make([]logic.Value, 8),
+	}
+	for i := range s.values {
+		s.values[i] = logic.DualX
+	}
+	s.gateFanins = make([][]int, len(e.Circuit.Gates))
+	for _, g := range e.Circuit.Gates {
+		ids := make([]int, len(g.Cell.Inputs))
+		for i, pin := range g.Cell.Inputs {
+			ids[i] = g.Fanin[pin].ID
+		}
+		s.gateFanins[g.ID] = ids
+	}
+	return s, nil
+}
+
+func (s *searcher) save() frame {
+	return frame{len(s.trail), len(s.pending), s.aliveR, s.aliveF}
+}
+
+func (s *searcher) restore(f frame) {
+	for i := len(s.trail) - 1; i >= f.trailLen; i-- {
+		s.values[s.trail[i].nid] = s.trail[i].old
+	}
+	s.trail = s.trail[:f.trailLen]
+	s.pending = s.pending[:f.pendingLen]
+	s.aliveR, s.aliveF = f.aliveR, f.aliveF
+}
+
+// searchFrom runs the DFS for one launching primary input, exploring
+// both edges simultaneously via the dual values.
+func (s *searcher) searchFrom(in *netlist.Node) {
+	s.start = in
+	s.aliveR, s.aliveF = true, true
+	s.curRising = true
+	s.inputStart = s.steps
+	s.inputExhausted = false
+	f := s.save()
+	if s.assign(in.ID, logic.DualTransition) {
+		s.pathNodes = append(s.pathNodes[:0], in.Name)
+		s.extend(in)
+		s.pathNodes = s.pathNodes[:0]
+		s.arcs = s.arcs[:0]
+	}
+	s.restore(f)
+}
+
+// assign intersects val into the node's current value (per alive
+// scenario) and forward-propagates implications through the fanout. A
+// scenario whose intersection conflicts is killed; assign fails only when
+// no scenario stays alive.
+func (s *searcher) assign(nid int, val logic.Dual) bool {
+	type work struct {
+		nid int
+		val logic.Dual
+	}
+	queue := []work{{nid, val}}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		cur := s.values[w.nid]
+		next := cur
+		changed := false
+		if s.aliveR {
+			nv, ok := logic.Intersect(cur.Rise, w.val.Rise)
+			if !ok {
+				s.aliveR = false
+			} else if nv != cur.Rise {
+				next.Rise = nv
+				changed = true
+			}
+		}
+		if s.aliveF {
+			nv, ok := logic.Intersect(cur.Fall, w.val.Fall)
+			if !ok {
+				s.aliveF = false
+			} else if nv != cur.Fall {
+				next.Fall = nv
+				changed = true
+			}
+		}
+		if !s.aliveR && !s.aliveF {
+			return false
+		}
+		if !changed {
+			continue
+		}
+		s.trail = append(s.trail, trailEntry{w.nid, cur})
+		s.values[w.nid] = next
+		// Forward implication: re-evaluate every fanout gate.
+		for _, ref := range s.c.Nodes[w.nid].Fanout {
+			g := ref.Gate
+			implied := s.evalGate(g)
+			queue = append(queue, work{g.Out.ID, implied})
+		}
+	}
+	return true
+}
+
+// evalGate computes the gate output dual from the current fanin values.
+func (s *searcher) evalGate(g *netlist.Gate) logic.Dual {
+	ids := s.gateFanins[g.ID]
+	for i, nid := range ids {
+		d := s.values[nid]
+		s.scratchR[i] = d.Rise
+		s.scratchF[i] = d.Fall
+	}
+	return logic.Dual{
+		Rise: g.Cell.EvalFast(s.scratchR[:len(ids)]),
+		Fall: g.Cell.EvalFast(s.scratchF[:len(ids)]),
+	}
+}
+
+// implied reports whether node's required value already follows from its
+// driver's current input values in every alive scenario (or the node is
+// a primary input).
+func (s *searcher) implied(n *netlist.Node, val, strict bool) bool {
+	if n.IsInput {
+		return true
+	}
+	want := required(val, strict)
+	out := s.evalGate(n.Driver)
+	if s.aliveR && !logic.Refines(out.Rise, want) {
+		return false
+	}
+	if s.aliveF && !logic.Refines(out.Fall, want) {
+		return false
+	}
+	return true
+}
+
+func boolTrit(b bool) logic.Trit {
+	if b {
+		return logic.T1
+	}
+	return logic.T0
+}
+
+// assignSide asserts a side value on a node — steady when strict (the
+// paper applies only steady values to complex-gate inputs), final-level
+// otherwise (floating mode, the semi-undetermined X0/X1 states). A value
+// whose driver has exactly one supporting cube is not a decision at all:
+// the cube is applied immediately (backward implication), cascading
+// toward the inputs. Only genuinely ambiguous values are queued as
+// justification obligations.
+func (s *searcher) assignSide(n *netlist.Node, val, strict bool, pending *[]obligation) bool {
+	req := required(val, strict)
+	if !s.assign(n.ID, logic.Dual{Rise: req, Fall: req}) {
+		return false
+	}
+	if s.implied(n, val, strict) {
+		return true
+	}
+	if !s.eng.Opts.NoBackwardImplication {
+		cubes := justifyChoices(n.Driver.Cell, val)
+		if len(cubes) == 1 {
+			for _, l := range cubes[0] {
+				if !s.assignSide(n.Driver.Fanin[l.Pin], l.Val, strict, pending) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	*pending = append(*pending, obligation{n, val, strict})
+	return true
+}
+
+// justifyFirst resolves the pending obligations with the first consistent
+// combination of justification cubes (backtracking over the prime
+// implicants of each driving cell). On success the assignments are left
+// applied and true is returned; on failure the state is restored.
+//
+// Justification runs when a path completes, not at every gate: during
+// traversal the engine relies on forward propagation of the
+// semi-undetermined values for early conflict detection — "less complex
+// than a justification process" per the paper — and deciding support
+// assignments only once the whole path's constraints are visible avoids
+// committing to a support choice that a later gate's side requirement
+// contradicts. Any one solution proves the path true (justification is
+// existential); the reported cube is that solution with every
+// unconstrained input left undetermined.
+func (s *searcher) justifyFirst(pending []obligation, budget *int) bool {
+	// Most-constrained-first: scan the open obligations, dropping the
+	// implied ones, and branch on the one with the fewest feasible cubes
+	// (a zero-choice obligation fails immediately, a one-choice
+	// obligation is an implication).
+	var open []obligation
+	best := -1
+	bestCount := 1 << 30
+	var bestCubes []cube
+	for _, ob := range pending {
+		if s.implied(ob.node, ob.val, ob.strict) {
+			continue
+		}
+		feas := s.feasibleCubes(ob)
+		if len(feas) == 0 {
+			return false
+		}
+		open = append(open, ob)
+		if len(feas) < bestCount {
+			best, bestCount, bestCubes = len(open)-1, len(feas), feas
+		}
+	}
+	if len(open) == 0 {
+		return true
+	}
+	ob := open[best]
+	rest := append(append([]obligation(nil), open[:best]...), open[best+1:]...)
+	for _, cb := range bestCubes {
+		if *budget <= 0 {
+			return false
+		}
+		f := s.save()
+		next := append([]obligation(nil), rest...)
+		ok := true
+		for _, l := range cb {
+			child := ob.node.Driver.Fanin[l.Pin]
+			if !s.assignSide(child, l.Val, ob.strict, &next) {
+				ok = false
+				break
+			}
+		}
+		if ok && s.justifyFirst(next, budget) {
+			return true
+		}
+		s.restore(f)
+		*budget--
+	}
+	return false
+}
+
+// feasibleCubes filters the driver's cubes of an obligation down to those
+// whose every literal is compatible with the current constraint store.
+func (s *searcher) feasibleCubes(ob obligation) []cube {
+	all := justifyChoices(ob.node.Driver.Cell, ob.val)
+	out := make([]cube, 0, len(all))
+	for _, cb := range all {
+		feasible := true
+		for _, l := range cb {
+			v := s.values[ob.node.Driver.Fanin[l.Pin].ID]
+			want := required(l.Val, ob.strict)
+			if s.aliveR && !logic.Compatible(v.Rise, want) {
+				feasible = false
+				break
+			}
+			if s.aliveF && !logic.Compatible(v.Fall, want) {
+				feasible = false
+				break
+			}
+		}
+		if feasible {
+			out = append(out, cb)
+		}
+	}
+	return out
+}
+
+// withVector applies one sensitization decision: the side values of vec
+// are asserted and forward-propagated (early conflict detection), their
+// justification obligations queued for path completion, and cont runs if
+// no contradiction surfaced.
+func (s *searcher) withVector(g *netlist.Gate, vec cell.Vector, cont func()) {
+	s.steps++
+	if max := s.eng.Opts.MaxSteps; max > 0 && s.steps > max {
+		s.stopped, s.truncated = true, true
+		return
+	}
+	if s.inputQuota > 0 && s.steps-s.inputStart > s.inputQuota {
+		s.inputExhausted, s.truncated = true, true
+		return
+	}
+	f := s.save()
+	// The paper applies steady values to the inputs of complex gates (the
+	// vector-dependent delay was characterized that way); simple gates
+	// need only the non-controlling final level (floating mode). Robust
+	// mode demands steadiness everywhere.
+	strict := s.eng.Opts.Robust || len(g.Cell.Vectors(vec.Pin)) > 1
+	ok := true
+	for _, pin := range g.Cell.Inputs {
+		if pin == vec.Pin {
+			continue
+		}
+		if !s.assignSide(g.Fanin[pin], vec.Side[pin], strict, &s.pending) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		cont()
+	}
+	s.restore(f)
+}
+
+// extend grows the path from the current node through every fanout gate
+// and sensitization vector.
+func (s *searcher) extend(n *netlist.Node) {
+	if s.stopped || s.inputExhausted {
+		return
+	}
+	if n.IsOutput && len(s.arcs) > 0 {
+		s.record()
+		if s.stopped {
+			return
+		}
+	}
+	for _, ref := range n.Fanout {
+		g := ref.Gate
+		if s.prune != nil && !s.prune.viable(s, g) {
+			continue
+		}
+		for _, vec := range g.Cell.Vectors(ref.Pin) {
+			if s.stopped || s.inputExhausted {
+				return
+			}
+			s.tryArc(g, ref.Pin, vec, func(out *netlist.Node) { s.extend(out) })
+		}
+	}
+}
+
+// tryArc applies one (gate, pin, vector) sensitization decision: side
+// values asserted, path viability re-checked against the expected edge
+// polarity, and cont invoked with the gate output as the new path head.
+func (s *searcher) tryArc(g *netlist.Gate, pin string, vec cell.Vector, cont func(out *netlist.Node)) {
+	s.withVector(g, vec, func() {
+		nextRising, ok := g.Cell.OutputEdge(vec, s.curRising)
+		if !ok {
+			return
+		}
+		out := g.Out
+		v := s.values[out.ID]
+		okR := s.aliveR && viable(v.Rise, nextRising)
+		okF := s.aliveF && viable(v.Fall, !nextRising)
+		if !okR && !okF {
+			return
+		}
+		savedR, savedF, savedPol := s.aliveR, s.aliveF, s.curRising
+		s.aliveR, s.aliveF, s.curRising = okR, okF, nextRising
+		s.pathNodes = append(s.pathNodes, out.Name)
+		s.arcs = append(s.arcs, Arc{g, pin, vec})
+		cont(out)
+		s.pathNodes = s.pathNodes[:len(s.pathNodes)-1]
+		s.arcs = s.arcs[:len(s.arcs)-1]
+		s.aliveR, s.aliveF, s.curRising = savedR, savedF, savedPol
+	})
+}
+
+// viable reports whether a path-node trajectory is consistent with the
+// expected edge polarity under floating-mode sensitization: the node must
+// settle at the expected level and must not be pinned there from the
+// start (VR or VX1 for a rising node, VF or VX0 for a falling one).
+func viable(v logic.Value, rising bool) bool {
+	want := logic.T0
+	if rising {
+		want = logic.T1
+	}
+	return v.Final() == want && v.Initial() != want
+}
+
+// record justifies the accumulated side values and, on success, captures
+// the current state as a TruePath.
+func (s *searcher) record() {
+	if s.eng.Opts.ComplexOnly {
+		multi := false
+		for _, a := range s.arcs {
+			if len(a.Gate.Cell.Vectors(a.Pin)) > 1 {
+				multi = true
+				break
+			}
+		}
+		if !multi {
+			return
+		}
+	}
+	// Justify the accumulated obligations. A single input cube that
+	// supports both launch edges is preferred, but through reconvergent
+	// XOR logic the two edges can need different cubes (flipping the
+	// launch input flips downstream parities) — in that case each alive
+	// edge is justified, and recorded, on its own.
+	budgetFor := func() int {
+		if b := s.eng.Opts.JustifyBudget; b > 0 {
+			return b
+		}
+		return 2000
+	}
+	attempt := func(keepR, keepF bool) {
+		if (keepR && !s.aliveR) || (keepF && !s.aliveF) {
+			return
+		}
+		f := s.save()
+		defer s.restore(f)
+		s.aliveR, s.aliveF = keepR, keepF
+		budget := budgetFor()
+		if !s.justifyFirst(append([]obligation(nil), s.pending...), &budget) {
+			if budget <= 0 {
+				s.justAborts++
+			}
+			return
+		}
+		s.emit()
+	}
+	if s.aliveR && s.aliveF {
+		f := s.save()
+		budget := budgetFor()
+		joint := s.justifyFirst(append([]obligation(nil), s.pending...), &budget)
+		if joint {
+			s.emit()
+		}
+		s.restore(f)
+		if joint {
+			return
+		}
+		if budget <= 0 {
+			// The joint search thrashed out rather than proving
+			// unsatisfiability; the per-edge searches would thrash the
+			// same way — count one abort and move on.
+			s.justAborts++
+			return
+		}
+		attempt(true, false)
+		attempt(false, true)
+		return
+	}
+	attempt(s.aliveR, s.aliveF)
+}
+
+// emit captures the (justified) current state as a TruePath.
+func (s *searcher) emit() {
+	cube := sim.InputCube{}
+	var cubeKey strings.Builder
+	for _, in := range s.c.Inputs {
+		if in == s.start {
+			continue
+		}
+		v := s.values[in.ID]
+		pick := v.Rise
+		if !s.aliveR {
+			pick = v.Fall
+		}
+		// Cube entries are the settled (second-vector) levels; floating
+		// mode leaves the pre-event state unconstrained.
+		cube[in.Name] = pick.Final()
+		cubeKey.WriteString(pick.Final().String())
+	}
+	p := &TruePath{
+		Start:  s.start.Name,
+		Nodes:  append([]string(nil), s.pathNodes...),
+		Arcs:   append([]Arc(nil), s.arcs...),
+		Cube:   cube,
+		RiseOK: s.aliveR,
+		FallOK: s.aliveF,
+	}
+	var vk strings.Builder
+	for _, a := range p.Arcs {
+		fmt.Fprintf(&vk, "%d.", a.Vec.Case)
+	}
+	edges := ""
+	if p.RiseOK {
+		edges += "R"
+	}
+	if p.FallOK {
+		edges += "F"
+	}
+	key := p.CourseKey() + "|" + vk.String() + "|" + cubeKey.String() + "|" + edges
+	if s.seen[key] {
+		return
+	}
+	s.seen[key] = true
+
+	if p.RiseOK {
+		if d, err := s.eng.pathDelay(p.Arcs, true); err == nil {
+			p.RiseDelay = d
+		}
+	}
+	if p.FallOK {
+		if d, err := s.eng.pathDelay(p.Arcs, false); err == nil {
+			p.FallDelay = d
+		}
+	}
+	if s.prune != nil {
+		s.prune.add(p)
+		return
+	}
+	s.paths = append(s.paths, p)
+	if max := s.eng.Opts.MaxVariants; max > 0 && len(s.paths) >= max {
+		s.stopped, s.truncated = true, true
+	}
+}
+
+// result packages the recorded paths.
+func (s *searcher) result() *Result {
+	if s.prune != nil {
+		s.paths = s.prune.all()
+	}
+	sortPaths(s.paths)
+	courses := map[string]int{}
+	for _, p := range s.paths {
+		courses[p.CourseKey()]++
+	}
+	multi := 0
+	for _, n := range courses {
+		if n > 1 {
+			multi++
+		}
+	}
+	return &Result{
+		Paths:               s.paths,
+		Courses:             len(courses),
+		MultiVectorCourses:  multi,
+		Truncated:           s.truncated,
+		Steps:               s.steps,
+		JustificationAborts: s.justAborts,
+	}
+}

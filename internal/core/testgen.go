@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tpsta/internal/logic"
+	"tpsta/internal/sim"
+)
+
+// TestPair is a two-pattern path-delay test for a reported true path —
+// the output format of the RESIST lineage the paper's algorithm descends
+// from. Applying V1, letting the circuit settle, then switching to V2
+// launches the transition down the path; observing the path output at
+// the clock edge tests the path's delay.
+type TestPair struct {
+	// V1 and V2 are the initialization and launch vectors. Inputs the
+	// path leaves unconstrained are TX in both (any filling works).
+	V1, V2 sim.InputCube
+	// Start is the launching input (the only input that changes), and
+	// Rising its direction in V1→V2.
+	Start  string
+	Rising bool
+	// Output is the observed primary output.
+	Output string
+}
+
+// TestPair derives the two-pattern test for the given launch edge
+// (rising must be one of the path's true edges).
+func (p *TruePath) TestPair(rising bool) (TestPair, error) {
+	if rising && !p.RiseOK || !rising && !p.FallOK {
+		return TestPair{}, fmt.Errorf("core: path is not true for the requested edge")
+	}
+	v1 := sim.InputCube{}
+	v2 := sim.InputCube{}
+	for in, t := range p.Cube {
+		v1[in] = t
+		v2[in] = t
+	}
+	if rising {
+		v1[p.Start] = logic.T0
+		v2[p.Start] = logic.T1
+	} else {
+		v1[p.Start] = logic.T1
+		v2[p.Start] = logic.T0
+	}
+	return TestPair{
+		V1: v1, V2: v2,
+		Start:  p.Start,
+		Rising: rising,
+		Output: p.Nodes[len(p.Nodes)-1],
+	}, nil
+}
+
+// String renders the pair as "V1 -> V2 observe out", inputs sorted.
+func (tp TestPair) String() string {
+	names := make([]string, 0, len(tp.V1))
+	for n := range tp.V1 {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	render := func(c sim.InputCube) {
+		for i, n := range names {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s=%s", n, c[n])
+		}
+	}
+	b.WriteString("V1: ")
+	render(tp.V1)
+	b.WriteString("  V2: ")
+	render(tp.V2)
+	fmt.Fprintf(&b, "  observe %s", tp.Output)
+	return b.String()
+}
+
+// WriteTestPairs emits two-pattern tests for every reported path (one per
+// true edge) in a simple line format suitable for a tester flow:
+//
+//	# path <course>
+//	V1 <in>=<v> ... ; V2 <in>=<v> ... ; observe <out>
+func WriteTestPairs(w interface{ Write([]byte) (int, error) }, paths []*TruePath) error {
+	for _, p := range paths {
+		for _, rising := range []bool{true, false} {
+			if rising && !p.RiseOK || !rising && !p.FallOK {
+				continue
+			}
+			tp, err := p.TestPair(rising)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "# path %s\n%s\n", p.CourseKey(), tp); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

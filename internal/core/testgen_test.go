@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/logic"
+	"tpsta/internal/netlist"
+	"tpsta/internal/sim"
+)
+
+func TestTestPairGeneration(t *testing.T) {
+	e := structEngine(t, "c17")
+	res, err := e.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Paths {
+		for _, rising := range []bool{true, false} {
+			if rising && !p.RiseOK || !rising && !p.FallOK {
+				continue
+			}
+			tp, err := p.TestPair(rising)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// V1 and V2 differ exactly on the launch input.
+			diffs := 0
+			for in := range tp.V1 {
+				if tp.V1[in] != tp.V2[in] {
+					diffs++
+					if in != tp.Start {
+						t.Errorf("pair differs on non-launch input %s", in)
+					}
+				}
+			}
+			if diffs != 1 {
+				t.Errorf("pair differs on %d inputs, want 1", diffs)
+			}
+			// The launch actually propagates: event-driven simulation of
+			// the V1→V2 switch must toggle the observed output.
+			tr, err := sim.TimedSim(e.Circuit, tp.Start, tp.Rising, p.Cube, sim.UnitDelay)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, toggled := tr.Arrival[tp.Output]; !toggled {
+				t.Errorf("test pair does not toggle %s for %s", tp.Output, p)
+			}
+		}
+	}
+}
+
+func TestTestPairWrongEdgeRejected(t *testing.T) {
+	// Build the single-edge-true circuit from the per-edge justification
+	// test and ask for the wrong edge.
+	lib := cell.Default()
+	c := netlist.New("edge")
+	for _, in := range []string{"a", "s"} {
+		if _, err := c.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk := func(cellName, out string, pins map[string]string) {
+		if _, err := c.AddGate(lib, cellName, out, pins); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("BUF", "b1", map[string]string{"A": "a"})
+	mk("XOR2", "p", map[string]string{"A": "a", "B": "s"})
+	mk("AND2", "z", map[string]string{"A": "b1", "B": "p"})
+	c.MarkOutput("z")
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	e := New(c, t130(t), nil, Options{})
+	res, err := e.EnumerateCourse([]string{"a", "b1", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Paths {
+		wrong := !p.RiseOK // ask for rise on a fall-only path and vice versa
+		if _, err := p.TestPair(wrong); err == nil {
+			t.Error("wrong-edge TestPair should fail")
+		}
+		tp, err := p.TestPair(p.RiseOK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.RiseOK && (tp.V1[p.Start] != logic.T0 || tp.V2[p.Start] != logic.T1) {
+			t.Error("rising pair launch values wrong")
+		}
+	}
+}
+
+func TestWriteTestPairs(t *testing.T) {
+	e := structEngine(t, "fig4")
+	res, err := e.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTestPairs(&buf, res.Paths[:3]); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# path") || !strings.Contains(out, "V1:") || !strings.Contains(out, "observe") {
+		t.Errorf("output format:\n%s", out)
+	}
+	// One line pair per true edge: 3 paths × up to 2 edges.
+	if got := strings.Count(out, "V1:"); got < 3 {
+		t.Errorf("%d pairs emitted", got)
+	}
+}

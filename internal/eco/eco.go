@@ -1,0 +1,158 @@
+// Package eco implements a timing-driven gate-sizing loop — the
+// engineering-change-order flow the drive-strength variants and the
+// incremental block analyzer exist for. Given a clock period, the
+// optimizer repeatedly upsizes the most critical upsizable gate (the one
+// on the worst-slack path whose resizing most improves the worst slack)
+// until the circuit meets timing, no move helps, or the budget runs out.
+//
+// The loop works on a clone of the input circuit and reports every move
+// with its slack effect and the input-capacitance (area) cost.
+package eco
+
+import (
+	"fmt"
+
+	"tpsta/internal/block"
+	"tpsta/internal/cell"
+	"tpsta/internal/charlib"
+	"tpsta/internal/netlist"
+	"tpsta/internal/tech"
+)
+
+// Options tune the optimization.
+type Options struct {
+	// ClockPeriod is the timing target (required).
+	ClockPeriod float64
+	// MaxMoves bounds the number of resizings (default 50).
+	MaxMoves int
+	// InputSlew, Temp, VDD select the analysis point.
+	InputSlew float64
+	Temp, VDD float64
+}
+
+// Move records one accepted resizing.
+type Move struct {
+	Gate       string
+	From, To   string
+	SlackAfter float64
+}
+
+// Result reports the optimization.
+type Result struct {
+	// Met is true when the final worst slack is non-negative.
+	Met bool
+	// SlackBefore and SlackAfter are the worst slacks around the loop.
+	SlackBefore, SlackAfter float64
+	// Moves lists the accepted resizings in order.
+	Moves []Move
+	// AreaCostFrac is the relative increase in total input capacitance
+	// (a proxy for area/power cost).
+	AreaCostFrac float64
+	// Circuit is the optimized clone.
+	Circuit *netlist.Circuit
+}
+
+// Optimize runs the sizing loop. The library must contain the X2 variants
+// (characterize cell.Extended()).
+func Optimize(c *netlist.Circuit, tc *tech.Tech, lib *charlib.Library, opts Options) (*Result, error) {
+	if opts.ClockPeriod <= 0 {
+		return nil, fmt.Errorf("eco: a clock period is required")
+	}
+	if opts.MaxMoves <= 0 {
+		opts.MaxMoves = 50
+	}
+	ext := cell.Extended()
+	work, err := netlist.Clone(c, ext)
+	if err != nil {
+		return nil, err
+	}
+	an := block.New(work, tc, lib, block.Options{
+		ClockPeriod: opts.ClockPeriod,
+		InputSlew:   opts.InputSlew,
+		Temp:        opts.Temp,
+		VDD:         opts.VDD,
+	})
+	rep, err := an.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{SlackBefore: rep.WorstSlack, Circuit: work}
+	areaBefore := totalInputCap(work, tc)
+
+	for len(res.Moves) < opts.MaxMoves && rep.WorstSlack < 0 {
+		course := rep.CriticalCourse(work)
+		move, improved, err := bestMoveOnCourse(an, work, ext, rep, course)
+		if err != nil {
+			return nil, err
+		}
+		if !improved {
+			break
+		}
+		res.Moves = append(res.Moves, *move)
+	}
+	res.SlackAfter = rep.WorstSlack
+	res.Met = rep.WorstSlack >= 0
+	if areaBefore > 0 {
+		res.AreaCostFrac = totalInputCap(work, tc)/areaBefore - 1
+	}
+	return res, nil
+}
+
+// bestMoveOnCourse tries upsizing each not-yet-upsized gate on the
+// critical course — evaluating every trial with the incremental analyzer
+// (each trial and its rollback touch only the affected cone) — and keeps
+// the single move with the best resulting worst slack. improved is false
+// when no candidate beats the current slack; on success the chosen move
+// is left applied and rep reflects it.
+func bestMoveOnCourse(an *block.Analyzer, work *netlist.Circuit, ext *cell.Lib, rep *block.Report, course []string) (*Move, bool, error) {
+	bestSlack := rep.WorstSlack
+	var bestGate *netlist.Gate
+	trial := func(g *netlist.Gate, to string) error {
+		if err := work.ReplaceCell(g, ext, to); err != nil {
+			return err
+		}
+		return an.Incremental(rep, []*netlist.Gate{g})
+	}
+	for _, name := range course {
+		node := work.Node(name)
+		if node == nil || node.Driver == nil {
+			continue
+		}
+		g := node.Driver
+		if cell.IsUpsized(g.Cell.Name) {
+			continue
+		}
+		from := g.Cell.Name
+		if err := trial(g, from+cell.DriveSuffix); err != nil {
+			return nil, false, err
+		}
+		if rep.WorstSlack > bestSlack {
+			bestSlack = rep.WorstSlack
+			bestGate = g
+		}
+		// Roll back for the next candidate.
+		if err := trial(g, from); err != nil {
+			return nil, false, err
+		}
+	}
+	if bestGate == nil {
+		return nil, false, nil
+	}
+	from := bestGate.Cell.Name
+	if err := trial(bestGate, from+cell.DriveSuffix); err != nil {
+		return nil, false, err
+	}
+	return &Move{Gate: bestGate.Name, From: from, To: from + cell.DriveSuffix, SlackAfter: bestSlack}, true, nil
+}
+
+// totalInputCap sums every gate pin's input capacitance — the area/power
+// proxy the cost fraction is computed from.
+func totalInputCap(c *netlist.Circuit, tc *tech.Tech) float64 {
+	total := 0.0
+	for _, g := range c.Gates {
+		for _, pin := range g.Cell.Inputs {
+			total += g.Cell.InputCap(tc, pin)
+		}
+	}
+	return total
+}

@@ -1,0 +1,103 @@
+package eco
+
+import (
+	"testing"
+
+	"tpsta/internal/block"
+	"tpsta/internal/cell"
+	"tpsta/internal/charlib"
+	"tpsta/internal/circuits"
+	"tpsta/internal/tech"
+)
+
+var (
+	cachedLib *charlib.Library
+	cachedTc  *tech.Tech
+)
+
+func setup(t testing.TB) (*tech.Tech, *charlib.Library) {
+	t.Helper()
+	if cachedLib == nil {
+		tc, err := tech.ByName("130nm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedTc = tc
+		lib, err := charlib.Characterize(tc, cell.Extended(), charlib.TestGrid(), charlib.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedLib = lib
+	}
+	return cachedTc, cachedLib
+}
+
+func TestOptimizeImprovesSlack(t *testing.T) {
+	tc, lib := setup(t)
+	cir, err := circuits.Get("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline arrival defines an intentionally violated clock.
+	base, err := block.New(cir, tc, lib, block.Options{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := base.WorstArrival * 0.93
+
+	res, err := Optimize(cir, tc, lib, Options{ClockPeriod: period, MaxMoves: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlackBefore >= 0 {
+		t.Fatalf("test premise broken: starting slack %g not negative", res.SlackBefore)
+	}
+	if res.SlackAfter <= res.SlackBefore {
+		t.Errorf("optimization did not improve slack: %g → %g", res.SlackBefore, res.SlackAfter)
+	}
+	if len(res.Moves) == 0 {
+		t.Fatal("no moves made")
+	}
+	// Moves are monotone in reported slack.
+	for i := 1; i < len(res.Moves); i++ {
+		if res.Moves[i].SlackAfter < res.Moves[i-1].SlackAfter {
+			t.Errorf("move %d worsened slack: %g after %g", i, res.Moves[i].SlackAfter, res.Moves[i-1].SlackAfter)
+		}
+	}
+	// Upsizing costs area.
+	if res.AreaCostFrac <= 0 {
+		t.Errorf("area cost %g should be positive", res.AreaCostFrac)
+	}
+	// The input circuit is untouched (clone semantics).
+	for _, g := range cir.Gates {
+		if cell.IsUpsized(g.Cell.Name) {
+			t.Fatal("Optimize mutated its input circuit")
+		}
+	}
+	t.Logf("slack %.1f → %.1f ps in %d moves (area +%.2f%%), met=%v",
+		res.SlackBefore*1e12, res.SlackAfter*1e12, len(res.Moves), res.AreaCostFrac*100, res.Met)
+}
+
+func TestOptimizeAlreadyMet(t *testing.T) {
+	tc, lib := setup(t)
+	cir, _ := circuits.Get("c17")
+	base, err := block.New(cir, tc, lib, block.Options{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(cir, tc, lib, Options{ClockPeriod: base.WorstArrival * 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met || len(res.Moves) != 0 {
+		t.Errorf("already-met design should need no moves: met=%v moves=%d", res.Met, len(res.Moves))
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	tc, lib := setup(t)
+	cir, _ := circuits.Get("c17")
+	if _, err := Optimize(cir, tc, lib, Options{}); err == nil {
+		t.Error("missing clock period should fail")
+	}
+}

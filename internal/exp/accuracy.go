@@ -1,0 +1,193 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tpsta/internal/baseline"
+	"tpsta/internal/circuits"
+	"tpsta/internal/core"
+	"tpsta/internal/report"
+	"tpsta/internal/spice"
+	"tpsta/internal/tech"
+)
+
+// AccuracyRow is one circuit row of Tables 7/8/9: mean/max path and gate
+// delay error against the electrical reference, for the developed tool's
+// polynomial model and the commercial tool's LUT model.
+type AccuracyRow struct {
+	Circuit string
+
+	DevMeanPath, DevMaxPath float64
+	DevMeanGate, DevMaxGate float64
+	ComMeanPath, ComMaxPath float64
+	ComMeanGate, ComMaxGate float64
+
+	// PathsMeasured counts the spice-referenced paths behind the row.
+	PathsMeasured int
+}
+
+// Table7 measures delay accuracy at 130 nm (paper Table 7).
+func Table7(cfg Config) ([]AccuracyRow, *report.Table, error) { return TableAccuracy(cfg, "130nm") }
+
+// Table8 measures delay accuracy at 90 nm (paper Table 8).
+func Table8(cfg Config) ([]AccuracyRow, *report.Table, error) { return TableAccuracy(cfg, "90nm") }
+
+// Table9 measures delay accuracy at 65 nm (paper Table 9).
+func Table9(cfg Config) ([]AccuracyRow, *report.Table, error) { return TableAccuracy(cfg, "65nm") }
+
+// defaultAccuracyCircuits lists the circuits of the paper's Tables 7–9.
+func defaultAccuracyCircuits(quick bool) []string {
+	if quick {
+		return []string{"c17", "c432"}
+	}
+	return circuits.ISCASNames()
+}
+
+// TableAccuracy compares the two delay models against chained transient
+// simulation on the worst multi-vector true paths of each circuit — the
+// per-path electrical verification of the paper's Section V.B.
+func TableAccuracy(cfg Config, techName string) ([]AccuracyRow, *report.Table, error) {
+	tc, err := tech.ByName(techName)
+	if err != nil {
+		return nil, nil, err
+	}
+	lib, err := Library(tc, cfg.Quick)
+	if err != nil {
+		return nil, nil, err
+	}
+	sim := spice.New(tc)
+
+	var rows []AccuracyRow
+	for _, name := range cfg.circuits(defaultAccuracyCircuits(cfg.Quick)) {
+		cir, err := circuits.Get(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		eng := core.New(cir, tc, lib, core.Options{MaxSteps: cfg.maxSteps()})
+		res, err := eng.Enumerate()
+		if err != nil {
+			return nil, nil, err
+		}
+		// The paper focuses on paths with more than one sensitization
+		// vector; fall back to all true paths for circuits without
+		// complex gates (c17, c1355).
+		var pool []*core.TruePath
+		for _, p := range res.Paths {
+			if p.HasMultiVectorArc() {
+				pool = append(pool, p)
+			}
+		}
+		if len(pool) == 0 {
+			pool = res.Paths
+		}
+		sort.SliceStable(pool, func(i, j int) bool { return pool[i].WorstDelay() > pool[j].WorstDelay() })
+		if max := cfg.pathsPerCircuit(); len(pool) > max {
+			pool = pool[:max]
+		}
+		if len(pool) == 0 {
+			return nil, nil, fmt.Errorf("exp: no true paths found in %s", name)
+		}
+
+		tool := baseline.New(cir, tc, lib, baseline.Options{})
+		row := AccuracyRow{Circuit: name}
+		var devPathErrs, comPathErrs, devGateErrs, comGateErrs []float64
+		for _, p := range pool {
+			rising := p.RiseOK
+			if p.FallOK && (!p.RiseOK || p.FallDelay > p.RiseDelay) {
+				rising = false
+			}
+			stages := make([]spice.PathStage, len(p.Arcs))
+			barcs := make([]baseline.PathArc, len(p.Arcs))
+			for i, a := range p.Arcs {
+				stages[i] = spice.PathStage{Cell: a.Gate.Cell, Vec: a.Vec, Load: cir.LoadCap(a.Gate.Out, tc)}
+				barcs[i] = baseline.PathArc{Gate: a.Gate, Pin: a.Pin}
+			}
+			ref, err := sim.SimulatePath(stages, rising, eng.Opts.InputSlew)
+			if err != nil {
+				return nil, nil, fmt.Errorf("exp: accuracy spice %s: %w", name, err)
+			}
+			devArcs, err := eng.ArcDelays(p.Arcs, rising)
+			if err != nil {
+				return nil, nil, err
+			}
+			comArcs, err := tool.ArcDelays(barcs, rising)
+			if err != nil {
+				return nil, nil, err
+			}
+			devPathErrs = append(devPathErrs, relErr(sum(devArcs), ref.Total))
+			for i := range devArcs {
+				devGateErrs = append(devGateErrs, relErr(devArcs[i], ref.StageDelays[i]))
+			}
+			if comArcs != nil {
+				comPathErrs = append(comPathErrs, relErr(sum(comArcs), ref.Total))
+				for i := range comArcs {
+					comGateErrs = append(comGateErrs, relErr(comArcs[i], ref.StageDelays[i]))
+				}
+			}
+			row.PathsMeasured++
+		}
+		row.DevMeanPath, row.DevMaxPath = meanMax(devPathErrs)
+		row.DevMeanGate, row.DevMaxGate = meanMax(devGateErrs)
+		row.ComMeanPath, row.ComMaxPath = meanMax(comPathErrs)
+		row.ComMeanGate, row.ComMaxGate = meanMax(comGateErrs)
+		rows = append(rows, row)
+	}
+
+	tb := report.New(
+		fmt.Sprintf("Table %s: %s delay error vs electrical simulation", accuracyTableNumber(techName), techName),
+		"circuit", "dev mean path", "dev max path", "dev mean gate", "dev max gate",
+		"com mean path", "com max path", "com mean gate", "com max gate", "paths")
+	for _, r := range rows {
+		tb.Row(r.Circuit,
+			report.Pct(r.DevMeanPath), report.Pct(r.DevMaxPath),
+			report.Pct(r.DevMeanGate), report.Pct(r.DevMaxGate),
+			report.Pct(r.ComMeanPath), report.Pct(r.ComMaxPath),
+			report.Pct(r.ComMeanGate), report.Pct(r.ComMaxGate),
+			r.PathsMeasured)
+	}
+	tb.Note("dev: polynomial model with per-vector arcs; com: vector-blind LUT model")
+	return rows, tb, nil
+}
+
+func accuracyTableNumber(techName string) string {
+	switch techName {
+	case "130nm":
+		return "7"
+	case "90nm":
+		return "8"
+	case "65nm":
+		return "9"
+	default:
+		return "7/8/9"
+	}
+}
+
+func relErr(est, ref float64) float64 {
+	if ref == 0 {
+		return 0
+	}
+	return math.Abs(est-ref) / math.Abs(ref)
+}
+
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func meanMax(xs []float64) (mean, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+		if x > max {
+			max = x
+		}
+	}
+	return mean / float64(len(xs)), max
+}

@@ -1,0 +1,121 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation. Each driver returns both typed rows (asserted by tests and
+// benchmarks) and a rendered report table (printed by cmd/tables and the
+// examples). EXPERIMENTS.md records the paper-vs-measured comparison the
+// drivers produce.
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/charlib"
+	"tpsta/internal/tech"
+)
+
+// Config scales experiment effort.
+type Config struct {
+	// Quick selects smaller grids, path samples and search budgets —
+	// used by unit tests and benchmarks. Full runs reproduce the
+	// evaluation at cmd/tables scale.
+	Quick bool
+	// Circuits overrides the circuit list (nil = the per-experiment
+	// default).
+	Circuits []string
+	// MaxSteps overrides the developed tool's search budget per circuit
+	// (0 = default for the quality level).
+	MaxSteps int64
+	// NumPaths overrides the baseline's requested structural path count.
+	NumPaths int
+	// BacktrackLimit overrides the baseline's backtrack limit.
+	BacktrackLimit int
+	// PathsPerCircuit caps the spice-referenced path sample of
+	// Tables 7–9.
+	PathsPerCircuit int
+}
+
+func (c Config) maxSteps() int64 {
+	if c.MaxSteps > 0 {
+		return c.MaxSteps
+	}
+	if c.Quick {
+		return 60_000
+	}
+	return 600_000
+}
+
+func (c Config) numPaths() int {
+	if c.NumPaths > 0 {
+		return c.NumPaths
+	}
+	if c.Quick {
+		return 120
+	}
+	return 1000
+}
+
+func (c Config) backtrackLimit() int {
+	if c.BacktrackLimit > 0 {
+		return c.BacktrackLimit
+	}
+	return 1000
+}
+
+func (c Config) pathsPerCircuit() int {
+	if c.PathsPerCircuit > 0 {
+		return c.PathsPerCircuit
+	}
+	if c.Quick {
+		return 3
+	}
+	return 8
+}
+
+func (c Config) circuits(def []string) []string {
+	if c.Circuits != nil {
+		return c.Circuits
+	}
+	return def
+}
+
+// libKey identifies a cached characterized library.
+type libKey struct {
+	tech  string
+	quick bool
+}
+
+var (
+	libMu    sync.Mutex
+	libCache = map[libKey]*charlib.Library{}
+)
+
+// Library characterizes (once per process) the full default cell library
+// for the technology, on the test grid in quick mode or the nominal grid
+// otherwise.
+func Library(tc *tech.Tech, quick bool) (*charlib.Library, error) {
+	key := libKey{tc.Name, quick}
+	libMu.Lock()
+	defer libMu.Unlock()
+	if l, ok := libCache[key]; ok {
+		return l, nil
+	}
+	grid := charlib.NominalGrid()
+	if quick {
+		grid = charlib.TestGrid()
+	}
+	l, err := charlib.Characterize(tc, cell.Default(), grid, charlib.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("exp: characterizing %s: %w", tc.Name, err)
+	}
+	libCache[key] = l
+	return l, nil
+}
+
+// InjectLibrary pre-seeds the library cache (used by cmd/tables to load a
+// characterization from disk instead of re-simulating).
+func InjectLibrary(l *charlib.Library, quick bool) {
+	libMu.Lock()
+	defer libMu.Unlock()
+	libCache[libKey{l.TechName, quick}] = l
+}

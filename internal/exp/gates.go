@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/report"
+	"tpsta/internal/spice"
+	"tpsta/internal/tech"
+)
+
+// VectorRow is one sensitization vector of Tables 1/2.
+type VectorRow struct {
+	Pin  string
+	Case int
+	Key  string
+}
+
+// Table1 enumerates the AO22 sensitization vectors (paper Table 1).
+func Table1() ([]VectorRow, *report.Table) {
+	return vectorTable("AO22", "Table 1: AO22 propagation table")
+}
+
+// Table2 enumerates the OA12 sensitization vectors (paper Table 2).
+func Table2() ([]VectorRow, *report.Table) {
+	return vectorTable("OA12", "Table 2: OA12 propagation table")
+}
+
+func vectorTable(cellName, title string) ([]VectorRow, *report.Table) {
+	c := cell.Default().MustGet(cellName)
+	tb := report.New(title, "input", "case", "side values")
+	var rows []VectorRow
+	for _, pin := range c.Inputs {
+		for _, v := range c.Vectors(pin) {
+			rows = append(rows, VectorRow{pin, v.Case, v.Key()})
+			tb.Row(pin+"=T", fmt.Sprintf("Case %d", v.Case), v.Key())
+		}
+	}
+	tb.Note("%d vectors total", len(rows))
+	return rows, tb
+}
+
+// DelayRow is one (technology, edge) row of Tables 3/4: the per-case
+// delays and the percentage differences against Case 1.
+type DelayRow struct {
+	Tech       string
+	InputRise  bool
+	Delays     []float64 // indexed by Case-1
+	DiffPct    []float64 // vs Case 1, skipping Case 1 itself (index 0 unused)
+	CellName   string
+	Pin        string
+	VectorKeys []string
+}
+
+// Table3 measures the AO22 input-A delay per sensitization vector across
+// the three technologies (paper Table 3). The gate is loaded with a gate
+// of the same type, at nominal conditions, as in the paper.
+func Table3() ([]DelayRow, *report.Table, error) {
+	return vectorDelayTable("AO22", "A", "Table 3: AO22 propagation delay (input A), ps")
+}
+
+// Table4 measures the OA12 input-C delay per vector (paper Table 4).
+func Table4() ([]DelayRow, *report.Table, error) {
+	return vectorDelayTable("OA12", "C", "Table 4: OA12 propagation delay (input C), ps")
+}
+
+func vectorDelayTable(cellName, pin, title string) ([]DelayRow, *report.Table, error) {
+	c := cell.Default().MustGet(cellName)
+	vecs := c.Vectors(pin)
+	headers := []string{"tech", "edge"}
+	for i := range vecs {
+		headers = append(headers, fmt.Sprintf("Case %d", i+1))
+	}
+	for i := 1; i < len(vecs); i++ {
+		headers = append(headers, fmt.Sprintf("%%diff %d", i+1))
+	}
+	tb := report.New(title, headers...)
+	var rows []DelayRow
+	for _, tc := range tech.All() {
+		s := spice.New(tc)
+		load := c.InputCap(tc, pin) // loaded with a gate of the same type
+		for _, rising := range []bool{true, false} {
+			row := DelayRow{Tech: tc.Name, InputRise: rising, CellName: cellName, Pin: pin}
+			for _, v := range vecs {
+				r, err := s.SimulateGate(c, v, rising, 40e-12, load)
+				if err != nil {
+					return nil, nil, fmt.Errorf("exp: %s/%s case %d: %w", cellName, pin, v.Case, err)
+				}
+				row.Delays = append(row.Delays, r.Delay)
+				row.VectorKeys = append(row.VectorKeys, v.Key())
+			}
+			row.DiffPct = make([]float64, len(row.Delays))
+			for i := 1; i < len(row.Delays); i++ {
+				row.DiffPct[i] = (row.Delays[i] - row.Delays[0]) / row.Delays[0]
+			}
+			rows = append(rows, row)
+			cells := []interface{}{tc.Name, edgeName(rising)}
+			for _, d := range row.Delays {
+				cells = append(cells, report.Ps(d))
+			}
+			for i := 1; i < len(row.Delays); i++ {
+				cells = append(cells, report.Pct(row.DiffPct[i]))
+			}
+			tb.Row(cells...)
+		}
+	}
+	return rows, tb, nil
+}
+
+func edgeName(rising bool) string {
+	if rising {
+		return "In Rise"
+	}
+	return "In Fall"
+}
+
+// Fig23 renders the transistor-level ON/OFF/switching analysis of the
+// paper's Figures 2 and 3: the AO22 falling-A cases and the OA12
+// rising-C cases.
+func Fig23() (string, error) {
+	var b strings.Builder
+	lib := cell.Default()
+	type panel struct {
+		cellName, pin string
+		rising        bool
+		caption       string
+	}
+	panels := []panel{
+		{"AO22", "A", false, "Figure 2: AO22 falling transition through input A"},
+		{"OA12", "C", true, "Figure 3: OA12 rising transition through input C"},
+	}
+	for _, p := range panels {
+		fmt.Fprintf(&b, "%s\n", p.caption)
+		c := lib.MustGet(p.cellName)
+		for _, v := range c.Vectors(p.pin) {
+			txt, err := spice.FormatStateReport(c, v, p.rising)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(txt)
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,194 @@
+package liberty
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/charlib"
+	"tpsta/internal/tech"
+)
+
+var cachedLib *charlib.Library
+
+func smallLib(t *testing.T) *charlib.Library {
+	t.Helper()
+	if cachedLib != nil {
+		return cachedLib
+	}
+	tc, err := tech.ByName("130nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := charlib.Characterize(tc, cell.Default(), charlib.TestGrid(), charlib.Options{
+		Cells: []string{"INV", "NAND2", "AO22", "XOR2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedLib = l
+	return l
+}
+
+func export(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, smallLib(t), cell.Default()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestWriteBasics(t *testing.T) {
+	out := export(t)
+	for _, want := range []string{
+		"library (tpsta_130nm)",
+		"cell (AO22)",
+		"cell (INV)",
+		"function : \"(A*B)+(C*D)\"",
+		"timing_sense : positive_unate",
+		"cell_rise", "fall_transition",
+		"related_pin : \"A\"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q", want)
+		}
+	}
+	// The NLDM-gap comment is present.
+	if !strings.Contains(out, "polynomial") {
+		t.Error("missing provenance comment")
+	}
+}
+
+func TestTimingSense(t *testing.T) {
+	lib := cell.Default()
+	if got := timingSense(lib.MustGet("AND2"), "A"); got != "positive_unate" {
+		t.Errorf("AND2/A sense = %s", got)
+	}
+	if got := timingSense(lib.MustGet("NAND2"), "A"); got != "negative_unate" {
+		t.Errorf("NAND2/A sense = %s", got)
+	}
+	if got := timingSense(lib.MustGet("XOR2"), "A"); got != "non_unate" {
+		t.Errorf("XOR2/A sense = %s", got)
+	}
+	if got := timingSense(lib.MustGet("AO22"), "C"); got != "positive_unate" {
+		t.Errorf("AO22/C sense = %s", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	out := export(t)
+	g, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if g.Kind != "library" || len(g.Args) != 1 || g.Args[0] != "tpsta_130nm" {
+		t.Fatalf("library header: %s %v", g.Kind, g.Args)
+	}
+	if g.Attr("delay_model") != "table_lookup" {
+		t.Errorf("delay_model = %q", g.Attr("delay_model"))
+	}
+	// Cells present.
+	for _, name := range []string{"INV", "NAND2", "AO22", "XOR2"} {
+		if g.Find("cell", name) == nil {
+			t.Errorf("cell %s missing after reparse", name)
+		}
+	}
+	// Pin capacitance round-trips numerically (fF).
+	ao22 := g.Find("cell", "AO22")
+	pinA := ao22.Find("pin", "A")
+	if pinA == nil {
+		t.Fatal("AO22 pin A missing")
+	}
+	caps, err := pinA.Floats("capacitance")
+	if err != nil || len(caps) != 1 {
+		t.Fatalf("capacitance: %v %v", caps, err)
+	}
+	want, _ := smallLib(t).InputCap("AO22", "A")
+	if math.Abs(caps[0]-want*1e15)/(want*1e15) > 1e-4 {
+		t.Errorf("capacitance %.6f fF, want %.6f", caps[0], want*1e15)
+	}
+	// A delay table round-trips: compare the first value of INV's
+	// cell_fall (input A rising → output falls) against the LUT.
+	inv := g.Find("cell", "INV")
+	z := inv.Find("pin", "Z")
+	if z == nil {
+		t.Fatal("INV pin Z missing")
+	}
+	timing := z.Find("timing", "")
+	if timing == nil {
+		t.Fatal("INV timing missing")
+	}
+	fall := timing.Find("cell_fall", "tpsta_template")
+	if fall == nil {
+		t.Fatal("cell_fall missing")
+	}
+	vals, err := fall.Floats("values")
+	if err != nil || len(vals) == 0 {
+		t.Fatalf("values: %v %v", vals, err)
+	}
+	arc := smallLib(t).LUT[charlib.LUTKey("INV", "A", true)]
+	// First emitted value = row slew[0], col load[0].
+	want0 := arc.Delay.Values[0][0] * 1e12
+	if math.Abs(vals[0]-want0) > 1e-3 {
+		t.Errorf("first table value %.4f, want %.4f", vals[0], want0)
+	}
+	// index axes round-trip too.
+	idx2, err := fall.Floats("index_2")
+	if err != nil || len(idx2) != len(arc.Delay.Loads) {
+		t.Fatalf("index_2: %v %v", idx2, err)
+	}
+	if math.Abs(idx2[0]-arc.Delay.Loads[0]*1e15) > 1e-4 {
+		t.Errorf("index_2[0] = %v", idx2[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"not a library", "cell (x) { }"},
+		{"unterminated group", "library (l) { cell (x) {"},
+		{"unterminated string", `library (l) { a : "x; }`},
+		{"unterminated comment", "library (l) { /* }"},
+		{"garbage member", "library (l) { cell x; }"},
+		{"eof", ""},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestGroupHelpers(t *testing.T) {
+	src := `library (l) {
+	  a : 1;
+	  nums (1, 2, 3);
+	  cell (x) { k : v; }
+	  cell (y) { }
+	}`
+	g, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Attr("a") != "1" || g.Attr("zz") != "" {
+		t.Error("Attr")
+	}
+	ns, err := g.Floats("nums")
+	if err != nil || len(ns) != 3 || ns[2] != 3 {
+		t.Errorf("Floats: %v %v", ns, err)
+	}
+	if _, err := g.Floats("zz"); err == nil {
+		t.Error("Floats of missing attr should fail")
+	}
+	if len(g.FindAll("cell")) != 2 {
+		t.Error("FindAll")
+	}
+	if g.Find("cell", "y") == nil || g.Find("cell", "q") != nil {
+		t.Error("Find")
+	}
+	if g.Find("cell", "x").Attr("k") != "v" {
+		t.Error("nested attr")
+	}
+}

@@ -1,0 +1,307 @@
+package liberty
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Group is one parsed Liberty group: `kind (args) { attrs... groups... }`.
+type Group struct {
+	Kind string
+	Args []string
+	// Attrs maps attribute name to its value tokens. Simple attributes
+	// (`a : v;`) store one value; parenthesized attributes
+	// (`a (v1, v2);`) store the argument list.
+	Attrs map[string][]string
+	// Groups holds nested groups in order.
+	Groups []*Group
+}
+
+// Find returns the first nested group of the kind whose first argument
+// matches arg ("" matches any).
+func (g *Group) Find(kind, arg string) *Group {
+	for _, sub := range g.Groups {
+		if sub.Kind != kind {
+			continue
+		}
+		if arg == "" || (len(sub.Args) > 0 && sub.Args[0] == arg) {
+			return sub
+		}
+	}
+	return nil
+}
+
+// FindAll returns all nested groups of the kind.
+func (g *Group) FindAll(kind string) []*Group {
+	var out []*Group
+	for _, sub := range g.Groups {
+		if sub.Kind == kind {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// Attr returns the single value of a simple attribute ("" if absent).
+func (g *Group) Attr(name string) string {
+	vs := g.Attrs[name]
+	if len(vs) == 0 {
+		return ""
+	}
+	return vs[0]
+}
+
+// Floats parses an attribute's values (possibly one quoted
+// comma-separated string) as floats.
+func (g *Group) Floats(name string) ([]float64, error) {
+	vs, ok := g.Attrs[name]
+	if !ok {
+		return nil, fmt.Errorf("liberty: missing attribute %s", name)
+	}
+	var out []float64
+	for _, v := range vs {
+		for _, f := range strings.Split(v, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			x, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("liberty: bad number %q in %s", f, name)
+			}
+			out = append(out, x)
+		}
+	}
+	return out, nil
+}
+
+// Parse reads a Liberty file and returns its top-level library group.
+func Parse(r io.Reader) (*Group, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	lx := &libLexer{src: string(src), line: 1}
+	toks, err := lx.run()
+	if err != nil {
+		return nil, err
+	}
+	p := &libParser{toks: toks}
+	g, err := p.group()
+	if err != nil {
+		return nil, err
+	}
+	if g.Kind != "library" {
+		return nil, fmt.Errorf("liberty: top-level group is %q, want library", g.Kind)
+	}
+	return g, nil
+}
+
+type libToken struct {
+	text string
+	str  bool // was a quoted string
+	line int
+}
+
+type libLexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (l *libLexer) run() ([]libToken, error) {
+	var toks []libToken
+	n := len(l.src)
+	for l.pos < n {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r' || c == '\\':
+			l.pos++
+		case c == '/' && l.pos+1 < n && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < n && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= n {
+				return nil, fmt.Errorf("liberty: unterminated comment at line %d", l.line)
+			}
+			l.pos += 2
+		case c == '/' && l.pos+1 < n && l.src[l.pos+1] == '/':
+			for l.pos < n && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '"':
+			j := l.pos + 1
+			for j < n && l.src[j] != '"' {
+				if l.src[j] == '\n' {
+					l.line++
+				}
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("liberty: unterminated string at line %d", l.line)
+			}
+			toks = append(toks, libToken{l.src[l.pos+1 : j], true, l.line})
+			l.pos = j + 1
+		case strings.ContainsRune("(){}:;,", rune(c)):
+			toks = append(toks, libToken{string(c), false, l.line})
+			l.pos++
+		default:
+			j := l.pos
+			for j < n && !strings.ContainsRune("(){}:;,\" \t\r\n", rune(l.src[j])) {
+				j++
+			}
+			if j == l.pos {
+				return nil, fmt.Errorf("liberty: unexpected character %q at line %d", c, l.line)
+			}
+			toks = append(toks, libToken{l.src[l.pos:j], false, l.line})
+			l.pos = j
+		}
+	}
+	return toks, nil
+}
+
+type libParser struct {
+	toks []libToken
+	pos  int
+}
+
+func (p *libParser) peek() libToken {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return libToken{line: -1}
+}
+
+func (p *libParser) next() libToken {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *libParser) expect(text string) error {
+	t := p.next()
+	if t.text != text || t.str {
+		return fmt.Errorf("liberty: expected %q, got %q at line %d", text, t.text, t.line)
+	}
+	return nil
+}
+
+// group parses `kind (args) { body }`.
+func (p *libParser) group() (*Group, error) {
+	kind := p.next()
+	if kind.text == "" && kind.line == -1 {
+		return nil, fmt.Errorf("liberty: unexpected end of file")
+	}
+	return p.groupBody(kind.text)
+}
+
+// groupBody parses `(args) { body }` for a kind token the caller already
+// consumed.
+func (p *libParser) groupBody(kind string) (*Group, error) {
+	g := &Group{Kind: kind, Attrs: map[string][]string{}}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.next()
+		if t.text == ")" && !t.str {
+			break
+		}
+		if t.text == "," && !t.str {
+			continue
+		}
+		if t.line == -1 {
+			return nil, fmt.Errorf("liberty: unterminated argument list of %s", g.Kind)
+		}
+		g.Args = append(g.Args, t.text)
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch {
+		case t.line == -1:
+			return nil, fmt.Errorf("liberty: unterminated group %s", g.Kind)
+		case t.text == "}" && !t.str:
+			p.next()
+			// Optional trailing semicolon after a group.
+			if nt := p.peek(); nt.text == ";" && !nt.str {
+				p.next()
+			}
+			return g, nil
+		default:
+			if err := p.member(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// member parses one attribute or nested group inside a body.
+func (p *libParser) member(g *Group) error {
+	name := p.next()
+	sep := p.peek()
+	switch {
+	case sep.text == ":" && !sep.str:
+		p.next()
+		var vals []string
+		for {
+			v := p.next()
+			if v.line == -1 {
+				return fmt.Errorf("liberty: unterminated attribute %s", name.text)
+			}
+			if v.text == ";" && !v.str {
+				break
+			}
+			vals = append(vals, v.text)
+		}
+		g.Attrs[name.text] = vals
+		return nil
+	case sep.text == "(" && !sep.str:
+		// Either a parenthesized attribute `a (v...);` or a nested group
+		// `a (v...) { ... }`. Scan ahead for what follows ')'.
+		save := p.pos
+		p.next() // consume '('
+		var args []string
+		for {
+			t := p.next()
+			if t.line == -1 {
+				return fmt.Errorf("liberty: unterminated parenthesis after %s", name.text)
+			}
+			if t.text == ")" && !t.str {
+				break
+			}
+			if t.text == "," && !t.str {
+				continue
+			}
+			args = append(args, t.text)
+		}
+		nt := p.peek()
+		if nt.text == "{" && !nt.str {
+			p.pos = save
+			sub, err := p.groupBody(name.text)
+			if err != nil {
+				return err
+			}
+			g.Groups = append(g.Groups, sub)
+			return nil
+		}
+		if nt.text == ";" && !nt.str {
+			p.next()
+		}
+		g.Attrs[name.text] = args
+		return nil
+	default:
+		return fmt.Errorf("liberty: expected ':' or '(' after %q at line %d", name.text, name.line)
+	}
+}

@@ -1,0 +1,98 @@
+// Package lut implements the NLDM-style look-up-table delay model used by
+// the emulated commercial baseline tool: delay and output-slew tables
+// indexed by (output load, input transition time) with bilinear
+// interpolation inside the grid and clamped extrapolation outside it —
+// the interpolation error the paper contrasts against its analytical
+// polynomial model.
+package lut
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Table is one 2-D characterization table. Values[i][j] corresponds to
+// Loads[i] and Slews[j]. Axes must be strictly increasing.
+type Table struct {
+	// Loads is the output-capacitance axis in farads.
+	Loads []float64 `json:"loads"`
+	// Slews is the input-transition-time axis in seconds.
+	Slews []float64 `json:"slews"`
+	// Values holds the table body (seconds), row per load.
+	Values [][]float64 `json:"values"`
+}
+
+// New validates and wraps a table.
+func New(loads, slews []float64, values [][]float64) (*Table, error) {
+	t := &Table{Loads: loads, Slews: slews, Values: values}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Validate checks axis monotonicity and body shape.
+func (t *Table) Validate() error {
+	if len(t.Loads) < 2 || len(t.Slews) < 2 {
+		return errors.New("lut: axes need at least 2 points")
+	}
+	for i := 1; i < len(t.Loads); i++ {
+		if t.Loads[i] <= t.Loads[i-1] {
+			return fmt.Errorf("lut: load axis not increasing at %d", i)
+		}
+	}
+	for j := 1; j < len(t.Slews); j++ {
+		if t.Slews[j] <= t.Slews[j-1] {
+			return fmt.Errorf("lut: slew axis not increasing at %d", j)
+		}
+	}
+	if len(t.Values) != len(t.Loads) {
+		return fmt.Errorf("lut: %d value rows for %d loads", len(t.Values), len(t.Loads))
+	}
+	for i, row := range t.Values {
+		if len(row) != len(t.Slews) {
+			return fmt.Errorf("lut: row %d has %d values for %d slews", i, len(row), len(t.Slews))
+		}
+	}
+	return nil
+}
+
+// segment finds the interpolation cell index for v on axis: the largest i
+// with axis[i] <= v, clamped to [0, len-2], plus the normalized position
+// (clamped to [0,1] — NLDM-style bounded extrapolation).
+func segment(axis []float64, v float64) (int, float64) {
+	n := len(axis)
+	i := 0
+	for i < n-2 && v >= axis[i+1] {
+		i++
+	}
+	u := (v - axis[i]) / (axis[i+1] - axis[i])
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return i, u
+}
+
+// Lookup bilinearly interpolates the table at (load, slew). Queries
+// outside the characterized grid clamp to the border cell, mimicking the
+// bounded extrapolation of production LUT engines (and producing exactly
+// the kind of corner error the paper reports for the commercial tool).
+func (t *Table) Lookup(load, slew float64) float64 {
+	i, u := segment(t.Loads, load)
+	j, w := segment(t.Slews, slew)
+	v00 := t.Values[i][j]
+	v01 := t.Values[i][j+1]
+	v10 := t.Values[i+1][j]
+	v11 := t.Values[i+1][j+1]
+	return v00*(1-u)*(1-w) + v10*u*(1-w) + v01*(1-u)*w + v11*u*w
+}
+
+// Arc bundles the two tables of one timing arc: propagation delay and
+// output transition time.
+type Arc struct {
+	Delay *Table `json:"delay"`
+	Slew  *Table `json:"slew"`
+}

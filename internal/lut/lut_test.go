@@ -1,0 +1,121 @@
+package lut
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func table(t *testing.T) *Table {
+	t.Helper()
+	tb, err := New(
+		[]float64{1, 2, 4},
+		[]float64{10, 20},
+		[][]float64{
+			{100, 140},
+			{150, 190},
+			{250, 290},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		loads  []float64
+		slews  []float64
+		values [][]float64
+	}{
+		{"short load axis", []float64{1}, []float64{1, 2}, [][]float64{{1, 2}}},
+		{"non-increasing loads", []float64{2, 1}, []float64{1, 2}, [][]float64{{1, 2}, {3, 4}}},
+		{"non-increasing slews", []float64{1, 2}, []float64{2, 2}, [][]float64{{1, 2}, {3, 4}}},
+		{"row count", []float64{1, 2}, []float64{1, 2}, [][]float64{{1, 2}}},
+		{"row width", []float64{1, 2}, []float64{1, 2}, [][]float64{{1, 2}, {3}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.loads, c.slews, c.values); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestLookupAtGridPoints(t *testing.T) {
+	tb := table(t)
+	for i, load := range tb.Loads {
+		for j, slew := range tb.Slews {
+			if got := tb.Lookup(load, slew); math.Abs(got-tb.Values[i][j]) > 1e-12 {
+				t.Errorf("Lookup(%v,%v) = %v, want %v", load, slew, got, tb.Values[i][j])
+			}
+		}
+	}
+}
+
+func TestLookupBilinear(t *testing.T) {
+	tb := table(t)
+	// Midpoint of the (1..2)×(10..20) cell.
+	want := (100 + 140 + 150 + 190) / 4.0
+	if got := tb.Lookup(1.5, 15); math.Abs(got-want) > 1e-12 {
+		t.Errorf("bilinear midpoint = %v, want %v", got, want)
+	}
+	// Axis-aligned interpolation between loads 2 and 4 at slew 10.
+	if got := tb.Lookup(3, 10); math.Abs(got-200) > 1e-12 {
+		t.Errorf("load interpolation = %v, want 200", got)
+	}
+}
+
+func TestLookupClampsOutsideGrid(t *testing.T) {
+	tb := table(t)
+	if got := tb.Lookup(0.1, 5); got != 100 {
+		t.Errorf("below-grid lookup = %v, want clamp to 100", got)
+	}
+	if got := tb.Lookup(100, 100); got != 290 {
+		t.Errorf("above-grid lookup = %v, want clamp to 290", got)
+	}
+	if got := tb.Lookup(0.5, 15); got != 120 {
+		t.Errorf("mixed clamp = %v, want 120", got)
+	}
+}
+
+// TestPropertyLookupWithinCellBounds: interpolated values never leave the
+// convex hull of the surrounding cell corners, and lookup is monotone for
+// a monotone table.
+func TestPropertyLookupWithinCellBounds(t *testing.T) {
+	tb := &Table{
+		Loads: []float64{1, 2, 4, 8},
+		Slews: []float64{5, 10, 20, 40},
+		Values: [][]float64{
+			{10, 12, 16, 22},
+			{14, 17, 22, 30},
+			{22, 26, 33, 44},
+			{38, 44, 55, 70},
+		},
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := func(lu, su uint16) bool {
+		load := 1 + float64(lu)/65535*7
+		slew := 5 + float64(su)/65535*35
+		v := tb.Lookup(load, slew)
+		if v < 10 || v > 70 {
+			return false
+		}
+		// Monotonicity in both axes.
+		return tb.Lookup(load+0.5, slew) >= v-1e-12 && tb.Lookup(load, slew+1) >= v-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArcShape(t *testing.T) {
+	tb := table(t)
+	arc := Arc{Delay: tb, Slew: tb}
+	if arc.Delay.Lookup(1, 10) != 100 || arc.Slew.Lookup(4, 20) != 290 {
+		t.Error("Arc field plumbing broken")
+	}
+}

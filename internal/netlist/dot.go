@@ -1,0 +1,74 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot emits the circuit as a Graphviz digraph. Nets on the highlight
+// list (e.g. a critical path's nodes) are drawn bold red, as are the
+// edges between consecutive highlighted nets — `dot -Tsvg` renders a
+// critical-path overlay.
+func WriteDot(w io.Writer, c *Circuit, highlight []string) error {
+	hl := make(map[string]bool, len(highlight))
+	for _, n := range highlight {
+		hl[n] = true
+	}
+	onPath := func(a, b string) bool {
+		if !hl[a] || !hl[b] {
+			return false
+		}
+		// consecutive on the given sequence
+		for i := 0; i+1 < len(highlight); i++ {
+			if highlight[i] == a && highlight[i+1] == b {
+				return true
+			}
+		}
+		return false
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n", sanitizeVerilogName(c.Name))
+	fmt.Fprintf(bw, "  rankdir=LR;\n  node [fontsize=10];\n")
+	for _, n := range c.Inputs {
+		attr := "shape=triangle"
+		if hl[n.Name] {
+			attr += ", color=red, penwidth=2"
+		}
+		fmt.Fprintf(bw, "  %q [%s];\n", n.Name, attr)
+	}
+	topo, err := c.TopoGates()
+	if err != nil {
+		return err
+	}
+	for _, g := range topo {
+		label := fmt.Sprintf("%s\\n%s", dotEscape(g.Cell.Name), dotEscape(g.Out.Name))
+		attr := fmt.Sprintf("shape=box, label=\"%s\"", label)
+		if hl[g.Out.Name] {
+			attr += ", color=red, penwidth=2"
+		}
+		if g.Out.IsOutput {
+			attr += ", peripheries=2"
+		}
+		fmt.Fprintf(bw, "  %q [%s];\n", "g_"+g.Out.Name, attr)
+		for _, pin := range g.Cell.Inputs {
+			src := g.Fanin[pin]
+			from := src.Name
+			if src.Driver != nil {
+				from = "g_" + src.Name
+			}
+			eattr := fmt.Sprintf("label=%q, fontsize=8", pin)
+			if onPath(src.Name, g.Out.Name) {
+				eattr += ", color=red, penwidth=2"
+			}
+			fmt.Fprintf(bw, "  %q -> %q [%s];\n", from, "g_"+g.Out.Name, eattr)
+		}
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+// dotEscape protects label content (node names are quoted with %q).
+func dotEscape(s string) string { return strings.ReplaceAll(s, `"`, `\"`) }

@@ -1,0 +1,352 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"tpsta/internal/cell"
+)
+
+// ParseVerilog reads a structural gate-level Verilog module — the flavor
+// synthesis tools emit — instantiating cells of the built-in library:
+//
+//	module top (a, b, z);
+//	  input a, b;
+//	  output z;
+//	  wire n1;
+//	  NAND2 u1 (.A(a), .B(b), .Z(n1));
+//	  INV   u2 (.A(n1), .Z(z));
+//	endmodule
+//
+// Supported subset: one module; `input`, `output`, `wire` declarations
+// (comma lists, multiple statements); named-port instantiations of
+// library cells with output pin Z; `//` line and `/* */` block comments.
+// Positional port lists, buses, assigns and behavioural constructs are
+// rejected with an error naming the line.
+func ParseVerilog(name string, r io.Reader) (*Circuit, error) {
+	src, err := io.ReadAll(bufio.NewReader(r))
+	if err != nil {
+		return nil, err
+	}
+	toks, err := lexVerilog(string(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &vparser{toks: toks, name: name}
+	return p.parse()
+}
+
+// vtoken is one Verilog token.
+type vtoken struct {
+	text string
+	line int
+}
+
+// lexVerilog splits the source into identifiers, punctuation and
+// keywords, dropping comments.
+func lexVerilog(src string) ([]vtoken, error) {
+	var toks []vtoken
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= n {
+				return nil, fmt.Errorf("verilog: unterminated block comment at line %d", line)
+			}
+			i += 2
+		case strings.ContainsRune("();,.", rune(c)):
+			toks = append(toks, vtoken{string(c), line})
+			i++
+		case isVerilogIdentChar(c):
+			j := i
+			for j < n && isVerilogIdentChar(src[j]) {
+				j++
+			}
+			toks = append(toks, vtoken{src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("verilog: unexpected character %q at line %d", c, line)
+		}
+	}
+	return toks, nil
+}
+
+func isVerilogIdentChar(c byte) bool {
+	return c == '_' || c == '$' || c == '\\' || c == '[' || c == ']' ||
+		(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// vparser is a recursive-descent parser over the token stream.
+type vparser struct {
+	toks []vtoken
+	pos  int
+	name string
+}
+
+func (p *vparser) peek() vtoken {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return vtoken{"", -1}
+}
+
+func (p *vparser) next() vtoken {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *vparser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return fmt.Errorf("verilog: expected %q, got %q at line %d", text, t.text, t.line)
+	}
+	return nil
+}
+
+// identList parses "a, b, c ;" returning the names.
+func (p *vparser) identList() ([]string, error) {
+	var names []string
+	for {
+		t := p.next()
+		if t.text == "" {
+			return nil, fmt.Errorf("verilog: unexpected end of file in declaration")
+		}
+		names = append(names, t.text)
+		sep := p.next()
+		switch sep.text {
+		case ",":
+			continue
+		case ";":
+			return names, nil
+		default:
+			return nil, fmt.Errorf("verilog: expected ',' or ';' after %q at line %d", t.text, sep.line)
+		}
+	}
+}
+
+func (p *vparser) parse() (*Circuit, error) {
+	lib := cell.Default()
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	modName := p.next()
+	if modName.text == "" {
+		return nil, fmt.Errorf("verilog: missing module name")
+	}
+	// Port header: either "(a, b, c);" or just ";".
+	switch t := p.next(); t.text {
+	case "(":
+		for {
+			tt := p.next()
+			if tt.text == ")" {
+				break
+			}
+			if tt.text == "," || tt.text == "input" || tt.text == "output" || tt.text == "wire" {
+				continue // tolerate ANSI-style headers loosely
+			}
+			if tt.text == "" {
+				return nil, fmt.Errorf("verilog: unterminated port list")
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	case ";":
+	default:
+		return nil, fmt.Errorf("verilog: expected port list or ';' at line %d", t.line)
+	}
+
+	c := New(p.name)
+	type inst struct {
+		cellName, instName string
+		conns              map[string]string
+		line               int
+	}
+	var insts []inst
+	var outputs []string
+
+	for {
+		t := p.next()
+		switch t.text {
+		case "":
+			return nil, fmt.Errorf("verilog: missing endmodule")
+		case "endmodule":
+			goto build
+		case "input":
+			names, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			for _, nname := range names {
+				if _, err := c.AddInput(nname); err != nil {
+					return nil, err
+				}
+			}
+		case "output":
+			names, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, names...)
+		case "wire":
+			if _, err := p.identList(); err != nil {
+				return nil, err
+			}
+		case "assign", "always", "reg", "initial":
+			return nil, fmt.Errorf("verilog: behavioural construct %q at line %d not supported (structural netlists only)", t.text, t.line)
+		default:
+			// Cell instantiation: CELL inst ( .PIN(net), ... ) ;
+			if _, err := lib.Get(t.text); err != nil {
+				return nil, fmt.Errorf("verilog: unknown cell %q at line %d", t.text, t.line)
+			}
+			instName := p.next()
+			if instName.text == "" || instName.text == "(" {
+				return nil, fmt.Errorf("verilog: missing instance name at line %d", t.line)
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			conns := map[string]string{}
+			for {
+				tt := p.next()
+				if tt.text == ")" {
+					break
+				}
+				if tt.text == "," {
+					continue
+				}
+				if tt.text != "." {
+					return nil, fmt.Errorf("verilog: only named port connections supported (line %d)", tt.line)
+				}
+				pin := p.next()
+				if err := p.expect("("); err != nil {
+					return nil, err
+				}
+				net := p.next()
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				if _, dup := conns[pin.text]; dup {
+					return nil, fmt.Errorf("verilog: duplicate connection to pin %s at line %d", pin.text, pin.line)
+				}
+				conns[pin.text] = net.text
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			insts = append(insts, inst{t.text, instName.text, conns, t.line})
+		}
+	}
+
+build:
+	for _, in := range insts {
+		out, ok := in.conns[cell.Output]
+		if !ok {
+			return nil, fmt.Errorf("verilog: instance %s (line %d) has no %s connection", in.instName, in.line, cell.Output)
+		}
+		pins := map[string]string{}
+		for pin, net := range in.conns {
+			if pin == cell.Output {
+				continue
+			}
+			pins[pin] = net
+		}
+		if _, err := c.AddGate(lib, in.cellName, out, pins); err != nil {
+			return nil, fmt.Errorf("verilog: instance %s (line %d): %w", in.instName, in.line, err)
+		}
+	}
+	for _, o := range outputs {
+		c.MarkOutput(o)
+	}
+	if err := c.Check(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// WriteVerilog emits the circuit as a structural Verilog module that
+// ParseVerilog accepts.
+func WriteVerilog(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	var ports []string
+	for _, in := range c.Inputs {
+		ports = append(ports, in.Name)
+	}
+	for _, out := range c.Outputs {
+		ports = append(ports, out.Name)
+	}
+	fmt.Fprintf(bw, "module %s (%s);\n", sanitizeVerilogName(c.Name), strings.Join(ports, ", "))
+	names := func(nodes []*Node) []string {
+		out := make([]string, len(nodes))
+		for i, n := range nodes {
+			out[i] = n.Name
+		}
+		return out
+	}
+	fmt.Fprintf(bw, "  input %s;\n", strings.Join(names(c.Inputs), ", "))
+	fmt.Fprintf(bw, "  output %s;\n", strings.Join(names(c.Outputs), ", "))
+	var wires []string
+	for _, n := range c.Nodes {
+		if n.Driver != nil && !n.IsOutput {
+			wires = append(wires, n.Name)
+		}
+	}
+	sort.Strings(wires)
+	if len(wires) > 0 {
+		fmt.Fprintf(bw, "  wire %s;\n", strings.Join(wires, ", "))
+	}
+	topo, err := c.TopoGates()
+	if err != nil {
+		return err
+	}
+	for i, g := range topo {
+		var conns []string
+		for _, pin := range g.Cell.Inputs {
+			conns = append(conns, fmt.Sprintf(".%s(%s)", pin, g.Fanin[pin].Name))
+		}
+		conns = append(conns, fmt.Sprintf(".%s(%s)", cell.Output, g.Out.Name))
+		fmt.Fprintf(bw, "  %s u%d (%s);\n", g.Cell.Name, i+1, strings.Join(conns, ", "))
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+func sanitizeVerilogName(s string) string {
+	if s == "" {
+		return "top"
+	}
+	out := []rune(s)
+	for i, r := range out {
+		ok := r == '_' || (r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !ok {
+			out[i] = '_'
+		}
+	}
+	if out[0] >= '0' && out[0] <= '9' {
+		return "m_" + string(out)
+	}
+	return string(out)
+}

@@ -1,0 +1,142 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/charlib"
+	"tpsta/internal/circuits"
+	"tpsta/internal/tech"
+)
+
+var (
+	cachedLib *charlib.Library
+	cachedTc  *tech.Tech
+)
+
+func setup(t testing.TB) (*tech.Tech, *charlib.Library) {
+	t.Helper()
+	if cachedLib == nil {
+		tc, err := tech.ByName("130nm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedTc = tc
+		l, err := charlib.Characterize(tc, cell.Default(), charlib.TestGrid(), charlib.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedLib = l
+	}
+	return cachedTc, cachedLib
+}
+
+func TestEstimateC17(t *testing.T) {
+	tc, lib := setup(t)
+	cir, err := circuits.Get("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Estimate(cir, tc, lib, Options{Vectors: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total <= 0 {
+		t.Fatal("no power estimated")
+	}
+	if rep.Vectors != 300 {
+		t.Errorf("vectors %d", rep.Vectors)
+	}
+	// Plausible magnitude: a 6-gate 130nm circuit at 100 MHz switches
+	// nano- to micro-watts.
+	if rep.Total < 1e-9 || rep.Total > 1e-4 {
+		t.Errorf("total power %g W implausible", rep.Total)
+	}
+	// Per-net data consistent and sorted.
+	for i, na := range rep.ByNet {
+		if na.Toggles <= 0 || na.Cap <= 0 || na.Power <= 0 {
+			t.Errorf("net %s: %+v", na.Net, na)
+		}
+		if na.Glitches > na.Toggles {
+			t.Errorf("net %s: more glitches than toggles", na.Net)
+		}
+		if math.Abs(na.Activity-float64(na.Toggles)/300) > 1e-12 {
+			t.Errorf("net %s activity inconsistent", na.Net)
+		}
+		if i > 0 && rep.ByNet[i-1].Power < na.Power {
+			t.Error("not sorted by power")
+		}
+	}
+	if rep.GlitchFraction < 0 || rep.GlitchFraction > 1 {
+		t.Errorf("glitch fraction %g", rep.GlitchFraction)
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	tc, lib := setup(t)
+	cir, _ := circuits.Get("c17")
+	r1, err := Estimate(cir, tc, lib, Options{Vectors: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Estimate(cir, tc, lib, Options{Vectors: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Total != r2.Total {
+		t.Error("same seed should reproduce")
+	}
+	r3, err := Estimate(cir, tc, lib, Options{Vectors: 100, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Total == r3.Total {
+		t.Error("different seed should differ")
+	}
+}
+
+func TestPowerScalesWithFrequencyAndVdd(t *testing.T) {
+	tc, lib := setup(t)
+	cir, _ := circuits.Get("c17")
+	base, err := Estimate(cir, tc, lib, Options{Vectors: 100, Seed: 3, Frequency: 100e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	double, err := Estimate(cir, tc, lib, Options{Vectors: 100, Seed: 3, Frequency: 200e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(double.Total-2*base.Total)/base.Total > 1e-9 {
+		t.Errorf("power should scale linearly with f: %g vs %g", double.Total, base.Total)
+	}
+	// CV²: +10% VDD → +21% power (same activity; delays change but the
+	// toggle pattern for this circuit stays identical in count terms...
+	// allow the activity to shift slightly).
+	hv, err := Estimate(cir, tc, lib, Options{Vectors: 100, Seed: 3, VDD: 1.1 * tc.VDD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := hv.Total / base.Total
+	if ratio < 1.1 || ratio > 1.35 {
+		t.Errorf("VDD scaling ratio %g, want ≈1.21", ratio)
+	}
+}
+
+// TestGlitchesObserved: an XOR-tree circuit with unbalanced arrival times
+// must produce hazard activity that zero-delay simulation would miss.
+func TestGlitchesObserved(t *testing.T) {
+	tc, lib := setup(t)
+	cir, err := circuits.Get("c499")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Estimate(cir, tc, lib, Options{Vectors: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GlitchFraction <= 0 {
+		t.Error("expected glitch activity in the XOR trees")
+	}
+	t.Logf("c499: total %.2f µW, glitch fraction %.1f%%", rep.Total*1e6, rep.GlitchFraction*100)
+}

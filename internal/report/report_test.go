@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Demo", "name", "value", "pct")
+	tb.Row("alpha", 1234.5678, Pct(0.123))
+	tb.Row("b", 3.14159, Pct(0.5))
+	tb.Note("note %d", 1)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "1235") {
+		t.Errorf("float formatting: %s", out)
+	}
+	if !strings.Contains(out, "12.3%") || !strings.Contains(out, "50.0%") {
+		t.Errorf("pct formatting: %s", out)
+	}
+	if !strings.Contains(out, "note 1") {
+		t.Errorf("note missing: %s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Header, separator, 2 rows, note, blank.
+	if len(lines) < 6 {
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: "value" column starts at the same offset in both
+	// data rows.
+	var rowLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "alpha") || strings.HasPrefix(l, "b ") {
+			rowLines = append(rowLines, l)
+		}
+	}
+	if len(rowLines) != 2 {
+		t.Fatalf("row lines: %v", rowLines)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if Ps(1.5e-10) != "150.00" {
+		t.Errorf("Ps = %s", Ps(1.5e-10))
+	}
+	if got := formatFloat(0.0); got != "0" {
+		t.Errorf("formatFloat(0) = %s", got)
+	}
+	if got := formatFloat(12.345); got != "12.3" {
+		t.Errorf("formatFloat(12.345) = %s", got)
+	}
+	if got := formatFloat(1.23456); got != "1.23" {
+		t.Errorf("formatFloat(1.23456) = %s", got)
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	tb := New("", "path", "n")
+	tb.Row("a→b→c", 1)
+	out := tb.String()
+	if !strings.Contains(out, "a→b→c") {
+		t.Errorf("unicode cell mangled: %s", out)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("empty", "a", "b")
+	out := tb.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "empty") {
+		t.Errorf("empty table render: %q", out)
+	}
+}

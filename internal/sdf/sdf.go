@@ -1,0 +1,135 @@
+// Package sdf writes Standard Delay Format (SDF 3.0) annotations for a
+// circuit from the characterized polynomial library. Each gate gets one
+// IOPATH entry per input pin with (min:typ:max) triples for the rising
+// and falling output edges, where — and this is the paper's observation
+// exported into a standard format — the spread comes from the
+// sensitization vectors: min and max are the extreme per-vector delays,
+// typ is the default (Case 1) vector's. A vector-blind consumer reading
+// only typ commits exactly the error the paper measures.
+package sdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"tpsta/internal/charlib"
+	"tpsta/internal/netlist"
+	"tpsta/internal/tech"
+)
+
+// Options tune the annotation.
+type Options struct {
+	// InputSlew used for every arc query (default 40 ps). SDF carries no
+	// slew dependence; production flows pick a representative point.
+	InputSlew float64
+	// Temp and VDD select the operating point (defaults 25 °C, nominal).
+	Temp, VDD float64
+}
+
+// Write emits the SDF file.
+func Write(w io.Writer, c *netlist.Circuit, tc *tech.Tech, lib *charlib.Library, opts Options) error {
+	if opts.InputSlew <= 0 {
+		opts.InputSlew = 40e-12
+	}
+	if opts.Temp == 0 {
+		opts.Temp = 25
+	}
+	if opts.VDD == 0 {
+		opts.VDD = tc.VDD
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "(DELAYFILE\n")
+	fmt.Fprintf(bw, "  (SDFVERSION \"3.0\")\n")
+	fmt.Fprintf(bw, "  (DESIGN \"%s\")\n", c.Name)
+	fmt.Fprintf(bw, "  (PROCESS \"%s\")\n", tc.Name)
+	fmt.Fprintf(bw, "  (VOLTAGE %.2f:%.2f:%.2f)\n", opts.VDD, opts.VDD, opts.VDD)
+	fmt.Fprintf(bw, "  (TEMPERATURE %.1f:%.1f:%.1f)\n", opts.Temp, opts.Temp, opts.Temp)
+	fmt.Fprintf(bw, "  (TIMESCALE 1ps)\n")
+
+	topo, err := c.TopoGates()
+	if err != nil {
+		return err
+	}
+	for _, g := range topo {
+		load := c.LoadCap(g.Out, tc)
+		fo, err := lib.Fo(g.Cell.Name, load)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, "  (CELL\n")
+		fmt.Fprintf(bw, "    (CELLTYPE \"%s\")\n", g.Cell.Name)
+		fmt.Fprintf(bw, "    (INSTANCE %s)\n", g.Name)
+		fmt.Fprintf(bw, "    (DELAY (ABSOLUTE\n")
+		for _, pin := range g.Cell.Inputs {
+			rise, fall, err := arcTriples(lib, g, pin, fo, opts)
+			if err != nil {
+				return err
+			}
+			if rise == "" && fall == "" {
+				continue // untestable arc
+			}
+			fmt.Fprintf(bw, "      (IOPATH %s Z %s %s)\n", pin, orNone(rise), orNone(fall))
+		}
+		fmt.Fprintf(bw, "    ))\n")
+		fmt.Fprintf(bw, "  )\n")
+	}
+	fmt.Fprintf(bw, ")\n")
+	return bw.Flush()
+}
+
+func orNone(t string) string {
+	if t == "" {
+		return "()"
+	}
+	return t
+}
+
+// arcTriples builds the (min:typ:max) strings for rising and falling
+// OUTPUT edges of one (gate, pin) arc across its sensitization vectors.
+func arcTriples(lib *charlib.Library, g *netlist.Gate, pin string, fo float64, opts Options) (string, string, error) {
+	type acc struct {
+		min, typ, max float64
+		any           bool
+	}
+	var rise, fall acc
+	add := func(a *acc, d float64, isTyp bool) {
+		if !a.any {
+			a.min, a.max = d, d
+			a.any = true
+		}
+		if d < a.min {
+			a.min = d
+		}
+		if d > a.max {
+			a.max = d
+		}
+		if isTyp || a.typ == 0 {
+			a.typ = d
+		}
+	}
+	for _, vec := range g.Cell.Vectors(pin) {
+		for _, inRising := range []bool{true, false} {
+			outRising, ok := g.Cell.OutputEdge(vec, inRising)
+			if !ok {
+				continue
+			}
+			d, _, err := lib.GateDelay(g.Cell.Name, pin, vec.Key(), inRising, fo, opts.InputSlew, opts.Temp, opts.VDD)
+			if err != nil {
+				return "", "", err
+			}
+			if outRising {
+				add(&rise, d, vec.Case == 1)
+			} else {
+				add(&fall, d, vec.Case == 1)
+			}
+		}
+	}
+	fmtTriple := func(a acc) string {
+		if !a.any {
+			return ""
+		}
+		return fmt.Sprintf("(%.3f:%.3f:%.3f)", a.min*1e12, a.typ*1e12, a.max*1e12)
+	}
+	return fmtTriple(rise), fmtTriple(fall), nil
+}

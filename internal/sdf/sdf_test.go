@@ -1,0 +1,118 @@
+package sdf
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/charlib"
+	"tpsta/internal/circuits"
+	"tpsta/internal/tech"
+)
+
+var cachedLib *charlib.Library
+
+func lib130(t *testing.T) (*tech.Tech, *charlib.Library) {
+	t.Helper()
+	tc, err := tech.ByName("130nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cachedLib == nil {
+		l, err := charlib.Characterize(tc, cell.Default(), charlib.TestGrid(), charlib.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedLib = l
+	}
+	return tc, cachedLib
+}
+
+func writeFor(t *testing.T, circuitName string) string {
+	t.Helper()
+	tc, lib := lib130(t)
+	cir, err := circuits.Get(circuitName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, cir, tc, lib, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestWriteC17Structure(t *testing.T) {
+	out := writeFor(t, "c17")
+	for _, want := range []string{
+		"(DELAYFILE", "(SDFVERSION \"3.0\")", "(DESIGN \"c17\")",
+		"(TIMESCALE 1ps)", "(CELLTYPE \"NAND2\")", "(IOPATH A Z",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Balanced parentheses.
+	depth := 0
+	for _, r := range out {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		}
+		if depth < 0 {
+			t.Fatal("unbalanced parentheses")
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("parenthesis depth %d at EOF", depth)
+	}
+	// 6 gates → 6 CELL entries.
+	if got := strings.Count(out, "(CELLTYPE"); got != 6 {
+		t.Errorf("%d cells, want 6", got)
+	}
+	// c17's NAND2 arcs: every IOPATH line has exactly one triple per edge
+	// present; NAND2 is negative-unate so both edges exist.
+	if got := strings.Count(out, "(IOPATH"); got != 12 {
+		t.Errorf("%d IOPATH entries, want 12 (2 pins × 6 gates)", got)
+	}
+}
+
+var tripleRe = regexp.MustCompile(`\((\d+\.\d+):(\d+\.\d+):(\d+\.\d+)\)`)
+
+func TestTriplesOrderedAndVectorSpread(t *testing.T) {
+	out := writeFor(t, "fig4")
+	ms := tripleRe.FindAllStringSubmatch(out, -1)
+	if len(ms) == 0 {
+		t.Fatal("no triples found")
+	}
+	sawSpread := false
+	for _, m := range ms {
+		min, _ := strconv.ParseFloat(m[1], 64)
+		typ, _ := strconv.ParseFloat(m[2], 64)
+		max, _ := strconv.ParseFloat(m[3], 64)
+		if !(min <= typ && typ <= max) {
+			t.Errorf("triple out of order: %s", m[0])
+		}
+		if max > min*1.001 {
+			sawSpread = true
+		}
+	}
+	// fig4 contains an AO22: at least one arc must show a real
+	// vector-dependent spread.
+	if !sawSpread {
+		t.Error("no vector-dependent min/max spread found in fig4 annotations")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	a := writeFor(t, "c17")
+	b := writeFor(t, "c17")
+	if a != b {
+		t.Error("SDF output not deterministic")
+	}
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/circuits"
+	"tpsta/internal/logic"
+	"tpsta/internal/netlist"
+)
+
+func c17(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c, err := circuits.Get("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestVerifyC17TruePath(t *testing.T) {
+	c := c17(t)
+	// Path 3 → 11 → 16 → 22. Sensitize: gate 11=NAND(3,6): need 6=1;
+	// gate 16=NAND(2,11): need 2=1; gate 22=NAND(10,16): need 10=1.
+	// 10=NAND(1,3): with 3 transitioning, 10 holds 1 when 1=0.
+	cube := InputCube{"1": logic.T0, "2": logic.T1, "6": logic.T1, "7": logic.TX}
+	if err := Verify(c, []string{"3", "11", "16", "22"}, "3", true, cube); err != nil {
+		t.Errorf("true path rejected: %v", err)
+	}
+	// Falling start works as well (dual transition).
+	if err := Verify(c, []string{"3", "11", "16", "22"}, "3", false, cube); err != nil {
+		t.Errorf("falling true path rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsBlockedPath(t *testing.T) {
+	c := c17(t)
+	// With 6=0, NAND(3,6) holds 1: the transition on 3 is blocked at 11.
+	cube := InputCube{"1": logic.T0, "2": logic.T1, "6": logic.T0}
+	err := Verify(c, []string{"3", "11", "16", "22"}, "3", true, cube)
+	if err == nil || !strings.Contains(err.Error(), "11") {
+		t.Errorf("blocked path accepted or wrong node blamed: %v", err)
+	}
+	// With 1=1 and 3 transitioning, node 10 also transitions; but with
+	// 2=0, 16 is blocked.
+	cube2 := InputCube{"1": logic.T0, "2": logic.T0, "6": logic.T1}
+	if err := Verify(c, []string{"3", "11", "16", "22"}, "3", true, cube2); err == nil {
+		t.Error("blocked path accepted")
+	}
+}
+
+func TestVerifyStructuralErrors(t *testing.T) {
+	c := c17(t)
+	cube := InputCube{"1": logic.T0, "2": logic.T1, "6": logic.T1}
+	if err := Verify(c, []string{"3"}, "3", true, cube); err == nil {
+		t.Error("short path accepted")
+	}
+	if err := Verify(c, []string{"2", "11", "16", "22"}, "3", true, cube); err == nil {
+		t.Error("mismatched start accepted")
+	}
+	if err := Verify(c, []string{"3", "16", "22"}, "3", true, cube); err == nil {
+		t.Error("non-adjacent hop accepted")
+	}
+	if err := Verify(c, []string{"3", "11", "16"}, "3", true, cube); err == nil {
+		t.Error("path not ending at output accepted")
+	}
+	if err := Verify(c, []string{"3", "11", "nope"}, "3", true, cube); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := Verify(c, []string{"10", "22"}, "10", true, cube); err == nil {
+		t.Error("non-input start accepted")
+	}
+}
+
+func TestVerifyWithUndeterminedSideInputs(t *testing.T) {
+	// fig4 easy vector leaves N7 fully undetermined; Verify must still
+	// prove the critical path.
+	c, err := circuits.Get("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube := InputCube{
+		"N2": logic.T1, "N3": logic.T1, "N4": logic.T1,
+		"N5": logic.T1, "N6": logic.T0, "N7": logic.TX,
+	}
+	if err := Verify(c, circuits.Fig4CriticalPath(), "N1", false, cube); err != nil {
+		t.Errorf("fig4 easy vector rejected: %v", err)
+	}
+	// Hard vector: N6=1 requires N7=0.
+	hard := InputCube{
+		"N2": logic.T1, "N3": logic.T1, "N4": logic.T1,
+		"N5": logic.T1, "N6": logic.T1, "N7": logic.T0,
+	}
+	if err := Verify(c, circuits.Fig4CriticalPath(), "N1", false, hard); err != nil {
+		t.Errorf("fig4 hard vector rejected: %v", err)
+	}
+	// N6=1 with N7=1 blocks the gate (D=1 and C=1 → CD=1).
+	bad := InputCube{
+		"N2": logic.T1, "N3": logic.T1, "N4": logic.T1,
+		"N5": logic.T1, "N6": logic.T1, "N7": logic.T1,
+	}
+	if err := Verify(c, circuits.Fig4CriticalPath(), "N1", false, bad); err == nil {
+		t.Error("blocked fig4 vector accepted")
+	}
+}
+
+func TestTimedSimUnitDelays(t *testing.T) {
+	c := c17(t)
+	cube := InputCube{"1": logic.T0, "2": logic.T1, "6": logic.T1, "7": logic.T0}
+	res, err := TimedSim(c, "3", true, cube, UnitDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 at t=0; 11 at 1; 16 at 2; 22 at 3. Node 10 = NAND(1=0,3) stays 1.
+	wants := map[string]float64{"3": 0, "11": 1, "16": 2, "22": 3}
+	for net, want := range wants {
+		got, ok := res.Arrival[net]
+		if !ok || math.Abs(got-want) > 1e-12 {
+			t.Errorf("arrival[%s] = %v (ok=%v), want %v", net, got, ok, want)
+		}
+	}
+	if _, switched := res.Arrival["10"]; switched {
+		t.Error("node 10 should not switch")
+	}
+	// Events are time-ordered.
+	for i := 1; i < len(res.Events); i++ {
+		if res.Events[i].Time < res.Events[i-1].Time {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestTimedSimCustomDelayAndDirections(t *testing.T) {
+	c := c17(t)
+	cube := InputCube{"1": logic.T0, "2": logic.T1, "6": logic.T1, "7": logic.T0}
+	// Falling transitions cost 2, rising cost 1 (measured at the output
+	// edge).
+	delay := func(g *netlist.Gate, pin string, inR, outR bool) float64 {
+		if outR {
+			return 1
+		}
+		return 2
+	}
+	res, err := TimedSim(c, "3", true, cube, delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 rises → 11 falls (2) → 16 rises (+1=3) → 22 falls (+2=5).
+	if got := res.Arrival["22"]; math.Abs(got-5) > 1e-12 {
+		t.Errorf("arrival[22] = %v, want 5", got)
+	}
+	// Edge directions recorded.
+	for _, e := range res.Events {
+		switch e.Net {
+		case "11":
+			if e.Rising {
+				t.Error("11 should fall")
+			}
+		case "16":
+			if !e.Rising {
+				t.Error("16 should rise")
+			}
+		}
+	}
+}
+
+func TestTimedSimErrors(t *testing.T) {
+	c := c17(t)
+	cube := InputCube{"1": logic.T0, "2": logic.T1, "6": logic.T1, "7": logic.T0}
+	if _, err := TimedSim(c, "16", true, cube, UnitDelay); err == nil {
+		t.Error("non-input start accepted")
+	}
+	zero := func(*netlist.Gate, string, bool, bool) float64 { return 0 }
+	if _, err := TimedSim(c, "3", true, cube, zero); err == nil {
+		t.Error("zero delay accepted")
+	}
+}
+
+func TestTimedSimReconvergence(t *testing.T) {
+	// A reconvergent pair: z = NAND(NAND(a,b), NAND(a,c)); a transition
+	// on a can reach z along two routes. With b=c=1 both inner gates
+	// switch; the timed sim must settle z at a single final value equal
+	// to the functional result.
+	c := netlist.New("reconv")
+	for _, in := range []string{"a", "b", "cc"} {
+		if _, err := c.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGate(t, c, "NAND2", "p", map[string]string{"A": "a", "B": "b"})
+	mustGate(t, c, "NAND2", "q", map[string]string{"A": "a", "B": "cc"})
+	mustGate(t, c, "NAND2", "z", map[string]string{"A": "p", "B": "q"})
+	c.MarkOutput("z")
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	cube := InputCube{"b": logic.T1, "cc": logic.T1}
+	res, err := TimedSim(c, "a", true, cube, UnitDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: 0→1 ⇒ p,q: 1→0 ⇒ z: 0→1.
+	if _, ok := res.Arrival["z"]; !ok {
+		t.Fatal("z never switched")
+	}
+	var last Event
+	for _, e := range res.Events {
+		if e.Net == "z" {
+			last = e
+		}
+	}
+	if !last.Rising {
+		t.Error("z should end high")
+	}
+}
+
+func mustGate(t *testing.T, c *netlist.Circuit, cellName, out string, pins map[string]string) {
+	t.Helper()
+	if _, err := c.AddGate(cell.Default(), cellName, out, pins); err != nil {
+		t.Fatal(err)
+	}
+}

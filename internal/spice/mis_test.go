@@ -1,0 +1,127 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"tpsta/internal/cell"
+)
+
+// TestMISSimultaneousVsSingle: on a NAND2, both inputs rising together
+// produce a later output fall than a single input rising with the other
+// already high — the classic multiple-input-switching push-out for
+// serial nMOS stacks.
+func TestMISNAND2PushOut(t *testing.T) {
+	tc := t130(t)
+	s := New(tc)
+	nand := cell.Default().MustGet("NAND2")
+	load := 2 * nand.InputCap(tc, "A")
+
+	// Single-input reference: A rises with B=1.
+	single, err := s.SimulateGate(nand, nand.Vectors("A")[0], true, 40e-12, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MIS: A and B rise together.
+	mis, err := s.SimulateGateMIS(nand, []SwitchingInput{
+		{Pin: "A", Rising: true}, {Pin: "B", Rising: true},
+	}, nil, 40e-12, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis.OutputRising {
+		t.Fatal("NAND2 output should fall")
+	}
+	// Both measured from the input 50% crossing at the same ramp timing:
+	// the ramp used by SimulateGate starts at 0 like the un-offset MIS
+	// ramps, so the input cross times coincide.
+	inCross := 40e-12 * slewToRamp / 2
+	misDelay := mis.OutputCross - inCross
+	if misDelay <= single.Delay {
+		t.Errorf("simultaneous rise (%.2f ps) should be slower than single-input (%.2f ps)",
+			misDelay*1e12, single.Delay*1e12)
+	}
+	// Push-out is material but bounded.
+	ratio := misDelay / single.Delay
+	if ratio > 3 {
+		t.Errorf("implausible MIS push-out ×%.2f", ratio)
+	}
+}
+
+// TestMISNOR2SpeedUp: on a NOR2, both inputs rising together discharge
+// the output through two parallel nMOS — faster than a single input.
+func TestMISNOR2SpeedUp(t *testing.T) {
+	tc := t130(t)
+	s := New(tc)
+	nor := cell.Default().MustGet("NOR2")
+	load := 2 * nor.InputCap(tc, "A")
+	single, err := s.SimulateGate(nor, nor.Vectors("A")[0], true, 40e-12, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis, err := s.SimulateGateMIS(nor, []SwitchingInput{
+		{Pin: "A", Rising: true}, {Pin: "B", Rising: true},
+	}, nil, 40e-12, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inCross := 40e-12 * slewToRamp / 2
+	misDelay := mis.OutputCross - inCross
+	if misDelay >= single.Delay {
+		t.Errorf("parallel MIS discharge (%.2f ps) should beat single input (%.2f ps)",
+			misDelay*1e12, single.Delay*1e12)
+	}
+}
+
+// TestMISStaggeringConverges: with a large positive offset on the second
+// input, the MIS delay approaches the single-input case measured from
+// the late input.
+func TestMISStaggering(t *testing.T) {
+	tc := t130(t)
+	s := New(tc)
+	nand := cell.Default().MustGet("NAND2")
+	load := 2 * nand.InputCap(tc, "A")
+	single, err := s.SimulateGate(nand, nand.Vectors("A")[0], true, 40e-12, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offset := 400e-12
+	mis, err := s.SimulateGateMIS(nand, []SwitchingInput{
+		{Pin: "A", Rising: true, Offset: offset}, // A switches long after B
+		{Pin: "B", Rising: true},
+	}, nil, 40e-12, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateCross := offset + 40e-12*slewToRamp/2
+	delay := mis.OutputCross - lateCross
+	if rel := math.Abs(delay-single.Delay) / single.Delay; rel > 0.08 {
+		t.Errorf("staggered MIS delay %.2f ps should approach single-input %.2f ps (off by %.1f%%)",
+			delay*1e12, single.Delay*1e12, rel*100)
+	}
+}
+
+func TestMISErrors(t *testing.T) {
+	tc := t130(t)
+	s := New(tc)
+	nand := cell.Default().MustGet("NAND2")
+	if _, err := s.SimulateGateMIS(nand, nil, nil, 40e-12, 1e-15); err == nil {
+		t.Error("no switching inputs should fail")
+	}
+	// Output does not toggle: A rising with B=0 keeps NAND at 1.
+	if _, err := s.SimulateGateMIS(nand, []SwitchingInput{{Pin: "A", Rising: true}},
+		map[string]bool{"B": false}, 40e-12, 1e-15); err == nil {
+		t.Error("non-toggling stimulus should fail")
+	}
+	// Unassigned pin.
+	if _, err := s.SimulateGateMIS(nand, []SwitchingInput{{Pin: "A", Rising: true}},
+		nil, 40e-12, 1e-15); err == nil {
+		t.Error("unassigned side pin should fail")
+	}
+	// Duplicate switching pin.
+	if _, err := s.SimulateGateMIS(nand, []SwitchingInput{
+		{Pin: "A", Rising: true}, {Pin: "A", Rising: false},
+	}, map[string]bool{"B": true}, 40e-12, 1e-15); err == nil {
+		t.Error("duplicate switching pin should fail")
+	}
+}

@@ -1,0 +1,198 @@
+package ssta
+
+import (
+	"math"
+	"testing"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/charlib"
+	"tpsta/internal/circuits"
+	"tpsta/internal/tech"
+)
+
+func TestCanonicalBasics(t *testing.T) {
+	c := Canonical{Mean: 10, Global: 3, Local: 4}
+	if got := c.Sigma(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("sigma = %v", got)
+	}
+	if got := c.Quantile(2); math.Abs(got-20) > 1e-12 {
+		t.Errorf("quantile = %v", got)
+	}
+	d := c.addDelay(10, 0.1, 0.2)
+	if math.Abs(d.Mean-20) > 1e-12 || math.Abs(d.Global-4) > 1e-12 {
+		t.Errorf("addDelay: %+v", d)
+	}
+	wantLocal := math.Sqrt(16 + 4)
+	if math.Abs(d.Local-wantLocal) > 1e-12 {
+		t.Errorf("local RSS: %v vs %v", d.Local, wantLocal)
+	}
+}
+
+func TestClarkMaxProperties(t *testing.T) {
+	// Identical fully-correlated inputs: max == input.
+	a := Canonical{Mean: 100, Global: 5, Local: 0}
+	m := maxCanonical(a, a)
+	if math.Abs(m.Mean-a.Mean) > 1e-9 || math.Abs(m.Sigma()-a.Sigma()) > 1e-6 {
+		t.Errorf("max(a,a) = %+v", m)
+	}
+	// Strongly dominant input wins.
+	b := Canonical{Mean: 10, Global: 1, Local: 1}
+	m = maxCanonical(a, b)
+	if math.Abs(m.Mean-a.Mean) > 0.01*a.Mean {
+		t.Errorf("dominant max mean %v", m.Mean)
+	}
+	// Symmetric independent inputs: mean of max exceeds either mean by
+	// θ·φ(0) = σ√2·(1/√(2π)).
+	x := Canonical{Mean: 50, Global: 0, Local: 3}
+	y := Canonical{Mean: 50, Global: 0, Local: 3}
+	m = maxCanonical(x, y)
+	want := 50 + 3*math.Sqrt2*normPDF(0)
+	if math.Abs(m.Mean-want) > 1e-9 {
+		t.Errorf("symmetric max mean %v, want %v", m.Mean, want)
+	}
+	if m.Mean <= 50 {
+		t.Error("max mean must exceed operand means")
+	}
+	// Commutativity.
+	m2 := maxCanonical(y, x)
+	if math.Abs(m.Mean-m2.Mean) > 1e-12 || math.Abs(m.Sigma()-m2.Sigma()) > 1e-12 {
+		t.Error("Clark max not commutative")
+	}
+}
+
+var (
+	cachedLib *charlib.Library
+	cachedTc  *tech.Tech
+)
+
+func setup(t testing.TB, circuitName string) *Analyzer {
+	t.Helper()
+	if cachedLib == nil {
+		tc, err := tech.ByName("130nm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedTc = tc
+		lib, err := charlib.Characterize(tc, cell.Default(), charlib.TestGrid(), charlib.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedLib = lib
+	}
+	cir, err := circuits.Get(circuitName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(cir, cachedTc, cachedLib, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestRunBasics(t *testing.T) {
+	a := setup(t, "c17")
+	rep, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Worst.Mean <= 0 || rep.Worst.Sigma() <= 0 {
+		t.Fatalf("worst = %+v", rep.Worst)
+	}
+	// Every gate output's mean exceeds each fanin's mean.
+	for _, g := range a.Circuit.Gates {
+		out := rep.Arrivals[g.Out.Name]
+		for _, pin := range g.Cell.Inputs {
+			if in := rep.Arrivals[g.Fanin[pin].Name]; out.Mean <= in.Mean {
+				t.Errorf("gate %s: mean not increasing", g.Name)
+			}
+		}
+	}
+	// Yield is monotone in the period and sensible at ±4σ.
+	lo := rep.Worst.Quantile(-4)
+	hi := rep.Worst.Quantile(4)
+	if y := rep.Yield(lo); y > 0.01 {
+		t.Errorf("yield at -4σ = %v", y)
+	}
+	if y := rep.Yield(hi); y < 0.99 {
+		t.Errorf("yield at +4σ = %v", y)
+	}
+	if rep.Yield(rep.Worst.Mean) < 0.3 || rep.Yield(rep.Worst.Mean) > 0.7 {
+		t.Errorf("yield at mean = %v", rep.Yield(rep.Worst.Mean))
+	}
+}
+
+// TestCanonicalMatchesMonteCarlo is the headline validation: the closed-
+// form propagation must agree with sampling the identical delay model.
+func TestCanonicalMatchesMonteCarlo(t *testing.T) {
+	for _, name := range []string{"c17", "c432"} {
+		a := setup(t, name)
+		rep, err := a.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, err := a.MonteCarlo(4000, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := 0.0
+		for _, x := range samples {
+			mean += x
+		}
+		mean /= float64(len(samples))
+		varsum := 0.0
+		for _, x := range samples {
+			varsum += (x - mean) * (x - mean)
+		}
+		sigma := math.Sqrt(varsum / float64(len(samples)))
+
+		if rel := math.Abs(rep.Worst.Mean-mean) / mean; rel > 0.03 {
+			t.Errorf("%s: canonical mean %.4g vs MC %.4g (%.1f%% off)", name, rep.Worst.Mean, mean, rel*100)
+		}
+		if rel := math.Abs(rep.Worst.Sigma()-sigma) / sigma; rel > 0.25 {
+			t.Errorf("%s: canonical sigma %.3g vs MC %.3g (%.0f%% off)", name, rep.Worst.Sigma(), sigma, rel*100)
+		}
+		// Yield curve agreement at the MC 90th percentile.
+		p90 := samples[len(samples)*9/10]
+		y := rep.Yield(p90)
+		if y < 0.80 || y > 0.97 {
+			t.Errorf("%s: yield at MC p90 = %.3f, want ≈0.90", name, y)
+		}
+		t.Logf("%s: mean %.1f/%.1f ps, sigma %.2f/%.2f ps", name,
+			rep.Worst.Mean*1e12, mean*1e12, rep.Worst.Sigma()*1e12, sigma*1e12)
+	}
+}
+
+func TestVariationKnobs(t *testing.T) {
+	a := setup(t, "c17")
+	rep, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doubling the global beta roughly doubles the global share of sigma.
+	cir, _ := circuits.Get("c17")
+	a2, err := New(cir, cachedTc, cachedLib, Options{BetaGlobal: 0.10, BetaLocal: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := a2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Worst.Global <= rep.Worst.Global*1.5 {
+		t.Errorf("global sensitivity should grow: %g vs %g", rep2.Worst.Global, rep.Worst.Global)
+	}
+	if math.Abs(rep2.Worst.Mean-rep.Worst.Mean)/rep.Worst.Mean > 0.02 {
+		t.Error("means should barely move with beta")
+	}
+}
+
+func BenchmarkRunC432(b *testing.B) {
+	a := setup(b, "c432")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package sta_test
+
+import (
+	"fmt"
+	"strings"
+
+	"tpsta/sta"
+)
+
+// ExampleCellLibrary reproduces the paper's Table 1 enumeration for one
+// input of the AO22 complex gate.
+func ExampleCellLibrary() {
+	ao22 := sta.CellLibrary().MustGet("AO22")
+	for _, v := range ao22.Vectors("A") {
+		fmt.Printf("Case %d: %s\n", v.Case, v.Key())
+	}
+	// Output:
+	// Case 1: B=1,C=0,D=0
+	// Case 2: B=1,C=1,D=0
+	// Case 3: B=1,C=0,D=1
+}
+
+// ExampleParseBench loads a tiny ISCAS-style netlist.
+func ExampleParseBench() {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(z)
+n1 = NAND(a, b)
+z = NAND(n1, c)
+`
+	cir, err := sta.ParseBench("tiny", strings.NewReader(src))
+	if err != nil {
+		panic(err)
+	}
+	st, _ := cir.Stats()
+	fmt.Printf("%d inputs, %d output, %d gates, depth %d\n",
+		st.Inputs, st.Outputs, st.Gates, st.Depth)
+	// Output:
+	// 3 inputs, 1 output, 2 gates, depth 2
+}
+
+// ExampleNewEngine runs a structure-only true-path search (no delay
+// library: paths are ordered by gate count) on the exact ISCAS c17.
+func ExampleNewEngine() {
+	tc, _ := sta.TechByName("130nm")
+	cir, _ := sta.BuiltinCircuit("c17")
+	eng := sta.NewEngine(cir, tc, nil, sta.EngineOptions{})
+	res, _ := eng.Enumerate()
+	fmt.Printf("%d true paths over %d courses\n", len(res.Paths), res.Courses)
+	longest := 0
+	for _, p := range res.Paths {
+		if len(p.Arcs) > longest {
+			longest = len(p.Arcs)
+		}
+	}
+	fmt.Printf("longest path: %d gates\n", longest)
+	// Output:
+	// 11 true paths over 11 courses
+	// longest path: 3 gates
+}
+
+// ExampleTruePath_TestPair derives a two-pattern path-delay test from a
+// reported path.
+func ExampleTruePath_TestPair() {
+	tc, _ := sta.TechByName("130nm")
+	cir, _ := sta.BuiltinCircuit("fig4")
+	eng := sta.NewEngine(cir, tc, nil, sta.EngineOptions{})
+	res, _ := eng.EnumerateCourse([]string{"N1", "n10", "n11", "n12", "N20"})
+	tp, _ := res.Paths[0].TestPair(res.Paths[0].RiseOK)
+	fmt.Println("launch:", tp.Start, "observe:", tp.Output)
+	fmt.Println("V1 N1 =", tp.V1["N1"], " V2 N1 =", tp.V2["N1"], " N6 =", tp.V2["N6"])
+	// Output:
+	// launch: N1 observe: N20
+	// V1 N1 = 0  V2 N1 = 1  N6 = 0
+}

@@ -1,0 +1,308 @@
+// Package sta is the public API of the true-path static timing analyzer:
+// a reproduction of "An efficient and scalable STA tool with direct path
+// estimation and exhaustive sensitization vector exploration for optimal
+// delay computation" (Barceló, Gili, Bota, Segura — DATE 2011).
+//
+// The typical workflow is:
+//
+//	tc, _ := sta.TechByName("130nm")
+//	lib, _ := sta.Characterize(tc, sta.NominalGrid())   // one-time, cacheable
+//	cir, _ := sta.BuiltinCircuit("c432")                // or sta.ParseBench
+//	eng := sta.NewEngine(cir, tc, lib, sta.EngineOptions{})
+//	res, _ := eng.KWorst(10)                            // 10 worst true paths
+//	for _, p := range res.Paths { fmt.Println(p, p.WorstDelay()) }
+//
+// Every path comes with the sensitization vector of each traversed gate
+// and the justified primary-input cube; paths with the same gate sequence
+// but different vectors are distinct results, so the vector-dependent
+// delay of complex gates (the paper's Section II) is never collapsed.
+//
+// The package re-exports, under one roof:
+//
+//   - the standard-cell library and its sensitization-vector enumeration
+//     (CellLibrary);
+//   - the three technology cards and the switch-level electrical
+//     simulator used as characterization and verification reference
+//     (NewSimulator);
+//   - characterization into polynomial models plus baseline NLDM tables
+//     (Characterize, SaveLibrary/LoadLibrary);
+//   - the single-pass true-path engine (NewEngine) and the emulated
+//     two-step commercial baseline (NewBaseline);
+//   - the ISCAS-85 evaluation circuits (BuiltinCircuit) and the .bench
+//     parser (ParseBench);
+//   - functional path verification (VerifyPath).
+package sta
+
+import (
+	"io"
+
+	"tpsta/internal/baseline"
+	"tpsta/internal/block"
+	"tpsta/internal/cell"
+	"tpsta/internal/charlib"
+	"tpsta/internal/circuits"
+	"tpsta/internal/core"
+	"tpsta/internal/eco"
+	"tpsta/internal/liberty"
+	"tpsta/internal/netlist"
+	"tpsta/internal/power"
+	"tpsta/internal/sdf"
+	"tpsta/internal/sim"
+	"tpsta/internal/spice"
+	"tpsta/internal/ssta"
+	"tpsta/internal/tech"
+	"tpsta/internal/variation"
+)
+
+// Re-exported core types. The aliases keep the public surface small
+// while documentation and methods live with the implementations.
+type (
+	// Tech is a technology card (130nm, 90nm or 65nm).
+	Tech = tech.Tech
+	// Cell is one standard cell; Vectors enumerates its sensitization
+	// vectors per input pin.
+	Cell = cell.Cell
+	// Vector is one sensitization vector of a (cell, pin) pair.
+	Vector = cell.Vector
+	// CellLib is the standard-cell library.
+	CellLib = cell.Lib
+	// Circuit is a combinational gate-level netlist.
+	Circuit = netlist.Circuit
+	// Library is a characterized timing library: polynomial models per
+	// sensitization vector plus baseline LUT tables.
+	Library = charlib.Library
+	// Grid is a characterization sweep specification.
+	Grid = charlib.Grid
+	// Engine is the single-pass true-path STA engine (the paper's
+	// contribution).
+	Engine = core.Engine
+	// EngineOptions tunes a true-path search.
+	EngineOptions = core.Options
+	// TruePath is one reported path variant with vectors, cube and
+	// delays.
+	TruePath = core.TruePath
+	// Result is a set of reported true paths.
+	Result = core.Result
+	// Baseline is the emulated two-step commercial tool.
+	Baseline = baseline.Tool
+	// BaselineOptions tunes the emulated tool.
+	BaselineOptions = baseline.Options
+	// BaselineReport is the emulated tool's run report.
+	BaselineReport = baseline.Report
+	// InputCube is a primary-input assignment (settled levels; TX =
+	// don't care).
+	InputCube = sim.InputCube
+	// Simulator is the switch-level transient simulator.
+	Simulator = spice.Sim
+)
+
+// Technologies returns the three built-in technology cards.
+func Technologies() []*Tech { return tech.All() }
+
+// TechByName returns one technology card: "130nm", "90nm" or "65nm".
+func TechByName(name string) (*Tech, error) { return tech.ByName(name) }
+
+// CellLibrary returns the built-in standard-cell library.
+func CellLibrary() *CellLib { return cell.Default() }
+
+// NominalGrid is the default characterization sweep (load and input slew
+// at nominal temperature and supply).
+func NominalGrid() Grid { return charlib.NominalGrid() }
+
+// FullGrid additionally sweeps temperature and supply, exercising all
+// four variables of the paper's polynomial delay model.
+func FullGrid() Grid { return charlib.FullGrid() }
+
+// QuickGrid is a reduced sweep for fast startup (tests, demos).
+func QuickGrid() Grid { return charlib.TestGrid() }
+
+// Characterize runs the one-time library parameter extraction: every
+// (cell, pin, sensitization vector, edge) arc is swept through the
+// electrical simulator and fitted with the polynomial model; baseline
+// NLDM tables are built on the default vector.
+func Characterize(tc *Tech, grid Grid) (*Library, error) {
+	return charlib.Characterize(tc, cell.Default(), grid, charlib.Options{})
+}
+
+// LoadLibrary reads a characterized library saved with SaveLibrary.
+func LoadLibrary(r io.Reader) (*Library, error) { return charlib.Load(r) }
+
+// SaveLibrary writes a characterized library as JSON.
+func SaveLibrary(l *Library, w io.Writer) error { return l.Save(w) }
+
+// BuiltinCircuits lists the bundled evaluation circuits (ISCAS-85 suite
+// plus the paper's Fig. 4 sample circuit).
+func BuiltinCircuits() []string { return circuits.Names() }
+
+// BuiltinCircuit returns a bundled circuit by name (e.g. "c432", "fig4").
+func BuiltinCircuit(name string) (*Circuit, error) { return circuits.Get(name) }
+
+// ParseBench reads an ISCAS-85 .bench netlist (the extended dialect also
+// accepts library cell names such as AO22).
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	return netlist.ParseExtendedBench(name, r)
+}
+
+// WriteBench writes a circuit in the extended .bench dialect.
+func WriteBench(w io.Writer, c *Circuit) error { return netlist.WriteBench(w, c) }
+
+// NewEngine builds a true-path engine. lib may be nil for structure-only
+// analysis (paths ordered by length instead of delay).
+func NewEngine(c *Circuit, tc *Tech, lib *Library, opts EngineOptions) *Engine {
+	return core.New(c, tc, lib, opts)
+}
+
+// NewBaseline builds the emulated two-step commercial tool.
+func NewBaseline(c *Circuit, tc *Tech, lib *Library, opts BaselineOptions) *Baseline {
+	return baseline.New(c, tc, lib, opts)
+}
+
+// NewSimulator returns the switch-level transient simulator at nominal
+// conditions for the technology.
+func NewSimulator(tc *Tech) *Simulator { return spice.New(tc) }
+
+// VerifyPath checks floating-mode sensitization of a reported path: the
+// transition launched at start (rising or falling) must propagate along
+// the node sequence when the remaining inputs settle at the cube levels.
+func VerifyPath(c *Circuit, path []string, start string, rising bool, cube InputCube) error {
+	return sim.Verify(c, path, start, rising, cube)
+}
+
+// Block-based STA and variation analysis (extensions beyond the paper's
+// core contribution; variation is its stated future work).
+
+// BlockAnalyzer is the classic graph-based STA engine: linear-time
+// arrival/required/slack propagation with vector-blind worst-case arcs —
+// a sound but pessimistic bound the true-path engine refines.
+type BlockAnalyzer = block.Analyzer
+
+// BlockOptions tunes block-based STA.
+type BlockOptions = block.Options
+
+// BlockReport is the block-based result (arrivals, slacks, critical
+// course).
+type BlockReport = block.Report
+
+// NewBlockAnalyzer builds a block-based analyzer.
+func NewBlockAnalyzer(c *Circuit, tc *Tech, lib *Library, opts BlockOptions) *BlockAnalyzer {
+	return block.New(c, tc, lib, opts)
+}
+
+// VariationAnalyzer evaluates true paths across environmental corners
+// and Monte Carlo samples, exploiting the polynomial model's built-in
+// temperature and supply variables.
+type VariationAnalyzer = variation.Analyzer
+
+// VariationCorner is one operating point.
+type VariationCorner = variation.Corner
+
+// MCOptions tunes Monte Carlo variation analysis.
+type MCOptions = variation.MCOptions
+
+// MCResult is the Monte Carlo outcome (per-path statistics and
+// criticality).
+type MCResult = variation.MCResult
+
+// NewVariationAnalyzer builds a variation analyzer; the library should be
+// characterized over temperature and supply (FullGrid).
+func NewVariationAnalyzer(c *Circuit, tc *Tech, lib *Library) *VariationAnalyzer {
+	return variation.New(c, tc, lib)
+}
+
+// StandardCorners returns the slow/typical/fast corner trio.
+func StandardCorners() []VariationCorner { return variation.StandardCorners() }
+
+// Interchange formats.
+
+// ParseVerilog reads a structural gate-level Verilog module instantiating
+// library cells (the flavor synthesis tools emit).
+func ParseVerilog(name string, r io.Reader) (*Circuit, error) {
+	return netlist.ParseVerilog(name, r)
+}
+
+// WriteVerilog emits the circuit as a structural Verilog module.
+func WriteVerilog(w io.Writer, c *Circuit) error { return netlist.WriteVerilog(w, c) }
+
+// WriteLiberty exports the characterized library's NLDM view in Liberty
+// (.lib) format. The per-vector polynomial models have no Liberty
+// representation — the gap the paper identifies in commercial flows.
+func WriteLiberty(w io.Writer, lib *Library) error {
+	return liberty.Write(w, lib, cell.Default())
+}
+
+// SDFOptions tunes SDF annotation.
+type SDFOptions = sdf.Options
+
+// WriteSDF annotates the circuit's timing arcs in SDF 3.0; each arc's
+// (min:typ:max) triple spans the sensitization vectors, with typ the
+// default vector a vector-blind consumer would use.
+func WriteSDF(w io.Writer, c *Circuit, tc *Tech, lib *Library, opts SDFOptions) error {
+	return sdf.Write(w, c, tc, lib, opts)
+}
+
+// PowerOptions tunes dynamic-power estimation.
+type PowerOptions = power.Options
+
+// PowerReport is the switching-activity/power result.
+type PowerReport = power.Report
+
+// EstimatePower runs vector-driven full-timing activity simulation and
+// returns per-net switching activity (including glitch activity) and
+// dynamic power.
+func EstimatePower(c *Circuit, tc *Tech, lib *Library, opts PowerOptions) (*PowerReport, error) {
+	return power.Estimate(c, tc, lib, opts)
+}
+
+// WriteDot emits the circuit as a Graphviz digraph, highlighting the
+// given net sequence (e.g. a critical path) in red.
+func WriteDot(w io.Writer, c *Circuit, highlight []string) error {
+	return netlist.WriteDot(w, c, highlight)
+}
+
+// ExtractCone narrows a circuit to the transitive fanin of the named
+// outputs — the standard preparation before an expensive endpoint
+// analysis on a large design.
+func ExtractCone(c *Circuit, outputs []string) (*Circuit, error) {
+	return netlist.ExtractCone(c, cell.Default(), outputs)
+}
+
+// Statistical STA (canonical first-order model, Clark's max).
+
+// SSTAOptions sets the process-variation betas and the nominal query
+// point.
+type SSTAOptions = ssta.Options
+
+// SSTAReport carries canonical (Gaussian) arrivals and the yield curve.
+type SSTAReport = ssta.Report
+
+// SSTAAnalyzer propagates canonical arrival forms; MonteCarlo samples the
+// identical model for validation.
+type SSTAAnalyzer = ssta.Analyzer
+
+// NewSSTA builds a statistical analyzer over the characterized library.
+func NewSSTA(c *Circuit, tc *Tech, lib *Library, opts SSTAOptions) (*SSTAAnalyzer, error) {
+	return ssta.New(c, tc, lib, opts)
+}
+
+// ECOOptions tunes the timing-driven gate-sizing loop.
+type ECOOptions = eco.Options
+
+// ECOResult reports the optimization.
+type ECOResult = eco.Result
+
+// OptimizeTiming runs the ECO loop: iterative upsizing of critical gates
+// (X2 drive variants) with incremental re-analysis until the clock period
+// is met. The library must be characterized over cell.Extended().
+func OptimizeTiming(c *Circuit, tc *Tech, lib *Library, opts ECOOptions) (*ECOResult, error) {
+	return eco.Optimize(c, tc, lib, opts)
+}
+
+// ExtendedCellLibrary returns the cell library including X2 drive
+// variants (characterize with this for ECO flows).
+func ExtendedCellLibrary() *CellLib { return cell.Extended() }
+
+// CharacterizeLib characterizes an explicit cell library (e.g.
+// ExtendedCellLibrary()) instead of the default one.
+func CharacterizeLib(tc *Tech, cells *CellLib, grid Grid) (*Library, error) {
+	return charlib.Characterize(tc, cells, grid, charlib.Options{})
+}

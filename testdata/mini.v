@@ -1,0 +1,9 @@
+// the same netlist as mini.bench, in structural Verilog
+module mini (a, b, c, d, z);
+  input a, b, c, d;
+  output z;
+  wire n1, n2;
+  AO22  u1 (.A(a), .B(b), .C(c), .D(d), .Z(n1));
+  NAND2 u2 (.A(n1), .B(c), .Z(n2));
+  INV   u3 (.A(n2), .Z(z));
+endmodule
