@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test check race bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-commit gate: static analysis plus the race-sensitive
+# packages (the instrumentation layer and the search engine it threads
+# through) under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/obs ./internal/core
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

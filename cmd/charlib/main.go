@@ -14,11 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"tpsta/internal/cell"
 	"tpsta/internal/charlib"
 	"tpsta/internal/liberty"
+	"tpsta/internal/obs"
 	"tpsta/internal/tech"
 )
 
@@ -60,7 +60,8 @@ func run(techName, outFile, gridName string, target float64, maxOrder, workers i
 	}
 	fmt.Printf("characterizing %s on the %s grid (%d×%d×%d×%d points per arc)...\n",
 		techName, gridName, len(grid.Fo), len(grid.Tin), len(grid.Temp), len(grid.VDDRel))
-	t0 := time.Now()
+	phases := &obs.Phases{}
+	stopChar := phases.Start("characterize")
 	lib, err := charlib.Characterize(tc, cell.Default(), grid, charlib.Options{
 		Target:   target,
 		MaxOrder: maxOrder,
@@ -69,9 +70,13 @@ func run(techName, outFile, gridName string, target float64, maxOrder, workers i
 	if err != nil {
 		return err
 	}
+	d := stopChar()
 	key, worst := lib.WorstFitErr()
 	fmt.Printf("%s in %.1fs; worst delay fit %.2f%% at %s\n",
-		lib, time.Since(t0).Seconds(), worst*100, key)
+		lib, d.Seconds(), worst*100, key)
+	fmt.Printf("sweep: %d workers at %.0f%% utilization, %.1fs sim + %.1fs fit (%d solves), slowest arc %s (%.2fs)\n",
+		lib.Stats.Workers, lib.Stats.Utilization*100, lib.Stats.SimSeconds, lib.Stats.FitSeconds,
+		lib.Stats.FitSolves, lib.Stats.SlowestArc, lib.Stats.SlowestArcSeconds)
 
 	f, err := os.Create(outFile)
 	if err != nil {

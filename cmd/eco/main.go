@@ -12,13 +12,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"tpsta/internal/block"
 	"tpsta/internal/cell"
 	"tpsta/internal/charlib"
 	"tpsta/internal/circuits"
 	"tpsta/internal/eco"
+	"tpsta/internal/obs"
 	"tpsta/internal/tech"
 )
 
@@ -50,13 +50,14 @@ func run(circuitName, techName string, period float64, maxMoves int, quickChar b
 	if quickChar {
 		grid = charlib.TestGrid()
 	}
+	phases := &obs.Phases{}
 	fmt.Printf("characterizing %s library with drive variants...\n", tc.Name)
-	t0 := time.Now()
+	stopChar := phases.Start("characterize")
 	lib, err := charlib.Characterize(tc, cell.Extended(), grid, charlib.Options{})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("characterized %d arcs in %.1fs\n", len(lib.Poly), time.Since(t0).Seconds())
+	fmt.Printf("characterized %d arcs in %.1fs\n", len(lib.Poly), stopChar().Seconds())
 
 	if period <= 0 {
 		base, err := block.New(cir, tc, lib, block.Options{}).Run()
@@ -67,12 +68,12 @@ func run(circuitName, techName string, period float64, maxMoves int, quickChar b
 		fmt.Printf("no period given: targeting %.1f ps (7%% below the unconstrained arrival)\n", period*1e12)
 	}
 
-	t0 = time.Now()
+	stopOpt := phases.Start("optimize")
 	res, err := eco.Optimize(cir, tc, lib, eco.Options{ClockPeriod: period, MaxMoves: maxMoves})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\noptimized in %.2fs\n", time.Since(t0).Seconds())
+	fmt.Printf("\noptimized in %.2fs\n", stopOpt().Seconds())
 	fmt.Printf("worst slack: %.2f ps → %.2f ps (met=%v)\n",
 		res.SlackBefore*1e12, res.SlackAfter*1e12, res.Met)
 	fmt.Printf("area cost: +%.2f%% input capacitance, %d moves:\n", res.AreaCostFrac*100, len(res.Moves))

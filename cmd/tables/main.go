@@ -16,10 +16,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"time"
 
 	"tpsta/internal/charlib"
 	"tpsta/internal/exp"
+	"tpsta/internal/obs"
 	"tpsta/internal/report"
 )
 
@@ -63,7 +63,8 @@ func run(quick bool, only, libdir string) error {
 		}
 	}
 
-	start := time.Now()
+	phases := &obs.Phases{}
+	stopAll := phases.Start("tables")
 	out := os.Stdout
 	render := func(tb *report.Table, err error) error {
 		if err != nil {
@@ -132,6 +133,6 @@ func run(quick bool, only, libdir string) error {
 			return fmt.Errorf("table %s (%s): %w", spec.id, spec.teq, err)
 		}
 	}
-	fmt.Fprintf(out, "total wall time: %.1fs\n", time.Since(start).Seconds())
+	fmt.Fprintf(out, "total wall time: %.1fs\n", stopAll().Seconds())
 	return nil
 }

@@ -11,45 +11,76 @@
 //	tpsta -circuit c880 -robust -tests tests.txt        # robust two-pattern tests
 //	tpsta -circuit c17 -sdf c17.sdf                     # SDF annotation only
 //	tpsta -circuit c432 -dot crit.dot                   # Graphviz with worst path
+//	tpsta -circuit c432 -stats run.json -progress       # machine-readable run report
+//	tpsta -circuit c432 -trace run.jsonl -pprof :6060   # search trace + live profiling
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"tpsta/internal/cell"
 	"tpsta/internal/charlib"
 	"tpsta/internal/circuits"
 	"tpsta/internal/core"
 	"tpsta/internal/netlist"
+	"tpsta/internal/obs"
 	"tpsta/internal/report"
 	"tpsta/internal/sdf"
 	"tpsta/internal/tech"
 )
 
+// config carries every CLI option through the run.
+type config struct {
+	circuitName string
+	benchFile   string
+	verilogFile string
+	sdfFile     string
+	testsFile   string
+	dotFile     string
+	coneOutputs string
+	detail      bool
+	robust      bool
+	techName    string
+	libFile     string
+	k           int
+	complexOnly bool
+	maxSteps    int64
+	quickChar   bool
+	structural  bool
+
+	statsFile string // -stats: machine-readable run report (JSON)
+	traceFile string // -trace: structured search events (JSONL)
+	progress  bool   // -progress: periodic stderr progress line
+	pprofAddr string // -pprof: expvar + pprof HTTP endpoint
+}
+
 func main() {
-	var (
-		circuitName = flag.String("circuit", "c17", "built-in circuit name (see -list)")
-		benchFile   = flag.String("bench", "", "path to a .bench netlist (overrides -circuit)")
-		verilogFile = flag.String("verilog", "", "path to a structural Verilog netlist (overrides -circuit)")
-		sdfFile     = flag.String("sdf", "", "write SDF delay annotations for the circuit and exit")
-		testsFile   = flag.String("tests", "", "also write two-pattern path-delay tests for the reported paths")
-		dotFile     = flag.String("dot", "", "also write a Graphviz view with the worst path highlighted")
-		detail      = flag.Bool("report", false, "print a per-gate timing report for each path")
-		coneOutputs = flag.String("outputs", "", "comma-separated outputs: restrict analysis to their fanin cone")
-		robust      = flag.Bool("robust", false, "conservatively robust sensitization (steady side inputs)")
-		techName    = flag.String("tech", "130nm", "technology: 130nm, 90nm or 65nm")
-		libFile     = flag.String("lib", "", "characterized library JSON (default: characterize now)")
-		k           = flag.Int("k", 10, "number of worst paths to report")
-		complexOnly = flag.Bool("complex-only", false, "report only paths through multi-vector gates")
-		maxSteps    = flag.Int64("max-steps", 2_000_000, "search budget (sensitization attempts)")
-		quickChar   = flag.Bool("quick-char", false, "characterize on the reduced grid (faster startup)")
-		list        = flag.Bool("list", false, "list built-in circuits and exit")
-		structural  = flag.Bool("structural", false, "skip delay models (order paths by length)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.circuitName, "circuit", "c17", "built-in circuit name (see -list)")
+	flag.StringVar(&cfg.benchFile, "bench", "", "path to a .bench netlist (overrides -circuit)")
+	flag.StringVar(&cfg.verilogFile, "verilog", "", "path to a structural Verilog netlist (overrides -circuit)")
+	flag.StringVar(&cfg.sdfFile, "sdf", "", "write SDF delay annotations for the circuit and exit")
+	flag.StringVar(&cfg.testsFile, "tests", "", "also write two-pattern path-delay tests for the reported paths")
+	flag.StringVar(&cfg.dotFile, "dot", "", "also write a Graphviz view with the worst path highlighted")
+	flag.BoolVar(&cfg.detail, "report", false, "print a per-gate timing report for each path")
+	flag.StringVar(&cfg.coneOutputs, "outputs", "", "comma-separated outputs: restrict analysis to their fanin cone")
+	flag.BoolVar(&cfg.robust, "robust", false, "conservatively robust sensitization (steady side inputs)")
+	flag.StringVar(&cfg.techName, "tech", "130nm", "technology: 130nm, 90nm or 65nm")
+	flag.StringVar(&cfg.libFile, "lib", "", "characterized library JSON (default: characterize now)")
+	flag.IntVar(&cfg.k, "k", 10, "number of worst paths to report")
+	flag.BoolVar(&cfg.complexOnly, "complex-only", false, "report only paths through multi-vector gates")
+	flag.Int64Var(&cfg.maxSteps, "max-steps", 2_000_000, "search budget (sensitization attempts)")
+	flag.BoolVar(&cfg.quickChar, "quick-char", false, "characterize on the reduced grid (faster startup)")
+	flag.BoolVar(&cfg.structural, "structural", false, "skip delay models (order paths by length)")
+	flag.StringVar(&cfg.statsFile, "stats", "", "write a machine-readable run report (JSON) to this file")
+	flag.StringVar(&cfg.traceFile, "trace", "", "write structured search events (JSONL) to this file")
+	flag.BoolVar(&cfg.progress, "progress", false, "print a periodic search progress line to stderr")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve expvar and pprof on this address (e.g. :6060)")
+	list := flag.Bool("list", false, "list built-in circuits and exit")
 	flag.Parse()
 	if *list {
 		for _, n := range circuits.Names() {
@@ -57,47 +88,110 @@ func main() {
 		}
 		return
 	}
-	if err := run(*circuitName, *benchFile, *verilogFile, *sdfFile, *testsFile, *dotFile, *coneOutputs, *detail, *robust, *techName, *libFile, *k, *complexOnly, *maxSteps, *quickChar, *structural); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "tpsta:", err)
 		os.Exit(1)
 	}
 }
 
-func run(circuitName, benchFile, verilogFile, sdfFile, testsFile, dotFile, coneOutputs string, detail, robust bool, techName, libFile string, k int, complexOnly bool, maxSteps int64, quickChar, structural bool) error {
-	tc, err := tech.ByName(techName)
+// statsReport is the -stats JSON schema (documented in README.md).
+type statsReport struct {
+	Tool    string `json:"tool"`
+	Circuit struct {
+		Name         string `json:"name"`
+		Inputs       int    `json:"inputs"`
+		Outputs      int    `json:"outputs"`
+		Gates        int    `json:"gates"`
+		Depth        int    `json:"depth"`
+		ComplexGates int    `json:"complexGates"`
+	} `json:"circuit"`
+	Options struct {
+		Tech        string `json:"tech"`
+		K           int    `json:"k"`
+		MaxSteps    int64  `json:"maxSteps"`
+		Robust      bool   `json:"robust"`
+		ComplexOnly bool   `json:"complexOnly"`
+		Structural  bool   `json:"structural"`
+	} `json:"options"`
+	PhaseSeconds map[string]float64 `json:"phaseSeconds"`
+	Search       core.SearchStats   `json:"search"`
+	Result       struct {
+		Paths              int     `json:"paths"`
+		Courses            int     `json:"courses"`
+		MultiVectorCourses int     `json:"multiVectorCourses"`
+		Truncated          bool    `json:"truncated"`
+		WorstDelayPs       float64 `json:"worstDelayPs"`
+	} `json:"result"`
+	Characterization *charlib.CharStats `json:"characterization,omitempty"`
+}
+
+func run(cfg config) error {
+	phases := &obs.Phases{}
+
+	// Open the stats file up front: a typo'd path must not surface only
+	// after characterization and search have already been paid for.
+	var statsOut *os.File
+	if cfg.statsFile != "" {
+		f, err := os.Create(cfg.statsFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		statsOut = f
+	}
+
+	var eng *core.Engine
+	if cfg.pprofAddr != "" {
+		addr, err := obs.ServeDebug(cfg.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/debug/pprof/ and /debug/vars\n", addr)
+		// Published before the engine exists so the var is visible for
+		// the whole run (zero stats until the search finishes).
+		obs.Publish("tpsta.search", func() any {
+			if eng == nil {
+				return core.SearchStats{}
+			}
+			return eng.Stats()
+		})
+	}
+
+	tc, err := tech.ByName(cfg.techName)
 	if err != nil {
 		return err
 	}
+	stopLoad := phases.Start("load")
 	var cir *netlist.Circuit
-	if verilogFile != "" {
-		f, err := os.Open(verilogFile)
+	if cfg.verilogFile != "" {
+		f, err := os.Open(cfg.verilogFile)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		cir, err = netlist.ParseVerilog(verilogFile, f)
+		cir, err = netlist.ParseVerilog(cfg.verilogFile, f)
 		if err != nil {
 			return err
 		}
-	} else if benchFile != "" {
-		f, err := os.Open(benchFile)
+	} else if cfg.benchFile != "" {
+		f, err := os.Open(cfg.benchFile)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		cir, err = netlist.ParseExtendedBench(benchFile, f)
+		cir, err = netlist.ParseExtendedBench(cfg.benchFile, f)
 		if err != nil {
 			return err
 		}
 	} else {
-		cir, err = circuits.Get(circuitName)
+		cir, err = circuits.Get(cfg.circuitName)
 		if err != nil {
 			return err
 		}
 	}
-	if coneOutputs != "" {
+	if cfg.coneOutputs != "" {
 		var outs []string
-		for _, o := range strings.Split(coneOutputs, ",") {
+		for _, o := range strings.Split(cfg.coneOutputs, ",") {
 			outs = append(outs, strings.TrimSpace(o))
 		}
 		cone, err := netlist.ExtractCone(cir, cell.Default(), outs)
@@ -107,6 +201,7 @@ func run(circuitName, benchFile, verilogFile, sdfFile, testsFile, dotFile, coneO
 		fmt.Printf("restricted to the cone of %v: %d of %d gates\n", outs, len(cone.Gates), len(cir.Gates))
 		cir = cone
 	}
+	stopLoad()
 
 	st, err := cir.Stats()
 	if err != nil {
@@ -116,10 +211,11 @@ func run(circuitName, benchFile, verilogFile, sdfFile, testsFile, dotFile, coneO
 		st.Name, st.Inputs, st.Outputs, st.Gates, st.Depth, st.ComplexGates)
 
 	var lib *charlib.Library
-	if structural {
+	var charStats *charlib.CharStats
+	if cfg.structural {
 		lib = nil
-	} else if libFile != "" {
-		f, err := os.Open(libFile)
+	} else if cfg.libFile != "" {
+		f, err := os.Open(cfg.libFile)
 		if err != nil {
 			return err
 		}
@@ -134,23 +230,26 @@ func run(circuitName, benchFile, verilogFile, sdfFile, testsFile, dotFile, coneO
 		fmt.Printf("loaded %s\n", lib)
 	} else {
 		grid := charlib.NominalGrid()
-		if quickChar {
+		if cfg.quickChar {
 			grid = charlib.TestGrid()
 		}
 		fmt.Printf("characterizing %s library...\n", tc.Name)
-		t0 := time.Now()
+		stopChar := phases.Start("characterize")
 		lib, err = charlib.Characterize(tc, cell.Default(), grid, charlib.Options{})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("characterized %d arcs in %.1fs\n", len(lib.Poly), time.Since(t0).Seconds())
+		d := stopChar()
+		charStats = &lib.Stats
+		fmt.Printf("characterized %d arcs in %.1fs (%.0f%% worker utilization, %d fit solves)\n",
+			len(lib.Poly), d.Seconds(), lib.Stats.Utilization*100, lib.Stats.FitSolves)
 	}
 
-	if sdfFile != "" {
+	if cfg.sdfFile != "" {
 		if lib == nil {
 			return fmt.Errorf("-sdf needs a characterized library (omit -structural)")
 		}
-		f, err := os.Create(sdfFile)
+		f, err := os.Create(cfg.sdfFile)
 		if err != nil {
 			return err
 		}
@@ -158,21 +257,49 @@ func run(circuitName, benchFile, verilogFile, sdfFile, testsFile, dotFile, coneO
 		if err := sdf.Write(f, cir, tc, lib, sdf.Options{}); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", sdfFile)
+		fmt.Printf("wrote %s\n", cfg.sdfFile)
 		return nil
 	}
 
-	eng := core.New(cir, tc, lib, core.Options{ComplexOnly: complexOnly, MaxSteps: maxSteps, Robust: robust})
-	t0 := time.Now()
-	res, err := eng.KWorst(k)
+	opts := core.Options{ComplexOnly: cfg.complexOnly, MaxSteps: cfg.maxSteps, Robust: cfg.robust}
+
+	var tracer *obs.JSONL
+	if cfg.traceFile != "" {
+		f, err := os.Create(cfg.traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tracer = obs.NewJSONL(f)
+		opts.Tracer = tracer
+	}
+	if cfg.progress {
+		pp := obs.NewPrinter(os.Stderr)
+		opts.Progress = func(pi core.ProgressInfo) {
+			if pi.Done {
+				pp.Done(pi.Steps, pi.Paths)
+				return
+			}
+			pp.Update(pi.Steps, pi.MaxSteps, pi.Paths)
+		}
+	}
+
+	eng = core.New(cir, tc, lib, opts)
+	stopSearch := phases.Start("search")
+	res, err := eng.KWorst(cfg.k)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("search: %d steps in %.2fs (truncated=%v, justification aborts=%d)\n\n",
-		res.Steps, time.Since(t0).Seconds(), res.Truncated, res.JustificationAborts)
+	searchDur := stopSearch()
+	if res.Truncated {
+		fmt.Fprintf(os.Stderr, "warning: search truncated (%s) — results may be incomplete; raise -max-steps to search further\n",
+			res.Truncation)
+	}
+	fmt.Printf("search: %d steps in %.2fs (%d conflicts, %d backtracks, %d justification aborts)\n\n",
+		res.Steps, searchDur.Seconds(), res.Stats.Conflicts, res.Stats.Backtracks, res.JustificationAborts)
 
-	if testsFile != "" {
-		f, err := os.Create(testsFile)
+	if cfg.testsFile != "" {
+		f, err := os.Create(cfg.testsFile)
 		if err != nil {
 			return err
 		}
@@ -183,11 +310,11 @@ func run(circuitName, benchFile, verilogFile, sdfFile, testsFile, dotFile, coneO
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d-path test set to %s\n", len(res.Paths), testsFile)
+		fmt.Printf("wrote %d-path test set to %s\n", len(res.Paths), cfg.testsFile)
 	}
 
-	if dotFile != "" && len(res.Paths) > 0 {
-		f, err := os.Create(dotFile)
+	if cfg.dotFile != "" && len(res.Paths) > 0 {
+		f, err := os.Create(cfg.dotFile)
 		if err != nil {
 			return err
 		}
@@ -198,7 +325,7 @@ func run(circuitName, benchFile, verilogFile, sdfFile, testsFile, dotFile, coneO
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (worst path highlighted)\n", dotFile)
+		fmt.Printf("wrote %s (worst path highlighted)\n", cfg.dotFile)
 	}
 
 	tb := report.New(fmt.Sprintf("%d worst true paths", len(res.Paths)),
@@ -213,7 +340,7 @@ func run(circuitName, benchFile, verilogFile, sdfFile, testsFile, dotFile, coneO
 	if err := tb.Render(os.Stdout); err != nil {
 		return err
 	}
-	if detail {
+	if cfg.detail {
 		for _, p := range res.Paths {
 			rising := p.RiseOK
 			if p.FallOK && p.FallDelay > p.RiseDelay {
@@ -224,6 +351,48 @@ func run(circuitName, benchFile, verilogFile, sdfFile, testsFile, dotFile, coneO
 			}
 			fmt.Println()
 		}
+	}
+
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote search trace to %s\n", cfg.traceFile)
+	}
+
+	if statsOut != nil {
+		var sr statsReport
+		sr.Tool = "tpsta"
+		sr.Circuit.Name = st.Name
+		sr.Circuit.Inputs = st.Inputs
+		sr.Circuit.Outputs = st.Outputs
+		sr.Circuit.Gates = st.Gates
+		sr.Circuit.Depth = st.Depth
+		sr.Circuit.ComplexGates = st.ComplexGates
+		sr.Options.Tech = cfg.techName
+		sr.Options.K = cfg.k
+		sr.Options.MaxSteps = cfg.maxSteps
+		sr.Options.Robust = cfg.robust
+		sr.Options.ComplexOnly = cfg.complexOnly
+		sr.Options.Structural = cfg.structural
+		sr.PhaseSeconds = phases.Map()
+		sr.Search = eng.Stats()
+		sr.Result.Paths = len(res.Paths)
+		sr.Result.Courses = res.Courses
+		sr.Result.MultiVectorCourses = res.MultiVectorCourses
+		sr.Result.Truncated = res.Truncated
+		if len(res.Paths) > 0 {
+			sr.Result.WorstDelayPs = res.Paths[0].WorstDelay() * 1e12
+		}
+		sr.Characterization = charStats
+		buf, err := json.MarshalIndent(&sr, "", "  ")
+		if err != nil {
+			return err
+		}
+		if _, err := statsOut.Write(append(buf, '\n')); err != nil {
+			return err
+		}
+		fmt.Printf("wrote run report to %s\n", cfg.statsFile)
 	}
 	return nil
 }

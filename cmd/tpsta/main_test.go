@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -9,24 +11,90 @@ import (
 // TestRunEndToEnd drives the CLI entry point over the bundled testdata in
 // both netlist formats, structure-only (no characterization) for speed.
 func TestRunEndToEnd(t *testing.T) {
-	for _, src := range []struct{ bench, verilog string }{
-		{bench: "../../testdata/mini.bench"},
-		{verilog: "../../testdata/mini.v"},
+	for _, src := range []config{
+		{benchFile: "../../testdata/mini.bench"},
+		{verilogFile: "../../testdata/mini.v"},
 	} {
-		if err := run("", src.bench, src.verilog, "", "", "", "", false, false, "130nm", "", 5, false, 10000, true, true); err != nil {
+		src.techName = "130nm"
+		src.k = 5
+		src.maxSteps = 10000
+		src.quickChar = true
+		src.structural = true
+		if err := run(src); err != nil {
 			t.Fatalf("run(%+v): %v", src, err)
 		}
 	}
-	// Built-in circuit path.
-	if err := run("c17", "", "", "", "", "", "22", true, false, "130nm", "", 3, false, 10000, true, true); err != nil {
+	// Built-in circuit path with a cone restriction and detail report.
+	if err := run(config{circuitName: "c17", coneOutputs: "22", detail: true,
+		techName: "130nm", k: 3, maxSteps: 10000, quickChar: true, structural: true}); err != nil {
 		t.Fatal(err)
 	}
 	// Unknown tech and unknown circuit fail cleanly.
-	if err := run("c17", "", "", "", "", "", "", false, false, "28nm", "", 3, false, 1000, true, true); err == nil {
+	if err := run(config{circuitName: "c17", techName: "28nm", k: 3, maxSteps: 1000,
+		quickChar: true, structural: true}); err == nil {
 		t.Error("unknown tech should fail")
 	}
-	if err := run("c9999", "", "", "", "", "", "", false, false, "130nm", "", 3, false, 1000, true, true); err == nil {
+	if err := run(config{circuitName: "c9999", techName: "130nm", k: 3, maxSteps: 1000,
+		quickChar: true, structural: true}); err == nil {
 		t.Error("unknown circuit should fail")
+	}
+}
+
+// TestRunStatsAndTrace exercises the observability flags: the -stats
+// report must be valid JSON with nonzero search counters, and the -trace
+// file must hold one valid JSON event per line ending in "done".
+func TestRunStatsAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	statsPath := filepath.Join(dir, "run.json")
+	tracePath := filepath.Join(dir, "run.jsonl")
+	if err := run(config{circuitName: "c17", techName: "130nm", k: 5, maxSteps: 10000,
+		structural: true, statsFile: statsPath, traceFile: tracePath}); err != nil {
+		t.Fatal(err)
+	}
+
+	buf, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr statsReport
+	if err := json.Unmarshal(buf, &sr); err != nil {
+		t.Fatalf("stats report is not valid JSON: %v", err)
+	}
+	if sr.Search.SensitizationAttempts == 0 {
+		t.Error("stats report has zero sensitization attempts")
+	}
+	if sr.Result.Paths == 0 {
+		t.Error("stats report has zero paths")
+	}
+	if _, ok := sr.PhaseSeconds["search"]; !ok {
+		t.Error("stats report missing search phase timing")
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var last struct {
+		Kind  string `json:"kind"`
+		Steps int64  `json:"steps"`
+	}
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("trace line %d is not valid JSON: %v", lines+1, err)
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("trace file is empty")
+	}
+	if last.Kind != "done" {
+		t.Errorf("last trace event kind = %q, want done", last.Kind)
+	}
+	if last.Steps != sr.Search.SensitizationAttempts {
+		t.Errorf("trace done steps = %d, stats report = %d", last.Steps, sr.Search.SensitizationAttempts)
 	}
 }
 
@@ -38,14 +106,16 @@ func TestRunWithSDFAndTests(t *testing.T) {
 	}
 	dir := t.TempDir()
 	sdfPath := filepath.Join(dir, "out.sdf")
-	if err := run("", "../../testdata/mini.bench", "", sdfPath, "", "", "", false, false, "130nm", "", 3, false, 10000, true, false); err != nil {
+	if err := run(config{benchFile: "../../testdata/mini.bench", sdfFile: sdfPath,
+		techName: "130nm", k: 3, maxSteps: 10000, quickChar: true}); err != nil {
 		t.Fatal(err)
 	}
 	if st, err := os.Stat(sdfPath); err != nil || st.Size() == 0 {
 		t.Fatalf("sdf not written: %v", err)
 	}
 	testsPath := filepath.Join(dir, "tests.txt")
-	if err := run("c17", "", "", "", testsPath, "", "", false, false, "130nm", "", 3, false, 10000, true, false); err != nil {
+	if err := run(config{circuitName: "c17", testsFile: testsPath,
+		techName: "130nm", k: 3, maxSteps: 10000, quickChar: true}); err != nil {
 		t.Fatal(err)
 	}
 	if st, err := os.Stat(testsPath); err != nil || st.Size() == 0 {

@@ -23,6 +23,7 @@ package baseline
 
 import (
 	"fmt"
+	"time"
 
 	"tpsta/internal/charlib"
 	"tpsta/internal/netlist"
@@ -112,7 +113,34 @@ type Tool struct {
 
 	arcDelay  map[arcKey]float64 // static per-(gate,pin) delay for ordering
 	loadCache map[int]float64
+	lastStats Stats
 }
+
+// Stats is the instrumentation snapshot of the tool's most recent Run —
+// the inputs of the paper's Table 6 comparison (structural candidates
+// examined vs. sensitizable, backtrack-limit hits) plus phase timings.
+type Stats struct {
+	// StructuralCandidates counts structural paths enumerated and
+	// examined (step one of the two-step flow).
+	StructuralCandidates int64 `json:"structuralCandidates"`
+	// Sensitizable counts VerdictTrue outcomes.
+	Sensitizable int64 `json:"sensitizable"`
+	// DeclaredFalse counts VerdictFalse outcomes (possibly
+	// misidentifications — the restricted search space).
+	DeclaredFalse int64 `json:"declaredFalse"`
+	// BacktrackLimitHits counts VerdictAbandoned outcomes.
+	BacktrackLimitHits int64 `json:"backtrackLimitHits"`
+	// Backtracks totals justification retries across all paths.
+	Backtracks int64 `json:"backtracks"`
+	// EnumerateSeconds is the time spent in structural enumeration.
+	EnumerateSeconds float64 `json:"enumerateSeconds"`
+	// SensitizeSeconds is the time spent attempting sensitization.
+	SensitizeSeconds float64 `json:"sensitizeSeconds"`
+}
+
+// Stats returns the snapshot of the most recent Run. The tool is
+// single-threaded; read it after Run returns.
+func (t *Tool) Stats() Stats { return t.lastStats }
 
 type arcKey struct {
 	gate int
@@ -144,14 +172,21 @@ type Report struct {
 // each, mirroring a commercial run with a path-count setting and a
 // backtrack limit.
 func (t *Tool) Run(numPaths int) (*Report, error) {
+	st := Stats{}
+	t0 := time.Now()
 	paths, err := t.StructuralPaths(numPaths)
+	st.EnumerateSeconds = time.Since(t0).Seconds()
 	if err != nil {
 		return nil, err
 	}
+	st.StructuralCandidates = int64(len(paths))
 	rep := &Report{}
 	for _, p := range paths {
 		out := p
+		t1 := time.Now()
 		verdict, cube, backtracks := t.sensitize(p.Arcs)
+		st.SensitizeSeconds += time.Since(t1).Seconds()
+		st.Backtracks += int64(backtracks)
 		out.Verdict = verdict
 		out.Cube = cube
 		out.Backtracks = backtracks
@@ -172,6 +207,10 @@ func (t *Tool) Run(numPaths int) (*Report, error) {
 		}
 		rep.Outcomes = append(rep.Outcomes, out)
 	}
+	st.Sensitizable = int64(rep.True)
+	st.DeclaredFalse = int64(rep.False)
+	st.BacktrackLimitHits = int64(rep.Abandoned)
+	t.lastStats = st
 	return rep, nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"tpsta/internal/charlib"
 	"tpsta/internal/netlist"
@@ -47,7 +48,30 @@ type Analyzer struct {
 	Tech    *tech.Tech
 	Lib     *charlib.Library
 	Opts    Options
+
+	lastStats Stats
 }
+
+// Stats is the instrumentation snapshot of the analyzer's most recent
+// Run (Incremental accumulates into the same snapshot, so the totals
+// cover a Run plus its ECO updates).
+type Stats struct {
+	// LevelizeSeconds is the time spent levelizing (topological sort).
+	LevelizeSeconds float64 `json:"levelizeSeconds"`
+	// ForwardSeconds is the arrival-propagation time.
+	ForwardSeconds float64 `json:"forwardSeconds"`
+	// RequiredSeconds is the required-time/slack back-propagation time.
+	RequiredSeconds float64 `json:"requiredSeconds"`
+	// GatesVisited counts gates processed across forward passes.
+	GatesVisited int64 `json:"gatesVisited"`
+	// ArcQueries counts (gate, pin) worst-delay model evaluations.
+	ArcQueries int64 `json:"arcQueries"`
+}
+
+// Stats returns the snapshot of the most recent Run (plus any
+// Incremental updates since). The analyzer is single-threaded; read it
+// after the analysis returns.
+func (a *Analyzer) Stats() Stats { return a.lastStats }
 
 // New builds an analyzer.
 func New(c *netlist.Circuit, tc *tech.Tech, lib *charlib.Library, opts Options) *Analyzer {
@@ -96,10 +120,14 @@ type Report struct {
 // vectors and both edges — the pessimistic vector-blind abstraction that
 // block-based tools use.
 func (a *Analyzer) Run() (*Report, error) {
+	a.lastStats = Stats{}
+	t0 := time.Now()
 	topo, err := a.Circuit.TopoGates()
+	a.lastStats.LevelizeSeconds = time.Since(t0).Seconds()
 	if err != nil {
 		return nil, err
 	}
+	t0 = time.Now()
 	rep := &Report{
 		Nodes:      make(map[string]*NodeTiming, len(a.Circuit.Nodes)),
 		WorstSlack: math.Inf(1),
@@ -135,6 +163,8 @@ func (a *Analyzer) Run() (*Report, error) {
 			rep.WorstOutput = out.Name
 		}
 	}
+	a.lastStats.GatesVisited += int64(len(topo))
+	a.lastStats.ForwardSeconds += time.Since(t0).Seconds()
 	if a.Opts.ClockPeriod > 0 {
 		a.propagateRequired(rep, topo)
 	} else {
@@ -149,6 +179,7 @@ func (a *Analyzer) Run() (*Report, error) {
 // arcWorst is the worst (delay, slew) over vectors and launch edges of
 // one (gate, pin) arc at the given input slew.
 func (a *Analyzer) arcWorst(g *netlist.Gate, pin string, slewIn float64) (float64, float64, error) {
+	a.lastStats.ArcQueries++
 	load := a.Circuit.LoadCap(g.Out, a.Tech)
 	fo, err := a.Lib.Fo(g.Cell.Name, load)
 	if err != nil {
@@ -176,6 +207,8 @@ func (a *Analyzer) arcWorst(g *netlist.Gate, pin string, slewIn float64) (float6
 // required times and slacks. Arc delays are recomputed with the fanin's
 // recorded slew, matching the forward pass.
 func (a *Analyzer) propagateRequired(rep *Report, topo []*netlist.Gate) {
+	t0 := time.Now()
+	defer func() { a.lastStats.RequiredSeconds += time.Since(t0).Seconds() }()
 	for _, out := range a.Circuit.Outputs {
 		nt := rep.Nodes[out.Name]
 		if a.Opts.ClockPeriod < nt.Required {
@@ -295,14 +328,18 @@ func (a *Analyzer) Incremental(rep *Report, changed []*netlist.Gate) error {
 		mark(g)
 	}
 
+	t0 := time.Now()
 	topo, err := a.Circuit.TopoGates()
+	a.lastStats.LevelizeSeconds += time.Since(t0).Seconds()
 	if err != nil {
 		return err
 	}
+	t0 = time.Now()
 	for _, g := range topo {
 		if !dirty[g.ID] {
 			continue
 		}
+		a.lastStats.GatesVisited++
 		worst := math.Inf(-1)
 		worstSlew := 0.0
 		worstPin := ""
@@ -326,6 +363,7 @@ func (a *Analyzer) Incremental(rep *Report, changed []*netlist.Gate) error {
 			rep.WorstArrival, rep.WorstOutput = nt.Arrival, out.Name
 		}
 	}
+	a.lastStats.ForwardSeconds += time.Since(t0).Seconds()
 	if a.Opts.ClockPeriod > 0 {
 		for _, nt := range rep.Nodes {
 			nt.Required = math.Inf(1)

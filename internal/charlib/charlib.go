@@ -21,9 +21,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"tpsta/internal/cell"
 	"tpsta/internal/lut"
+	"tpsta/internal/obs"
 	"tpsta/internal/polyfit"
 	"tpsta/internal/spice"
 	"tpsta/internal/tech"
@@ -121,6 +123,10 @@ type Library struct {
 	// on the default vector only).
 	LUT map[string]*lut.Arc `json:"lut"`
 
+	// Stats is the instrumentation snapshot of the Characterize run that
+	// built this library (zero for libraries read back with Load).
+	Stats CharStats `json:"-"`
+
 	// Allocation-free query indexes, built lazily (not serialized).
 	idxOnce sync.Once
 	polyIdx map[arcID]*ArcModel
@@ -157,6 +163,32 @@ func (l *Library) buildIndex() {
 		}
 		l.lutIdx[lutID{parts[0], parts[1], parts[2] == "R"}] = a
 	}
+}
+
+// CharStats is the instrumentation snapshot of one Characterize run.
+type CharStats struct {
+	// Arcs counts timing arcs characterized (one per cell/pin/vector/edge).
+	Arcs int `json:"arcs"`
+	// Workers is the sweep parallelism used.
+	Workers int `json:"workers"`
+	// WallSeconds is the end-to-end Characterize wall time.
+	WallSeconds float64 `json:"wallSeconds"`
+	// SimSeconds totals time inside the electrical sweeps across workers.
+	SimSeconds float64 `json:"simSeconds"`
+	// FitSeconds totals time inside the polynomial regressions across
+	// workers.
+	FitSeconds float64 `json:"fitSeconds"`
+	// BusySeconds totals worker-occupied time (per-arc durations summed).
+	BusySeconds float64 `json:"busySeconds"`
+	// Utilization is BusySeconds / (Workers × WallSeconds) — how well the
+	// sweep kept its workers fed.
+	Utilization float64 `json:"utilization"`
+	// FitSolves counts least-squares solves (regression iterations of
+	// the paper's recursive fitting procedure).
+	FitSolves int64 `json:"fitSolves"`
+	// SlowestArc names the arc that took longest, with its duration.
+	SlowestArc        string  `json:"slowestArc"`
+	SlowestArcSeconds float64 `json:"slowestArcSeconds"`
 }
 
 // Options tune characterization.
@@ -256,9 +288,13 @@ func Characterize(tc *tech.Tech, lib *cell.Lib, grid Grid, opts Options) (*Libra
 		isCase1 bool
 		model   *ArcModel
 		arc     *lut.Arc
+		dur     time.Duration
 		err     error
 	}
 	results := make([]result, len(jobs))
+	tm := &charTimers{}
+	wall := time.Now()
+	solves0 := polyfit.FitSolves()
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, opts.Workers)
 	for i := range jobs {
@@ -272,12 +308,22 @@ func Characterize(tc *tech.Tech, lib *cell.Lib, grid Grid, opts Options) (*Libra
 			r.key = PolyKey(j.c.Name, j.vec.Pin, j.vec.Key(), j.rising)
 			r.lutKey = LUTKey(j.c.Name, j.vec.Pin, j.rising)
 			r.isCase1 = j.vec.Case == 1
-			model, arc, err := characterizeArc(tc, j.c, j.vec, j.rising, grid, out.CinRef[j.c.Name], opts)
+			t0 := time.Now()
+			model, arc, err := characterizeArc(tc, j.c, j.vec, j.rising, grid, out.CinRef[j.c.Name], opts, tm)
+			r.dur = time.Since(t0)
 			r.model, r.arc, r.err = model, arc, err
 		}(i)
 	}
 	wg.Wait()
 
+	st := CharStats{
+		Arcs:        len(jobs),
+		Workers:     opts.Workers,
+		WallSeconds: time.Since(wall).Seconds(),
+		SimSeconds:  tm.sim.Seconds(),
+		FitSeconds:  tm.fit.Seconds(),
+		FitSolves:   polyfit.FitSolves() - solves0,
+	}
 	for _, r := range results {
 		if r.err != nil {
 			return nil, r.err
@@ -286,8 +332,21 @@ func Characterize(tc *tech.Tech, lib *cell.Lib, grid Grid, opts Options) (*Libra
 		if r.isCase1 {
 			out.LUT[r.lutKey] = r.arc
 		}
+		st.BusySeconds += r.dur.Seconds()
+		if s := r.dur.Seconds(); s > st.SlowestArcSeconds {
+			st.SlowestArc, st.SlowestArcSeconds = r.key, s
+		}
 	}
+	if st.Workers > 0 && st.WallSeconds > 0 {
+		st.Utilization = st.BusySeconds / (float64(st.Workers) * st.WallSeconds)
+	}
+	out.Stats = st
 	return out, nil
+}
+
+// charTimers accumulates sim and regression time across sweep workers.
+type charTimers struct {
+	sim, fit obs.Timer
 }
 
 // lutIndices thins an axis of n points down to the sparse sub-grid used
@@ -306,8 +365,9 @@ func lutIndices(n int) []int {
 	return out
 }
 
-// characterizeArc sweeps one arc and fits both model types.
-func characterizeArc(tc *tech.Tech, c *cell.Cell, vec cell.Vector, rising bool, grid Grid, cinRef float64, opts Options) (*ArcModel, *lut.Arc, error) {
+// characterizeArc sweeps one arc and fits both model types, reporting
+// its sim and regression time into tm.
+func characterizeArc(tc *tech.Tech, c *cell.Cell, vec cell.Vector, rising bool, grid Grid, cinRef float64, opts Options, tm *charTimers) (*ArcModel, *lut.Arc, error) {
 	var delaySamples, slewSamples []polyfit.Sample
 	// LUT body at nominal conditions only (index [load][slew]).
 	nomDelay := make([][]float64, len(grid.Fo))
@@ -318,6 +378,7 @@ func characterizeArc(tc *tech.Tech, c *cell.Cell, vec cell.Vector, rising bool, 
 		nomSlew[i] = make([]float64, len(grid.Tin))
 		loads[i] = grid.Fo[i] * cinRef
 	}
+	stopSim := tm.sim.Start()
 	for _, temp := range grid.Temp {
 		for _, vr := range grid.VDDRel {
 			vdd := vr * tc.VDD
@@ -346,12 +407,17 @@ func characterizeArc(tc *tech.Tech, c *cell.Cell, vec cell.Vector, rising bool, 
 		}
 	}
 
+	stopSim()
+
 	auto := polyfit.AutoOptions{Target: opts.Target, MaxOrder: opts.MaxOrder}
+	stopFit := tm.fit.Start()
 	dm, dErr, err := polyfit.FitAuto(ModelVars, delaySamples, auto)
 	if err != nil {
+		stopFit()
 		return nil, nil, fmt.Errorf("charlib: delay fit for %s/%s: %w", c.Name, vec.Pin, err)
 	}
 	sm, _, err := polyfit.FitAuto(ModelVars, slewSamples, auto)
+	stopFit()
 	if err != nil {
 		return nil, nil, fmt.Errorf("charlib: slew fit for %s/%s: %w", c.Name, vec.Pin, err)
 	}

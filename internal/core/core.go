@@ -15,6 +15,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"tpsta/internal/charlib"
 	"tpsta/internal/logic"
 	"tpsta/internal/netlist"
+	"tpsta/internal/obs"
 	"tpsta/internal/sim"
 	"tpsta/internal/tech"
 )
@@ -63,6 +65,114 @@ type Options struct {
 	Temp float64
 	// VDD of 0 selects nominal.
 	VDD float64
+	// Tracer, when non-nil, receives structured search events (input
+	// started, path recorded, truncation, done). Emission happens only
+	// at those coarse points, never per step.
+	Tracer obs.Tracer
+	// Progress, when non-nil, is called every ProgressEvery
+	// sensitization attempts and once more (Done=true) when the search
+	// finishes.
+	Progress func(ProgressInfo)
+	// ProgressEvery is the Progress callback period in sensitization
+	// attempts (default 65536).
+	ProgressEvery int64
+}
+
+// ProgressInfo is the payload of the Options.Progress callback.
+type ProgressInfo struct {
+	// Steps is the sensitization attempts performed so far.
+	Steps int64
+	// MaxSteps echoes the configured budget (0 = unlimited).
+	MaxSteps int64
+	// Paths is the true-path variants recorded so far.
+	Paths int64
+	// Input names the launching primary input currently searched.
+	Input string
+	// Done marks the final callback of the run.
+	Done bool
+}
+
+// TruncReason identifies which cap stopped (part of) a search. The
+// values are ordered by severity: a per-input quota exhaustion only
+// skips the rest of one input cone, while the global caps end the whole
+// search. When several fire, the strongest is reported.
+type TruncReason int
+
+// Truncation causes.
+const (
+	// TruncNone: the search ran to completion.
+	TruncNone TruncReason = iota
+	// TruncInputQuota: at least one launching input exhausted its share
+	// of the MaxSteps budget (Enumerate's budget spreading).
+	TruncInputQuota
+	// TruncMaxVariants: the MaxVariants cap on recorded results fired.
+	TruncMaxVariants
+	// TruncMaxSteps: the global MaxSteps budget ran out.
+	TruncMaxSteps
+)
+
+// String names the reason.
+func (r TruncReason) String() string {
+	switch r {
+	case TruncNone:
+		return "none"
+	case TruncInputQuota:
+		return "input-quota"
+	case TruncMaxVariants:
+		return "max-variants"
+	case TruncMaxSteps:
+		return "max-steps"
+	default:
+		return fmt.Sprintf("TruncReason(%d)", int(r))
+	}
+}
+
+// MarshalJSON encodes the reason as its name.
+func (r TruncReason) MarshalJSON() ([]byte, error) { return json.Marshal(r.String()) }
+
+// UnmarshalJSON decodes a reason name.
+func (r *TruncReason) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for _, cand := range []TruncReason{TruncNone, TruncInputQuota, TruncMaxVariants, TruncMaxSteps} {
+		if cand.String() == s {
+			*r = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown truncation reason %q", s)
+}
+
+// SearchStats is the instrumentation snapshot of one search run —
+// the counters behind the paper's efficiency claims, exposed via
+// Engine.Stats and Result.Stats.
+type SearchStats struct {
+	// SensitizationAttempts counts sensitization-decision applications
+	// (the search's unit of work, Options.MaxSteps's currency).
+	SensitizationAttempts int64 `json:"sensitizationAttempts"`
+	// Conflicts counts launch-edge scenarios killed by forward
+	// implication — the paper's early conflict detection that avoids a
+	// full justification per decision.
+	Conflicts int64 `json:"conflicts"`
+	// Backtracks counts justification alternatives undone while
+	// resolving end-of-path obligations.
+	Backtracks int64 `json:"backtracks"`
+	// JustificationAborts counts completed paths dropped because their
+	// justification exceeded Options.JustifyBudget.
+	JustificationAborts int64 `json:"justificationAborts"`
+	// InputQuotaExhaustions counts launching inputs whose DFS quota ran
+	// out under Enumerate's budget spreading.
+	InputQuotaExhaustions int64 `json:"inputQuotaExhaustions"`
+	// PathsRecorded counts distinct true-path variants recorded.
+	PathsRecorded int64 `json:"pathsRecorded"`
+	// PathsDeduped counts justified variants dropped as duplicates of an
+	// already-recorded (course, vectors, cube, edges) combination.
+	PathsDeduped int64 `json:"pathsDeduped"`
+	// Truncation is the strongest cap that fired (TruncNone when the
+	// search completed).
+	Truncation TruncReason `json:"truncation"`
 }
 
 func (o Options) withDefaults(tc *tech.Tech) Options {
@@ -156,11 +266,16 @@ type Result struct {
 	MultiVectorCourses int
 	// Truncated is set when a cap stopped the search early.
 	Truncated bool
+	// Truncation names the strongest cap that fired (TruncNone when
+	// Truncated is false).
+	Truncation TruncReason
 	// Steps counts sensitization attempts performed.
 	Steps int64
 	// JustificationAborts counts completed paths dropped because their
 	// justification exceeded Options.JustifyBudget.
 	JustificationAborts int64
+	// Stats is the full instrumentation snapshot of the run.
+	Stats SearchStats
 }
 
 // Engine runs true-path searches over one circuit.
@@ -173,7 +288,14 @@ type Engine struct {
 	Opts Options
 
 	loadCache map[int]float64 // gate ID → output load capacitance
+	lastStats SearchStats     // snapshot of the most recent search
 }
+
+// Stats returns the instrumentation snapshot of the engine's most
+// recent search (Enumerate, EnumerateCourse or KWorst). Engines are
+// single-threaded; read Stats after a run returns. Identical runs yield
+// identical snapshots — the search is deterministic.
+func (e *Engine) Stats() SearchStats { return e.lastStats }
 
 // New builds an engine. lib may be nil for structure-only analysis.
 func New(c *netlist.Circuit, tc *tech.Tech, lib *charlib.Library, opts Options) *Engine {
@@ -201,7 +323,7 @@ func (e *Engine) Enumerate() (*Result, error) {
 		if e.Opts.MaxSteps > 0 {
 			remaining := e.Opts.MaxSteps - s.steps
 			if remaining <= 0 {
-				s.truncated = true
+				s.truncate(TruncMaxSteps)
 				break
 			}
 			s.inputQuota = remaining / int64(len(inputs)-i)

@@ -7,6 +7,7 @@ import (
 	"tpsta/internal/cell"
 	"tpsta/internal/logic"
 	"tpsta/internal/netlist"
+	"tpsta/internal/obs"
 	"tpsta/internal/sim"
 )
 
@@ -40,6 +41,16 @@ type searcher struct {
 	justAborts int64
 	stopped    bool
 	truncated  bool
+	truncWhy   TruncReason
+
+	// Instrumentation counters (plain int64: the search is
+	// single-threaded; snapshots are taken in result()).
+	conflicts     int64
+	backtracks    int64
+	quotaExhausts int64
+	recorded      int64
+	deduped       int64
+	progressEvery int64
 
 	// inputQuota bounds the steps of the current launching input's DFS
 	// (0 = unlimited); inputStart and inputExhausted implement it.
@@ -95,6 +106,10 @@ func newSearcher(e *Engine) (*searcher, error) {
 	for i := range s.values {
 		s.values[i] = logic.DualX
 	}
+	s.progressEvery = e.Opts.ProgressEvery
+	if s.progressEvery <= 0 {
+		s.progressEvery = 65536
+	}
 	s.gateFanins = make([][]int, len(e.Circuit.Gates))
 	for _, g := range e.Circuit.Gates {
 		ids := make([]int, len(g.Cell.Inputs))
@@ -104,6 +119,41 @@ func newSearcher(e *Engine) (*searcher, error) {
 		s.gateFanins[g.ID] = ids
 	}
 	return s, nil
+}
+
+// truncate marks the search truncated, keeping the strongest reason
+// seen (global caps outrank a per-input quota).
+func (s *searcher) truncate(why TruncReason) {
+	s.truncated = true
+	if why > s.truncWhy {
+		s.truncWhy = why
+	}
+}
+
+// trace emits ev when a tracer is configured.
+func (s *searcher) trace(ev obs.Event) {
+	if t := s.eng.Opts.Tracer; t != nil {
+		t.Emit(ev)
+	}
+}
+
+// progress fires the periodic progress callback.
+func (s *searcher) progress(done bool) {
+	p := s.eng.Opts.Progress
+	if p == nil {
+		return
+	}
+	name := ""
+	if s.start != nil {
+		name = s.start.Name
+	}
+	p(ProgressInfo{
+		Steps:    s.steps,
+		MaxSteps: s.eng.Opts.MaxSteps,
+		Paths:    s.recorded,
+		Input:    name,
+		Done:     done,
+	})
 }
 
 func (s *searcher) save() frame {
@@ -127,6 +177,7 @@ func (s *searcher) searchFrom(in *netlist.Node) {
 	s.curRising = true
 	s.inputStart = s.steps
 	s.inputExhausted = false
+	s.trace(obs.Event{Kind: "input", Input: in.Name, Steps: s.steps})
 	f := s.save()
 	if s.assign(in.ID, logic.DualTransition) {
 		s.pathNodes = append(s.pathNodes[:0], in.Name)
@@ -157,6 +208,7 @@ func (s *searcher) assign(nid int, val logic.Dual) bool {
 			nv, ok := logic.Intersect(cur.Rise, w.val.Rise)
 			if !ok {
 				s.aliveR = false
+				s.conflicts++
 			} else if nv != cur.Rise {
 				next.Rise = nv
 				changed = true
@@ -166,6 +218,7 @@ func (s *searcher) assign(nid int, val logic.Dual) bool {
 			nv, ok := logic.Intersect(cur.Fall, w.val.Fall)
 			if !ok {
 				s.aliveF = false
+				s.conflicts++
 			} else if nv != cur.Fall {
 				next.Fall = nv
 				changed = true
@@ -318,6 +371,7 @@ func (s *searcher) justifyFirst(pending []obligation, budget *int) bool {
 		}
 		s.restore(f)
 		*budget--
+		s.backtracks++
 	}
 	return false
 }
@@ -354,12 +408,20 @@ func (s *searcher) feasibleCubes(ob obligation) []cube {
 // no contradiction surfaced.
 func (s *searcher) withVector(g *netlist.Gate, vec cell.Vector, cont func()) {
 	s.steps++
+	if s.eng.Opts.Progress != nil && s.steps%s.progressEvery == 0 {
+		s.progress(false)
+	}
 	if max := s.eng.Opts.MaxSteps; max > 0 && s.steps > max {
-		s.stopped, s.truncated = true, true
+		s.stopped = true
+		s.truncate(TruncMaxSteps)
+		s.trace(obs.Event{Kind: "truncate", Detail: TruncMaxSteps.String(), Steps: s.steps})
 		return
 	}
 	if s.inputQuota > 0 && s.steps-s.inputStart > s.inputQuota {
-		s.inputExhausted, s.truncated = true, true
+		s.inputExhausted = true
+		s.quotaExhausts++
+		s.truncate(TruncInputQuota)
+		s.trace(obs.Event{Kind: "truncate", Detail: TruncInputQuota.String(), Input: s.start.Name, Steps: s.steps})
 		return
 	}
 	f := s.save()
@@ -555,9 +617,11 @@ func (s *searcher) emit() {
 	}
 	key := p.CourseKey() + "|" + vk.String() + "|" + cubeKey.String() + "|" + edges
 	if s.seen[key] {
+		s.deduped++
 		return
 	}
 	s.seen[key] = true
+	s.recorded++
 
 	if p.RiseOK {
 		if d, err := s.eng.pathDelay(p.Arcs, true); err == nil {
@@ -569,17 +633,24 @@ func (s *searcher) emit() {
 			p.FallDelay = d
 		}
 	}
+	if s.eng.Opts.Tracer != nil {
+		s.trace(obs.Event{Kind: "path", Path: p.String(), Edges: edges,
+			DelayPs: p.WorstDelay() * 1e12, Steps: s.steps})
+	}
 	if s.prune != nil {
 		s.prune.add(p)
 		return
 	}
 	s.paths = append(s.paths, p)
 	if max := s.eng.Opts.MaxVariants; max > 0 && len(s.paths) >= max {
-		s.stopped, s.truncated = true, true
+		s.stopped = true
+		s.truncate(TruncMaxVariants)
+		s.trace(obs.Event{Kind: "truncate", Detail: TruncMaxVariants.String(), Steps: s.steps})
 	}
 }
 
-// result packages the recorded paths.
+// result packages the recorded paths and publishes the instrumentation
+// snapshot on the engine.
 func (s *searcher) result() *Result {
 	if s.prune != nil {
 		s.paths = s.prune.all()
@@ -595,12 +666,27 @@ func (s *searcher) result() *Result {
 			multi++
 		}
 	}
+	stats := SearchStats{
+		SensitizationAttempts: s.steps,
+		Conflicts:             s.conflicts,
+		Backtracks:            s.backtracks,
+		JustificationAborts:   s.justAborts,
+		InputQuotaExhaustions: s.quotaExhausts,
+		PathsRecorded:         s.recorded,
+		PathsDeduped:          s.deduped,
+		Truncation:            s.truncWhy,
+	}
+	s.eng.lastStats = stats
+	s.progress(true)
+	s.trace(obs.Event{Kind: "done", Steps: s.steps, N: s.recorded})
 	return &Result{
 		Paths:               s.paths,
 		Courses:             len(courses),
 		MultiVectorCourses:  multi,
 		Truncated:           s.truncated,
+		Truncation:          s.truncWhy,
 		Steps:               s.steps,
 		JustificationAborts: s.justAborts,
+		Stats:               stats,
 	}
 }

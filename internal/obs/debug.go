@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// published guards against double expvar registration (expvar.Publish
+// panics on duplicates; CLI tests may wire the same name twice).
+var published sync.Map
+
+// Publish registers f as an expvar under name. Re-publishing an
+// existing name is a no-op.
+func Publish(name string, f func() any) {
+	if _, dup := published.LoadOrStore(name, true); dup {
+		return
+	}
+	expvar.Publish(name, expvar.Func(f))
+}
+
+// ServeDebug starts an HTTP server on addr exposing the process expvars
+// at /debug/vars and the pprof profile family under /debug/pprof/. It
+// returns the bound address (useful with ":0") and never blocks; the
+// server runs until the process exits.
+func ServeDebug(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}

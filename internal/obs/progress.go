@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Printer renders a self-overwriting single-line progress indicator
+// (normally on stderr): steps so far, steps/sec derived from the wall
+// clock and, when a budget is known, percent done and an ETA against
+// it. Finish terminates the line so subsequent output starts clean.
+type Printer struct {
+	w       io.Writer
+	start   time.Time
+	lastLen int
+	wrote   bool
+}
+
+// NewPrinter builds a Printer writing to w.
+func NewPrinter(w io.Writer) *Printer {
+	return &Printer{w: w, start: time.Now()}
+}
+
+// Update redraws the progress line.
+func (p *Printer) Update(steps, budget, paths int64) {
+	elapsed := time.Since(p.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(steps) / elapsed
+	}
+	line := fmt.Sprintf("search: %s steps %s/s paths %d", siCount(steps), siCount(int64(rate)), paths)
+	if budget > 0 && rate > 0 {
+		pct := 100 * float64(steps) / float64(budget)
+		if pct > 100 {
+			pct = 100
+		}
+		eta := float64(budget-steps) / rate
+		if eta < 0 {
+			eta = 0
+		}
+		line += fmt.Sprintf(" %.0f%% eta %.1fs", pct, eta)
+	}
+	p.draw(line)
+}
+
+// Done draws a final line (no ETA — the search ended, whether or not it
+// spent its budget) and terminates it.
+func (p *Printer) Done(steps, paths int64) {
+	elapsed := time.Since(p.start).Seconds()
+	p.draw(fmt.Sprintf("search: %s steps in %.1fs, %d paths", siCount(steps), elapsed, paths))
+	p.Finish()
+}
+
+// Finish clears the progress state and terminates the line (only when
+// something was drawn).
+func (p *Printer) Finish() {
+	if !p.wrote {
+		return
+	}
+	fmt.Fprintln(p.w)
+	p.wrote = false
+	p.lastLen = 0
+}
+
+func (p *Printer) draw(line string) {
+	pad := ""
+	if n := p.lastLen - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	fmt.Fprintf(p.w, "\r%s%s", line, pad)
+	p.lastLen = len(line)
+	p.wrote = true
+}
+
+// siCount renders a count with a k/M suffix for readability.
+func siCount(n int64) string {
+	switch {
+	case n >= 10_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.0fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record emitted by a search engine.
+// Kind identifies the event; the remaining fields are event-specific
+// and omitted from the encoding when zero:
+//
+//	"input"    — DFS from a launching primary input begins (Input, Steps)
+//	"path"     — a true path was recorded (Path, Edges, DelayPs, Steps)
+//	"truncate" — a search cap fired (Detail = reason, Steps)
+//	"done"     — the search finished (Steps, N = paths recorded)
+type Event struct {
+	// T is seconds since the tracer was created (stamped by the sink,
+	// not the engine).
+	T      float64 `json:"t"`
+	Kind   string  `json:"kind"`
+	Input  string  `json:"input,omitempty"`
+	Path   string  `json:"path,omitempty"`
+	Edges  string  `json:"edges,omitempty"`
+	DelayPs float64 `json:"delayPs,omitempty"`
+	Steps  int64   `json:"steps,omitempty"`
+	N      int64   `json:"n,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// Tracer consumes structured search events. Engines call Emit only at
+// coarse event points (path recorded, input started, truncation), never
+// per search step, so an implementation may do real I/O.
+type Tracer interface {
+	Emit(ev Event)
+}
+
+// JSONL writes events as JSON Lines through a buffered writer. It
+// stamps Event.T relative to its creation time. Safe for concurrent
+// Emit calls; call Flush before closing the underlying writer.
+type JSONL struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	enc   *json.Encoder
+	start time.Time
+}
+
+// NewJSONL builds a JSONL tracer over w.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{w: bw, enc: json.NewEncoder(bw), start: time.Now()}
+}
+
+// Emit stamps and writes one event as a JSON line. Encoding errors are
+// dropped (tracing must never fail a search).
+func (t *JSONL) Emit(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ev.T = time.Since(t.start).Seconds()
+	_ = t.enc.Encode(ev)
+}
+
+// Flush drains the buffer to the underlying writer.
+func (t *JSONL) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Flush()
+}

@@ -18,7 +18,17 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
+
+// fitSolves counts least-squares solves performed by Fit since process
+// start. FitAuto's recursive regression tries several candidate orders
+// per accepted model, so this is the "regression iterations" figure of
+// a characterization run; read deltas around the region of interest.
+var fitSolves atomic.Int64
+
+// FitSolves returns the process-wide least-squares solve count.
+func FitSolves() int64 { return fitSolves.Load() }
 
 // Model is a fitted multivariate polynomial.
 type Model struct {
@@ -145,6 +155,7 @@ func (m *Model) Eval(x []float64) float64 {
 // It fails when there are fewer samples than monomials or the normal
 // equations are singular.
 func Fit(vars []string, orders []int, samples []Sample) (*Model, error) {
+	fitSolves.Add(1)
 	if len(vars) != len(orders) {
 		return nil, errors.New("polyfit: vars/orders length mismatch")
 	}

@@ -45,6 +45,7 @@ import (
 	"tpsta/internal/eco"
 	"tpsta/internal/liberty"
 	"tpsta/internal/netlist"
+	"tpsta/internal/obs"
 	"tpsta/internal/power"
 	"tpsta/internal/sdf"
 	"tpsta/internal/sim"
@@ -95,6 +96,53 @@ type (
 	// Simulator is the switch-level transient simulator.
 	Simulator = spice.Sim
 )
+
+// Observability. The engines expose typed instrumentation snapshots
+// (Engine.Stats, Baseline.Stats, BlockAnalyzer.Stats, Library.Stats)
+// and accept structured tracers and progress callbacks through their
+// options; ServeDebug opens the expvar/pprof endpoints.
+
+type (
+	// EngineStats is the true-path engine's instrumentation snapshot:
+	// sensitization attempts, conflicts caught by forward implication,
+	// justification backtracks and aborts, per-input quota exhaustions,
+	// paths recorded/deduped, and the truncation cause.
+	EngineStats = core.SearchStats
+	// EngineProgress is the payload of EngineOptions.Progress.
+	EngineProgress = core.ProgressInfo
+	// TruncReason identifies which cap stopped (part of) a search.
+	TruncReason = core.TruncReason
+	// BaselineStats is the emulated tool's instrumentation snapshot
+	// (structural candidates vs. sensitizable, backtrack-limit hits).
+	BaselineStats = baseline.Stats
+	// BlockStats is the block analyzer's instrumentation snapshot
+	// (levelization and propagation timings, arc queries).
+	BlockStats = block.Stats
+	// CharStats is the characterization instrumentation snapshot
+	// (per-arc sweep/fit timings, worker utilization, fit solves).
+	CharStats = charlib.CharStats
+	// Tracer consumes structured search events (see EngineOptions.Tracer).
+	Tracer = obs.Tracer
+	// TraceEvent is one structured search event.
+	TraceEvent = obs.Event
+)
+
+// Truncation causes (see TruncReason).
+const (
+	TruncNone        = core.TruncNone
+	TruncInputQuota  = core.TruncInputQuota
+	TruncMaxVariants = core.TruncMaxVariants
+	TruncMaxSteps    = core.TruncMaxSteps
+)
+
+// NewJSONLTracer builds a tracer writing one JSON event per line to w;
+// call Flush before closing w.
+func NewJSONLTracer(w io.Writer) *obs.JSONL { return obs.NewJSONL(w) }
+
+// ServeDebug starts an HTTP server on addr exposing expvar at
+// /debug/vars and pprof under /debug/pprof/, returning the bound
+// address (useful with ":0").
+func ServeDebug(addr string) (string, error) { return obs.ServeDebug(addr) }
 
 // Technologies returns the three built-in technology cards.
 func Technologies() []*Tech { return tech.All() }
