@@ -8,12 +8,14 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-commit gate: static analysis plus the race-sensitive
-# packages (the instrumentation layer and the search engine it threads
-# through) under the race detector.
+# check is the pre-commit gate: static analysis, the race-sensitive
+# packages (the instrumentation layer, the parallel search engine and
+# the shared cell/library caches it touches) under the race detector,
+# and a short fuzz smoke of the Verilog parser.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/obs ./internal/core
+	$(GO) test -race ./internal/obs ./internal/core ./internal/cell ./internal/charlib
+	$(GO) test -run '^$$' -fuzz '^FuzzVerilog$$' -fuzztime 10s ./internal/netlist
 
 race:
 	$(GO) test -race ./...

@@ -11,10 +11,14 @@
 package tpsta_test
 
 import (
+	"fmt"
 	"testing"
 
+	"tpsta/internal/circuits"
+	"tpsta/internal/core"
 	"tpsta/internal/exp"
 	"tpsta/internal/report"
+	"tpsta/internal/tech"
 )
 
 var quick = exp.Config{Quick: true}
@@ -139,5 +143,40 @@ func benchAccuracy(b *testing.B, fn func(exp.Config) ([]exp.AccuracyRow, *report
 					r.Circuit, r.DevMeanPath*100, r.ComMeanPath*100)
 			}
 		}
+	}
+}
+
+// BenchmarkParallelSearch measures the sharded true-path search
+// (Options.Workers) on a multi-output generated circuit, structure-only
+// so the measurement isolates the search itself. Every pool size must
+// report the same number of paths — the differential harness in
+// internal/core pins full byte-identity; here the benchmark only guards
+// against gross divergence while timing.
+func BenchmarkParallelSearch(b *testing.B) {
+	cir, err := circuits.Generate(circuits.Profile{
+		Name: "benchpar", Inputs: 16, Outputs: 8, Gates: 160, Depth: 9, Seed: 12345})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc, err := tech.ByName("130nm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	wantPaths := -1
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.New(cir, tc, nil, core.Options{Workers: workers}).Enumerate()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if wantPaths < 0 {
+					wantPaths = len(res.Paths)
+				}
+				if len(res.Paths) != wantPaths {
+					b.Fatalf("workers=%d found %d paths, want %d", workers, len(res.Paths), wantPaths)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+// searchLine matches the wall-clock search summary. It is elided from
+// the golden comparison: the elapsed time varies run to run, and the
+// K-worst branch-and-bound counters legitimately differ between pool
+// sizes (see the differential harness in internal/core).
+var searchLine = regexp.MustCompile(`(?m)^search: .*\n`)
+
+func normalizeReport(out []byte) []byte {
+	return searchLine.ReplaceAll(out, []byte("search: [elided]\n"))
+}
+
+// TestReportGolden pins the c17 report byte-for-byte (structure-only
+// mode, so no characterization noise) and checks that a parallel run
+// renders the identical report. Regenerate with: go test ./cmd/tpsta
+// -run TestReportGolden -update
+func TestReportGolden(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "c17_report.golden")
+	render := func(workers int) []byte {
+		var buf bytes.Buffer
+		cfg := config{circuitName: "c17", techName: "130nm", k: 10,
+			maxSteps: 10000, structural: true, workers: workers}
+		if err := run(cfg, &buf); err != nil {
+			t.Fatalf("run(workers=%d): %v", workers, err)
+		}
+		return normalizeReport(buf.Bytes())
+	}
+	serial := render(1)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, serial, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(serial, want) {
+		t.Errorf("serial report differs from golden (regenerate with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", serial, want)
+	}
+	if par := render(4); !bytes.Equal(par, serial) {
+		t.Errorf("workers=4 report differs from serial:\n--- parallel ---\n%s\n--- serial ---\n%s", par, serial)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -47,6 +48,7 @@ type config struct {
 	techName    string
 	libFile     string
 	k           int
+	workers     int
 	complexOnly bool
 	maxSteps    int64
 	quickChar   bool
@@ -72,6 +74,7 @@ func main() {
 	flag.StringVar(&cfg.techName, "tech", "130nm", "technology: 130nm, 90nm or 65nm")
 	flag.StringVar(&cfg.libFile, "lib", "", "characterized library JSON (default: characterize now)")
 	flag.IntVar(&cfg.k, "k", 10, "number of worst paths to report")
+	flag.IntVar(&cfg.workers, "workers", 0, "parallel search workers (0 = all CPUs, 1 = serial)")
 	flag.BoolVar(&cfg.complexOnly, "complex-only", false, "report only paths through multi-vector gates")
 	flag.Int64Var(&cfg.maxSteps, "max-steps", 2_000_000, "search budget (sensitization attempts)")
 	flag.BoolVar(&cfg.quickChar, "quick-char", false, "characterize on the reduced grid (faster startup)")
@@ -88,7 +91,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(cfg); err != nil {
+	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tpsta:", err)
 		os.Exit(1)
 	}
@@ -109,6 +112,7 @@ type statsReport struct {
 		Tech        string `json:"tech"`
 		K           int    `json:"k"`
 		MaxSteps    int64  `json:"maxSteps"`
+		Workers     int    `json:"workers"`
 		Robust      bool   `json:"robust"`
 		ComplexOnly bool   `json:"complexOnly"`
 		Structural  bool   `json:"structural"`
@@ -123,9 +127,10 @@ type statsReport struct {
 		WorstDelayPs       float64 `json:"worstDelayPs"`
 	} `json:"result"`
 	Characterization *charlib.CharStats `json:"characterization,omitempty"`
+	Parallel         *core.ParallelStats `json:"parallel,omitempty"`
 }
 
-func run(cfg config) error {
+func run(cfg config, out io.Writer) error {
 	phases := &obs.Phases{}
 
 	// Open the stats file up front: a typo'd path must not surface only
@@ -154,6 +159,12 @@ func run(cfg config) error {
 				return core.SearchStats{}
 			}
 			return eng.Stats()
+		})
+		obs.Publish("tpsta.parallel", func() any {
+			if eng == nil {
+				return core.ParallelStats{}
+			}
+			return eng.ParallelStats()
 		})
 	}
 
@@ -198,7 +209,7 @@ func run(cfg config) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("restricted to the cone of %v: %d of %d gates\n", outs, len(cone.Gates), len(cir.Gates))
+		fmt.Fprintf(out, "restricted to the cone of %v: %d of %d gates\n", outs, len(cone.Gates), len(cir.Gates))
 		cir = cone
 	}
 	stopLoad()
@@ -207,7 +218,7 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %d inputs, %d outputs, %d gates (depth %d, %d complex)\n",
+	fmt.Fprintf(out, "%s: %d inputs, %d outputs, %d gates (depth %d, %d complex)\n",
 		st.Name, st.Inputs, st.Outputs, st.Gates, st.Depth, st.ComplexGates)
 
 	var lib *charlib.Library
@@ -227,13 +238,13 @@ func run(cfg config) error {
 		if lib.TechName != tc.Name {
 			return fmt.Errorf("library is for %s, not %s", lib.TechName, tc.Name)
 		}
-		fmt.Printf("loaded %s\n", lib)
+		fmt.Fprintf(out, "loaded %s\n", lib)
 	} else {
 		grid := charlib.NominalGrid()
 		if cfg.quickChar {
 			grid = charlib.TestGrid()
 		}
-		fmt.Printf("characterizing %s library...\n", tc.Name)
+		fmt.Fprintf(out, "characterizing %s library...\n", tc.Name)
 		stopChar := phases.Start("characterize")
 		lib, err = charlib.Characterize(tc, cell.Default(), grid, charlib.Options{})
 		if err != nil {
@@ -241,7 +252,7 @@ func run(cfg config) error {
 		}
 		d := stopChar()
 		charStats = &lib.Stats
-		fmt.Printf("characterized %d arcs in %.1fs (%.0f%% worker utilization, %d fit solves)\n",
+		fmt.Fprintf(out, "characterized %d arcs in %.1fs (%.0f%% worker utilization, %d fit solves)\n",
 			len(lib.Poly), d.Seconds(), lib.Stats.Utilization*100, lib.Stats.FitSolves)
 	}
 
@@ -257,11 +268,11 @@ func run(cfg config) error {
 		if err := sdf.Write(f, cir, tc, lib, sdf.Options{}); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", cfg.sdfFile)
+		fmt.Fprintf(out, "wrote %s\n", cfg.sdfFile)
 		return nil
 	}
 
-	opts := core.Options{ComplexOnly: cfg.complexOnly, MaxSteps: cfg.maxSteps, Robust: cfg.robust}
+	opts := core.Options{Workers: cfg.workers, ComplexOnly: cfg.complexOnly, MaxSteps: cfg.maxSteps, Robust: cfg.robust}
 
 	var tracer *obs.JSONL
 	if cfg.traceFile != "" {
@@ -276,6 +287,7 @@ func run(cfg config) error {
 	if cfg.progress {
 		pp := obs.NewPrinter(os.Stderr)
 		opts.Progress = func(pi core.ProgressInfo) {
+			pp.SetWorkers(pi.Workers)
 			if pi.Done {
 				pp.Done(pi.Steps, pi.Paths)
 				return
@@ -291,11 +303,15 @@ func run(cfg config) error {
 		return err
 	}
 	searchDur := stopSearch()
+	if ps := eng.ParallelStats(); ps.Workers > 1 {
+		fmt.Fprintf(os.Stderr, "parallel: %d workers over %d shards, %.0f%% pool utilization\n",
+			ps.Workers, ps.Shards, ps.Utilization*100)
+	}
 	if res.Truncated {
 		fmt.Fprintf(os.Stderr, "warning: search truncated (%s) — results may be incomplete; raise -max-steps to search further\n",
 			res.Truncation)
 	}
-	fmt.Printf("search: %d steps in %.2fs (%d conflicts, %d backtracks, %d justification aborts)\n\n",
+	fmt.Fprintf(out, "search: %d steps in %.2fs (%d conflicts, %d backtracks, %d justification aborts)\n\n",
 		res.Steps, searchDur.Seconds(), res.Stats.Conflicts, res.Stats.Backtracks, res.JustificationAborts)
 
 	if cfg.testsFile != "" {
@@ -310,7 +326,7 @@ func run(cfg config) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d-path test set to %s\n", len(res.Paths), cfg.testsFile)
+		fmt.Fprintf(out, "wrote %d-path test set to %s\n", len(res.Paths), cfg.testsFile)
 	}
 
 	if cfg.dotFile != "" && len(res.Paths) > 0 {
@@ -325,7 +341,7 @@ func run(cfg config) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (worst path highlighted)\n", cfg.dotFile)
+		fmt.Fprintf(out, "wrote %s (worst path highlighted)\n", cfg.dotFile)
 	}
 
 	tb := report.New(fmt.Sprintf("%d worst true paths", len(res.Paths)),
@@ -337,7 +353,7 @@ func run(cfg config) error {
 		}
 		tb.Row(i+1, report.Ps(p.WorstDelay()), edge, p.String(), cubeString(p))
 	}
-	if err := tb.Render(os.Stdout); err != nil {
+	if err := tb.Render(out); err != nil {
 		return err
 	}
 	if cfg.detail {
@@ -346,10 +362,10 @@ func run(cfg config) error {
 			if p.FallOK && p.FallDelay > p.RiseDelay {
 				rising = false
 			}
-			if err := eng.WritePathReport(os.Stdout, p, rising); err != nil {
+			if err := eng.WritePathReport(out, p, rising); err != nil {
 				return err
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 	}
 
@@ -357,7 +373,7 @@ func run(cfg config) error {
 		if err := tracer.Flush(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote search trace to %s\n", cfg.traceFile)
+		fmt.Fprintf(out, "wrote search trace to %s\n", cfg.traceFile)
 	}
 
 	if statsOut != nil {
@@ -372,6 +388,7 @@ func run(cfg config) error {
 		sr.Options.Tech = cfg.techName
 		sr.Options.K = cfg.k
 		sr.Options.MaxSteps = cfg.maxSteps
+		sr.Options.Workers = cfg.workers
 		sr.Options.Robust = cfg.robust
 		sr.Options.ComplexOnly = cfg.complexOnly
 		sr.Options.Structural = cfg.structural
@@ -385,6 +402,9 @@ func run(cfg config) error {
 			sr.Result.WorstDelayPs = res.Paths[0].WorstDelay() * 1e12
 		}
 		sr.Characterization = charStats
+		if ps := eng.ParallelStats(); ps.Workers > 1 {
+			sr.Parallel = &ps
+		}
 		buf, err := json.MarshalIndent(&sr, "", "  ")
 		if err != nil {
 			return err
@@ -392,7 +412,7 @@ func run(cfg config) error {
 		if _, err := statsOut.Write(append(buf, '\n')); err != nil {
 			return err
 		}
-		fmt.Printf("wrote run report to %s\n", cfg.statsFile)
+		fmt.Fprintf(out, "wrote run report to %s\n", cfg.statsFile)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -20,22 +21,22 @@ func TestRunEndToEnd(t *testing.T) {
 		src.maxSteps = 10000
 		src.quickChar = true
 		src.structural = true
-		if err := run(src); err != nil {
+		if err := run(src, io.Discard); err != nil {
 			t.Fatalf("run(%+v): %v", src, err)
 		}
 	}
 	// Built-in circuit path with a cone restriction and detail report.
 	if err := run(config{circuitName: "c17", coneOutputs: "22", detail: true,
-		techName: "130nm", k: 3, maxSteps: 10000, quickChar: true, structural: true}); err != nil {
+		techName: "130nm", k: 3, maxSteps: 10000, quickChar: true, structural: true}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	// Unknown tech and unknown circuit fail cleanly.
 	if err := run(config{circuitName: "c17", techName: "28nm", k: 3, maxSteps: 1000,
-		quickChar: true, structural: true}); err == nil {
+		quickChar: true, structural: true}, io.Discard); err == nil {
 		t.Error("unknown tech should fail")
 	}
 	if err := run(config{circuitName: "c9999", techName: "130nm", k: 3, maxSteps: 1000,
-		quickChar: true, structural: true}); err == nil {
+		quickChar: true, structural: true}, io.Discard); err == nil {
 		t.Error("unknown circuit should fail")
 	}
 }
@@ -48,7 +49,7 @@ func TestRunStatsAndTrace(t *testing.T) {
 	statsPath := filepath.Join(dir, "run.json")
 	tracePath := filepath.Join(dir, "run.jsonl")
 	if err := run(config{circuitName: "c17", techName: "130nm", k: 5, maxSteps: 10000,
-		structural: true, statsFile: statsPath, traceFile: tracePath}); err != nil {
+		structural: true, statsFile: statsPath, traceFile: tracePath}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 
@@ -107,7 +108,7 @@ func TestRunWithSDFAndTests(t *testing.T) {
 	dir := t.TempDir()
 	sdfPath := filepath.Join(dir, "out.sdf")
 	if err := run(config{benchFile: "../../testdata/mini.bench", sdfFile: sdfPath,
-		techName: "130nm", k: 3, maxSteps: 10000, quickChar: true}); err != nil {
+		techName: "130nm", k: 3, maxSteps: 10000, quickChar: true}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if st, err := os.Stat(sdfPath); err != nil || st.Size() == 0 {
@@ -115,7 +116,7 @@ func TestRunWithSDFAndTests(t *testing.T) {
 	}
 	testsPath := filepath.Join(dir, "tests.txt")
 	if err := run(config{circuitName: "c17", testsFile: testsPath,
-		techName: "130nm", k: 3, maxSteps: 10000, quickChar: true}); err != nil {
+		techName: "130nm", k: 3, maxSteps: 10000, quickChar: true}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if st, err := os.Stat(testsPath); err != nil || st.Size() == 0 {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"tpsta/internal/expr"
 	"tpsta/internal/logic"
@@ -51,6 +52,18 @@ type Cell struct {
 	vectors  map[string][]Vector // per-pin sensitization vectors, lazily built
 	topology *Topology           // elaborated transistor network, lazily built
 	fastEval evalFn              // compiled function evaluator, lazily built
+
+	// justify caches the prime-implicant cubes per required output value
+	// ([0] = false, [1] = true). Each slot is guarded by its own
+	// sync.Once, so concurrent searchers share one computation with no
+	// lock on the read path (see JustifyCubes).
+	justify [2]justifySlot
+}
+
+// justifySlot is one lazily-built justification-cube cache entry.
+type justifySlot struct {
+	once  sync.Once
+	cubes []Cube
 }
 
 // Output is the name of every cell's output net.
@@ -107,11 +120,14 @@ func (v Vector) String() string {
 
 // Vectors returns the exhaustive list of sensitization vectors for pin,
 // in the paper's Case order. The result is cached; callers must not
-// mutate it. Unknown pins yield nil.
+// mutate it. Unknown pins yield nil (and are never cached, so querying
+// one on a shared, precomputed cell performs no map write).
+//
+// Cells obtained from a Lib are fully precomputed at construction and
+// safe for concurrent use; hand-built cells must be warmed (Vectors on
+// every input, Topology, EvalFast) before being shared across
+// goroutines.
 func (c *Cell) Vectors(pin string) []Vector {
-	if c.vectors == nil {
-		c.vectors = make(map[string][]Vector, len(c.Inputs))
-	}
 	if vs, ok := c.vectors[pin]; ok {
 		return vs
 	}
@@ -123,8 +139,10 @@ func (c *Cell) Vectors(pin string) []Vector {
 		}
 	}
 	if !valid {
-		c.vectors[pin] = nil
 		return nil
+	}
+	if c.vectors == nil {
+		c.vectors = make(map[string][]Vector, len(c.Inputs))
 	}
 	assigns := expr.SensitizingAssignments(c.Function, pin)
 	vs := make([]Vector, len(assigns))

@@ -62,6 +62,8 @@ func upsize(c *Cell, factor float64, name string) *Cell {
 		x.Vectors(pin)
 	}
 	x.compileEval()
+	JustifyCubes(x, false)
+	JustifyCubes(x, true)
 	return x
 }
 

@@ -2,7 +2,6 @@ package cell
 
 import (
 	"sort"
-	"sync"
 
 	"tpsta/internal/expr"
 )
@@ -16,30 +15,24 @@ type Lit struct {
 // Cube is a minimal input assignment forcing a cell output value.
 type Cube []Lit
 
-var (
-	cubeMu    sync.Mutex
-	cubeCache = map[string][]Cube{}
-)
-
 // JustifyCubes returns the prime implicants of the cell's function (for
 // val=true) or of its complement (val=false): the complete, minimal set
 // of alternative input assignments that justify the required output
 // value. Both path engines use these as their justification choices.
+//
+// The cubes are memoized on the cell itself behind a per-(cell, value)
+// sync.Once, replacing the old name-keyed global map: concurrent
+// searchers hitting the same cell on their justification hot path share
+// one computation and then read the slice with no lock at all. Library
+// construction pre-warms both slots of every cell.
 func JustifyCubes(c *Cell, val bool) []Cube {
-	key := c.Name
+	i := 0
 	if val {
-		key += "/1"
-	} else {
-		key += "/0"
+		i = 1
 	}
-	cubeMu.Lock()
-	defer cubeMu.Unlock()
-	if cs, ok := cubeCache[key]; ok {
-		return cs
-	}
-	cs := primeImplicants(c, val)
-	cubeCache[key] = cs
-	return cs
+	j := &c.justify[i]
+	j.once.Do(func() { j.cubes = primeImplicants(c, val) })
+	return j.cubes
 }
 
 // implicant is a (careMask, valueBits) pair over the cell's input order.

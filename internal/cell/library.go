@@ -116,6 +116,8 @@ func build() *Lib {
 			c.Vectors(pin)
 		}
 		c.compileEval()
+		JustifyCubes(c, false)
+		JustifyCubes(c, true)
 		return c
 	}
 	ab := []string{"A", "B"}

@@ -22,7 +22,6 @@ import (
 
 	"tpsta/internal/cell"
 	"tpsta/internal/charlib"
-	"tpsta/internal/logic"
 	"tpsta/internal/netlist"
 	"tpsta/internal/obs"
 	"tpsta/internal/sim"
@@ -31,6 +30,18 @@ import (
 
 // Options tune a true-path search.
 type Options struct {
+	// Workers shards the search across launch points: Enumerate and
+	// KWorst partition the primary inputs over this many concurrent
+	// searchers (EnumerateCourse partitions the first hop's
+	// sensitization vectors), each with its own assignment state,
+	// justification caches and counters. 0 selects GOMAXPROCS; 1 is the
+	// classic serial search. The shards are merged deterministically
+	// (see DESIGN.md §8): recorded paths, vectors, cubes and delays are
+	// byte-identical for every worker count whenever the serial search
+	// runs untruncated, and identical across repeated runs at any fixed
+	// setting. Under a MaxSteps budget, parallel mode splits the budget
+	// evenly per launch input instead of the serial rollover spreading.
+	Workers int
 	// ComplexOnly records only paths traversing at least one multi-vector
 	// arc (the paths of interest in the paper's evaluation). Traversal is
 	// unchanged; only recording is filtered.
@@ -80,14 +91,19 @@ type Options struct {
 
 // ProgressInfo is the payload of the Options.Progress callback.
 type ProgressInfo struct {
-	// Steps is the sensitization attempts performed so far.
+	// Steps is the sensitization attempts performed so far. In a
+	// parallel run this is the aggregate across all workers.
 	Steps int64
 	// MaxSteps echoes the configured budget (0 = unlimited).
 	MaxSteps int64
 	// Paths is the true-path variants recorded so far.
 	Paths int64
-	// Input names the launching primary input currently searched.
+	// Input names the launching primary input currently searched (in a
+	// parallel run, the input of whichever worker reported last).
 	Input string
+	// Workers is the number of concurrent searchers (1 for a serial
+	// run).
+	Workers int
 	// Done marks the final callback of the run.
 	Done bool
 }
@@ -215,11 +231,29 @@ type TruePath struct {
 	// corresponding launch edge (0 when that edge is not true or no
 	// library was supplied).
 	RiseDelay, FallDelay float64
+
+	// courseKey memoizes CourseKey; the search fills it at recording
+	// time so the dedup and parallel-merge comparisons never rebuild
+	// the join.
+	courseKey string
+	// variantKey discriminates same-course variants: the arc vector
+	// cases, the justified cube levels and the true edges, filled at
+	// recording time. Together with courseKey it uniquely identifies a
+	// recorded path (it is the dedup key), which makes pathBetter a
+	// total order.
+	variantKey string
 }
 
 // CourseKey identifies the path's course (node sequence), ignoring
-// vectors and cube.
-func (p *TruePath) CourseKey() string { return strings.Join(p.Nodes, "→") }
+// vectors and cube. Paths reported by the engine carry it precomputed;
+// on a hand-built TruePath the first call memoizes it (not safe for
+// concurrent first use).
+func (p *TruePath) CourseKey() string {
+	if p.courseKey == "" {
+		p.courseKey = strings.Join(p.Nodes, "→")
+	}
+	return p.courseKey
+}
 
 // WorstDelay returns the larger of the two launch-edge delays.
 func (p *TruePath) WorstDelay() float64 {
@@ -289,6 +323,7 @@ type Engine struct {
 
 	loadCache map[int]float64 // gate ID → output load capacitance
 	lastStats SearchStats     // snapshot of the most recent search
+	lastPar   ParallelStats   // pool snapshot of the most recent parallel search
 }
 
 // Stats returns the instrumentation snapshot of the engine's most
@@ -309,11 +344,16 @@ func New(c *netlist.Circuit, tc *tech.Tech, lib *charlib.Library, opts Options) 
 }
 
 // Enumerate runs the single-pass true-path search from every primary
-// input and returns all recorded true paths. A MaxSteps budget is spread
-// across the launching inputs with rollover, so a truncated search still
-// samples every input cone instead of exhausting the budget inside the
-// first one.
+// input and returns all recorded true paths. With Options.Workers != 1
+// the launching inputs are sharded across concurrent searchers and the
+// shards merged deterministically (see enumerateParallel). In the
+// serial mode a MaxSteps budget is spread across the launching inputs
+// with rollover, so a truncated search still samples every input cone
+// instead of exhausting the budget inside the first one.
 func (e *Engine) Enumerate() (*Result, error) {
+	if w := e.effectiveWorkers(); w > 1 && len(e.Circuit.Inputs) > 1 {
+		return e.enumerateParallel(w)
+	}
 	s, err := newSearcher(e)
 	if err != nil {
 		return nil, err
@@ -345,70 +385,55 @@ func (e *Engine) Enumerate() (*Result, error) {
 // path, used to adjudicate the baseline tool's verdicts and to find the
 // worst vector of a given path.
 func (e *Engine) EnumerateCourse(nodes []string) (*Result, error) {
-	if len(nodes) < 2 {
-		return nil, fmt.Errorf("core: course too short")
+	start, hops, err := e.resolveCourse(nodes)
+	if err != nil {
+		return nil, err
+	}
+	firstVecs := hops[0].gate.Cell.Vectors(hops[0].pin)
+	if w := e.effectiveWorkers(); w > 1 && len(firstVecs) > 1 {
+		return e.enumerateCourseParallel(w, start, hops)
 	}
 	s, err := newSearcher(e)
 	if err != nil {
 		return nil, err
 	}
+	s.walkCourse(start, hops, nil)
+	return s.result(), nil
+}
+
+// courseHop is one resolved (gate, entry pin) step of a fixed course.
+type courseHop struct {
+	gate *netlist.Gate
+	pin  string
+}
+
+// resolveCourse validates a node-name course and resolves its hops.
+func (e *Engine) resolveCourse(nodes []string) (*netlist.Node, []courseHop, error) {
+	if len(nodes) < 2 {
+		return nil, nil, fmt.Errorf("core: course too short")
+	}
 	start := e.Circuit.Node(nodes[0])
 	if start == nil || !start.IsInput {
-		return nil, fmt.Errorf("core: course start %q is not a primary input", nodes[0])
+		return nil, nil, fmt.Errorf("core: course start %q is not a primary input", nodes[0])
 	}
-	// Resolve the (gate, pin) hops up front.
-	hops := make([]struct {
-		gate *netlist.Gate
-		pin  string
-	}, 0, len(nodes)-1)
+	hops := make([]courseHop, 0, len(nodes)-1)
 	cur := start
 	for _, next := range nodes[1:] {
 		nn := e.Circuit.Node(next)
 		if nn == nil || nn.Driver == nil {
-			return nil, fmt.Errorf("core: course node %q missing or undriven", next)
+			return nil, nil, fmt.Errorf("core: course node %q missing or undriven", next)
 		}
 		pin := nn.Driver.PinOf(cur)
 		if pin == "" {
-			return nil, fmt.Errorf("core: %s does not feed %s", cur.Name, next)
+			return nil, nil, fmt.Errorf("core: %s does not feed %s", cur.Name, next)
 		}
-		hops = append(hops, struct {
-			gate *netlist.Gate
-			pin  string
-		}{nn.Driver, pin})
+		hops = append(hops, courseHop{nn.Driver, pin})
 		cur = nn
 	}
 	if !cur.IsOutput {
-		return nil, fmt.Errorf("core: course ends at %q, not an output", cur.Name)
+		return nil, nil, fmt.Errorf("core: course ends at %q, not an output", cur.Name)
 	}
-
-	s.start = start
-	s.aliveR, s.aliveF = true, true
-	s.curRising = true
-	f := s.save()
-	defer s.restore(f)
-	if !s.assign(start.ID, logic.DualTransition) {
-		return s.result(), nil
-	}
-	s.pathNodes = append(s.pathNodes[:0], start.Name)
-	var walk func(i int)
-	walk = func(i int) {
-		if s.stopped {
-			return
-		}
-		if i == len(hops) {
-			s.record()
-			return
-		}
-		h := hops[i]
-		for _, vec := range h.gate.Cell.Vectors(h.pin) {
-			if s.stopped {
-				return
-			}
-			s.tryArc(h.gate, h.pin, vec, func(*netlist.Node) { walk(i + 1) })
-		}
-	}
-	walk(0)
-	return s.result(), nil
+	return start, hops, nil
 }
 
 // load returns the output load of gate g (cached).
@@ -469,14 +494,27 @@ func (e *Engine) ArcDelays(arcs []Arc, launchRising bool) ([]float64, error) {
 	return out, nil
 }
 
-// sortPaths orders by worst delay descending, then by course key for
-// determinism.
+// pathBetter is the canonical ranking shared by sortPaths, the K-worst
+// heap and the parallel merge: worst delay descending, then course key,
+// then variant key ascending. Dedup guarantees recorded paths have
+// distinct (courseKey, variantKey) pairs, so this is a total order —
+// the reason reported results cannot depend on enumeration or merge
+// order (DESIGN.md §8).
+func pathBetter(a, b *TruePath) bool {
+	da, db := a.WorstDelay(), b.WorstDelay()
+	if da != db {
+		return da > db
+	}
+	if ak, bk := a.CourseKey(), b.CourseKey(); ak != bk {
+		return ak < bk
+	}
+	return a.variantKey < b.variantKey
+}
+
+// sortPaths orders by the canonical total order (worst delay
+// descending, ties broken by course and variant keys).
 func sortPaths(paths []*TruePath) {
 	sort.SliceStable(paths, func(i, j int) bool {
-		di, dj := paths[i].WorstDelay(), paths[j].WorstDelay()
-		if di != dj {
-			return di > dj
-		}
-		return paths[i].CourseKey() < paths[j].CourseKey()
+		return pathBetter(paths[i], paths[j])
 	})
 }

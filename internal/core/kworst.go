@@ -17,6 +17,9 @@ func (e *Engine) KWorst(k int) (*Result, error) {
 	if k <= 0 {
 		k = 1
 	}
+	if w := e.effectiveWorkers(); w > 1 && len(e.Circuit.Inputs) > 1 {
+		return e.kworstParallel(w, k)
+	}
 	s, err := newSearcher(e)
 	if err != nil {
 		return nil, err
@@ -114,6 +117,17 @@ func (p *pruner) gateUB(g *netlist.Gate) (float64, error) {
 	return worst * 1.15, nil
 }
 
+// fork returns a pruner sharing the (read-only) bound tables with its
+// parent but owning a fresh heap — one per parallel worker, so the
+// k-best state needs no locking. The union of the forks' heaps always
+// contains the canonical global k-best: the bound only discards paths
+// strictly below a delay that k already-found paths reach.
+func (p *pruner) fork() *pruner {
+	f := *p
+	f.heap = nil
+	return &f
+}
+
 // threshold returns the delay a new path must beat (-inf while the heap
 // is not full).
 func (p *pruner) threshold() float64 {
@@ -124,7 +138,11 @@ func (p *pruner) threshold() float64 {
 }
 
 // viable reports whether extending the current partial path through gate
-// g could still beat the threshold.
+// g could still reach the k-best set. Only bounds strictly below the
+// threshold are pruned: a path tying the threshold delay exactly may
+// still enter the canonical k-best through the course/variant
+// tie-break, and pruning it would make the kept set depend on
+// discovery order.
 func (p *pruner) viable(s *searcher, g *netlist.Gate) bool {
 	th := p.threshold()
 	if math.IsInf(th, -1) {
@@ -134,16 +152,18 @@ func (p *pruner) viable(s *searcher, g *netlist.Gate) bool {
 	for _, a := range s.arcs {
 		partial += p.arcUB[a.Gate.ID]
 	}
-	return partial+p.arcUB[g.ID]+p.suffixUB[g.Out.ID] > th
+	return partial+p.arcUB[g.ID]+p.suffixUB[g.Out.ID] >= th
 }
 
-// add offers a completed path to the k-best heap.
+// add offers a completed path to the k-best heap. Replacement follows
+// the canonical total order (pathBetter), so the kept set is the same
+// k paths regardless of the order completions arrive in.
 func (p *pruner) add(tp *TruePath) {
 	if len(p.heap) < p.k {
 		heap.Push(&p.heap, tp)
 		return
 	}
-	if tp.WorstDelay() > p.heap[0].WorstDelay() {
+	if pathBetter(tp, p.heap[0]) {
 		p.heap[0] = tp
 		heap.Fix(&p.heap, 0)
 	}
@@ -152,11 +172,12 @@ func (p *pruner) add(tp *TruePath) {
 // all returns the kept paths (unsorted).
 func (p *pruner) all() []*TruePath { return append([]*TruePath(nil), p.heap...) }
 
-// pathHeap is a min-heap by worst delay.
+// pathHeap is a min-heap under the canonical path order: the root is
+// the weakest kept path.
 type pathHeap []*TruePath
 
 func (h pathHeap) Len() int            { return len(h) }
-func (h pathHeap) Less(i, j int) bool  { return h[i].WorstDelay() < h[j].WorstDelay() }
+func (h pathHeap) Less(i, j int) bool  { return pathBetter(h[j], h[i]) }
 func (h pathHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *pathHeap) Push(x interface{}) { *h = append(*h, x.(*TruePath)) }
 func (h *pathHeap) Pop() interface{} {

@@ -1,0 +1,399 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/netlist"
+	"tpsta/internal/obs"
+)
+
+// Parallel execution of the true-path search. The search is sharded by
+// launch point — one shard per primary input for Enumerate/KWorst, one
+// per first-hop sensitization vector for EnumerateCourse — because
+// shards are mutually independent: every shard starts from the same
+// clean constraint store, and the dedup keys of two shards can never
+// collide (a path's key begins with its launching node / first vector).
+// Each worker therefore runs plain single-threaded searchers over its
+// shards, and the reduction is a deterministic merge:
+//
+//   - counters are summed (independence makes the sums equal the serial
+//     counters whenever the serial run is untruncated);
+//   - the strongest truncation reason wins, exactly like the serial
+//     severity order;
+//   - recorded paths are ordered by the canonical total order
+//     (pathBetter), so the output cannot depend on worker count or
+//     completion order.
+//
+// See DESIGN.md §8 for the determinism contract.
+
+// effectiveWorkers resolves Options.Workers (0 = GOMAXPROCS).
+func (e *Engine) effectiveWorkers() int {
+	if w := e.Opts.Workers; w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ParallelStats describes the worker pool of the engine's most recent
+// parallel run (zero value until one ran). Unlike SearchStats it
+// carries wall-clock measurements, so it is not deterministic.
+type ParallelStats struct {
+	// Workers is the pool size used.
+	Workers int `json:"workers"`
+	// Shards is the number of independent work units the search was
+	// split into (launch inputs, or first-hop vectors for a course).
+	Shards int `json:"shards"`
+	// WallSeconds is the elapsed time of the parallel phase.
+	WallSeconds float64 `json:"wallSeconds"`
+	// BusySeconds is the accumulated search time per worker.
+	BusySeconds []float64 `json:"busySeconds"`
+	// Utilization is sum(BusySeconds) / (Workers × WallSeconds).
+	Utilization float64 `json:"utilization"`
+}
+
+// ParallelStats returns the pool snapshot of the most recent parallel
+// search (zero value when every run so far was serial).
+func (e *Engine) ParallelStats() ParallelStats { return e.lastPar }
+
+// precomputeLoads fills the output-load cache for every gate so the
+// map is read-only while the workers share it.
+func (e *Engine) precomputeLoads() {
+	for _, g := range e.Circuit.Gates {
+		e.load(g)
+	}
+}
+
+// parallelQuota is the per-shard step budget: an even split of
+// MaxSteps (the serial rollover spreading has no parallel equivalent —
+// it depends on the order cones finish in), with the same 100-step
+// floor the serial spreading applies.
+func parallelQuota(maxSteps int64, shards int) int64 {
+	if maxSteps <= 0 || shards <= 0 {
+		return 0
+	}
+	q := maxSteps / int64(shards)
+	if q < 100 {
+		q = 100
+	}
+	return q
+}
+
+// workerEngine builds a shallow engine clone for one worker: circuit,
+// technology, characterized library and the pre-warmed (now read-only)
+// load cache are shared; the options are private with the global step
+// cap disabled — parallel budgets are enforced per shard via
+// inputQuota — and the progress fan-in hook installed. When Workers >
+// 1, a configured Tracer receives events from all workers and must be
+// safe for concurrent Emit (obs.JSONL is).
+func (e *Engine) workerEngine(progress func(ProgressInfo)) *Engine {
+	we := *e
+	we.Opts.MaxSteps = 0
+	we.Opts.Progress = progress
+	return &we
+}
+
+// shardOutcome is one shard's contribution to the merge.
+type shardOutcome struct {
+	paths     []*TruePath
+	stats     SearchStats
+	truncated bool
+	err       error
+}
+
+// runShard runs one independent searcher to completion and snapshots
+// its outcome.
+func runShard(we *Engine, run func(*searcher)) shardOutcome {
+	s, err := newSearcher(we)
+	if err != nil {
+		return shardOutcome{err: err}
+	}
+	run(s)
+	return shardOutcome{paths: s.paths, stats: s.statsSnapshot(), truncated: s.truncated}
+}
+
+// progressAgg fans per-worker progress callbacks into the user's single
+// Options.Progress with aggregated step and path counts. A nil *progressAgg
+// is valid and inert (no Progress configured).
+type progressAgg struct {
+	mu                  sync.Mutex
+	fn                  func(ProgressInfo)
+	maxSteps            int64
+	workers             int
+	cur, done           []int64 // live / retired steps per worker
+	curPaths, donePaths []int64
+}
+
+func newProgressAgg(e *Engine, workers int) *progressAgg {
+	if e.Opts.Progress == nil {
+		return nil
+	}
+	return &progressAgg{
+		fn:       e.Opts.Progress,
+		maxSteps: e.Opts.MaxSteps,
+		workers:  workers,
+		cur:      make([]int64, workers),
+		done:     make([]int64, workers),
+		curPaths: make([]int64, workers),
+		donePaths: make([]int64, workers),
+	}
+}
+
+// hook returns worker w's Progress callback (nil when no aggregation is
+// needed). Callbacks are serialized under the aggregator's mutex.
+func (a *progressAgg) hook(w int) func(ProgressInfo) {
+	if a == nil {
+		return nil
+	}
+	return func(pi ProgressInfo) {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		a.cur[w], a.curPaths[w] = pi.Steps, pi.Paths
+		steps, paths := int64(0), int64(0)
+		for i := 0; i < a.workers; i++ {
+			steps += a.cur[i] + a.done[i]
+			paths += a.curPaths[i] + a.donePaths[i]
+		}
+		a.fn(ProgressInfo{Steps: steps, MaxSteps: a.maxSteps, Paths: paths,
+			Input: pi.Input, Workers: a.workers})
+	}
+}
+
+// retire folds a finished shard's totals into worker w's base — the
+// next shard's searcher restarts its local counters from zero.
+func (a *progressAgg) retire(w int, stats SearchStats) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.done[w] += stats.SensitizationAttempts
+	a.cur[w] = 0
+	a.donePaths[w] += stats.PathsRecorded
+	a.curPaths[w] = 0
+}
+
+// finish emits the final Done callback with the merged totals.
+func (a *progressAgg) finish(steps, paths int64) {
+	if a == nil {
+		return
+	}
+	a.fn(ProgressInfo{Steps: steps, MaxSteps: a.maxSteps, Paths: paths,
+		Workers: a.workers, Done: true})
+}
+
+// enumerateParallel is Enumerate's sharded mode: one shard per primary
+// input, dynamically assigned to the pool (assignment cannot affect the
+// outcome — shards are independent and the merge order is fixed).
+func (e *Engine) enumerateParallel(workers int) (*Result, error) {
+	inputs := e.Circuit.Inputs
+	if _, err := e.Circuit.TopoGates(); err != nil {
+		return nil, err
+	}
+	e.precomputeLoads()
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	quota := parallelQuota(e.Opts.MaxSteps, len(inputs))
+	agg := newProgressAgg(e, workers)
+	gauges := obs.NewWorkerGauges(workers)
+	shards := make([]shardOutcome, len(inputs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			we := e.workerEngine(agg.hook(w))
+			for idx := range jobs {
+				stop := gauges.Busy(w)
+				shards[idx] = runShard(we, func(s *searcher) {
+					s.inputQuota = quota
+					s.searchFrom(inputs[idx])
+				})
+				agg.retire(w, shards[idx].stats)
+				stop()
+			}
+		}(w)
+	}
+	for i := range inputs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return e.finishParallel(workers, shards, nil, gauges, agg)
+}
+
+// enumerateCourseParallel shards a fixed-course exploration over the
+// first hop's sensitization vectors.
+func (e *Engine) enumerateCourseParallel(workers int, start *netlist.Node, hops []courseHop) (*Result, error) {
+	if _, err := e.Circuit.TopoGates(); err != nil {
+		return nil, err
+	}
+	e.precomputeLoads()
+	vecs := hops[0].gate.Cell.Vectors(hops[0].pin)
+	if workers > len(vecs) {
+		workers = len(vecs)
+	}
+	quota := parallelQuota(e.Opts.MaxSteps, len(vecs))
+	agg := newProgressAgg(e, workers)
+	gauges := obs.NewWorkerGauges(workers)
+	shards := make([]shardOutcome, len(vecs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			we := e.workerEngine(agg.hook(w))
+			for idx := range jobs {
+				stop := gauges.Busy(w)
+				vec := []cell.Vector{vecs[idx]}
+				shards[idx] = runShard(we, func(s *searcher) {
+					s.inputQuota = quota
+					s.walkCourse(start, hops, vec)
+				})
+				agg.retire(w, shards[idx].stats)
+				stop()
+			}
+		}(w)
+	}
+	for i := range vecs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return e.finishParallel(workers, shards, nil, gauges, agg)
+}
+
+// kworstParallel is KWorst's sharded mode. Workers own forked pruners
+// (shared read-only bound tables, private k-best heaps) and take their
+// inputs by static round-robin, so each worker's branch-and-bound
+// threshold evolves deterministically for a fixed worker count. The
+// union of the worker heaps always contains the canonical global
+// k-best — pruning only ever discards paths whose optimistic bound
+// falls strictly below a delay that k already-kept paths reach — so
+// sorting the union and keeping the first k reproduces the serial
+// path set for any pool size.
+func (e *Engine) kworstParallel(workers, k int) (*Result, error) {
+	inputs := e.Circuit.Inputs
+	if _, err := e.Circuit.TopoGates(); err != nil {
+		return nil, err
+	}
+	e.precomputeLoads()
+	base, err := newPruner(e, k)
+	if err != nil {
+		return nil, err
+	}
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	quota := parallelQuota(e.Opts.MaxSteps, len(inputs))
+	agg := newProgressAgg(e, workers)
+	gauges := obs.NewWorkerGauges(workers)
+	shards := make([]shardOutcome, len(inputs))
+	kept := make([][]*TruePath, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			we := e.workerEngine(agg.hook(w))
+			prune := base.fork()
+			for idx := w; idx < len(inputs); idx += workers {
+				stop := gauges.Busy(w)
+				shards[idx] = runShard(we, func(s *searcher) {
+					s.prune = prune
+					s.inputQuota = quota
+					s.searchFrom(inputs[idx])
+				})
+				shards[idx].paths = nil // the fork's heap owns the kept paths
+				agg.retire(w, shards[idx].stats)
+				stop()
+			}
+			kept[w] = prune.all()
+		}(w)
+	}
+	wg.Wait()
+	var all []*TruePath
+	for _, wp := range kept {
+		all = append(all, wp...)
+	}
+	sortPaths(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return e.finishParallel(workers, shards, all, gauges, agg)
+}
+
+// finishParallel merges the shard outcomes into one Result and
+// publishes the engine-level snapshots. kworstPaths, when non-nil, is
+// the already-reduced path set (the k-best union); otherwise paths are
+// concatenated from the shards in launch order with the MaxVariants
+// cap re-applied at the seam — replicating where the serial search
+// would have stopped recording.
+func (e *Engine) finishParallel(workers int, shards []shardOutcome, kworstPaths []*TruePath, gauges *obs.WorkerGauges, agg *progressAgg) (*Result, error) {
+	for i := range shards {
+		if shards[i].err != nil {
+			return nil, shards[i].err
+		}
+	}
+	stats := SearchStats{}
+	truncated := false
+	for i := range shards {
+		sh := &shards[i]
+		stats.SensitizationAttempts += sh.stats.SensitizationAttempts
+		stats.Conflicts += sh.stats.Conflicts
+		stats.Backtracks += sh.stats.Backtracks
+		stats.JustificationAborts += sh.stats.JustificationAborts
+		stats.InputQuotaExhaustions += sh.stats.InputQuotaExhaustions
+		stats.PathsRecorded += sh.stats.PathsRecorded
+		stats.PathsDeduped += sh.stats.PathsDeduped
+		if sh.stats.Truncation > stats.Truncation {
+			stats.Truncation = sh.stats.Truncation
+		}
+		truncated = truncated || sh.truncated
+	}
+	paths := kworstPaths
+	if paths == nil {
+		maxVar := e.Opts.MaxVariants
+	merge:
+		for i := range shards {
+			for _, p := range shards[i].paths {
+				if maxVar > 0 && len(paths) >= maxVar {
+					truncated = true
+					if TruncMaxVariants > stats.Truncation {
+						stats.Truncation = TruncMaxVariants
+					}
+					break merge
+				}
+				paths = append(paths, p)
+			}
+		}
+		sortPaths(paths)
+	}
+	courses, multi := countCourses(paths)
+	e.lastStats = stats
+	e.lastPar = ParallelStats{
+		Workers:     workers,
+		Shards:      len(shards),
+		WallSeconds: gauges.WallSeconds(),
+		BusySeconds: gauges.BusySeconds(),
+		Utilization: gauges.Utilization(),
+	}
+	agg.finish(stats.SensitizationAttempts, stats.PathsRecorded)
+	if t := e.Opts.Tracer; t != nil {
+		t.Emit(obs.Event{Kind: "done", Steps: stats.SensitizationAttempts, N: stats.PathsRecorded})
+	}
+	return &Result{
+		Paths:               paths,
+		Courses:             courses,
+		MultiVectorCourses:  multi,
+		Truncated:           truncated,
+		Truncation:          stats.Truncation,
+		Steps:               stats.SensitizationAttempts,
+		JustificationAborts: stats.JustificationAborts,
+		Stats:               stats,
+	}, nil
+}

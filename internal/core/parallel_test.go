@@ -1,0 +1,398 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/circuits"
+	"tpsta/internal/netlist"
+	"tpsta/internal/obs"
+)
+
+// The differential harness: every parallel mode must reproduce the
+// serial search byte-for-byte. Each test builds a fresh engine per
+// worker count (engines cache loads and stats) and compares the full
+// Result — paths with vectors, cubes, edges and exact float delays,
+// plus the merged instrumentation counters.
+
+func workerCounts() []int {
+	ns := []int{2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 2 && p != 4 {
+		ns = append(ns, p)
+	}
+	return ns
+}
+
+func genCircuit(t testing.TB, p circuits.Profile) *netlist.Circuit {
+	t.Helper()
+	c, err := circuits.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// diffCircuits are the differential-test subjects: the paper's Fig. 4
+// example, ISCAS c17 and two generated random circuits.
+func diffCircuits(t testing.TB) map[string]*netlist.Circuit {
+	t.Helper()
+	out := map[string]*netlist.Circuit{}
+	for _, name := range []string{"fig4", "c17"} {
+		c, err := circuits.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = c
+	}
+	out["rand-small"] = genCircuit(t, circuits.Profile{
+		Name: "rsmall", Inputs: 6, Outputs: 3, Gates: 25, Depth: 5, Seed: 7})
+	out["rand-wide"] = genCircuit(t, circuits.Profile{
+		Name: "rwide", Inputs: 10, Outputs: 5, Gates: 60, Depth: 6, Seed: 42})
+	return out
+}
+
+func samePath(a, b *TruePath) bool {
+	if a.Start != b.Start || !reflect.DeepEqual(a.Nodes, b.Nodes) {
+		return false
+	}
+	if len(a.Arcs) != len(b.Arcs) {
+		return false
+	}
+	for i := range a.Arcs {
+		x, y := a.Arcs[i], b.Arcs[i]
+		if x.Gate.Name != y.Gate.Name || x.Pin != y.Pin || x.Vec.Case != y.Vec.Case {
+			return false
+		}
+	}
+	return reflect.DeepEqual(a.Cube, b.Cube) &&
+		a.RiseOK == b.RiseOK && a.FallOK == b.FallOK &&
+		a.RiseDelay == b.RiseDelay && a.FallDelay == b.FallDelay
+}
+
+// assertSameResult compares two results field by field. strictStats
+// additionally demands identical instrumentation counters — true for
+// the enumeration modes, whose merged counters must equal the serial
+// ones exactly; false for K-worst, where the branch-and-bound counters
+// are a property of the pruning schedule (each worker's private heap
+// prunes later than the serial global heap), so only the reported
+// paths, delays and truncation state are portable across pool sizes.
+func assertSameResult(t *testing.T, label string, want, got *Result, strictStats bool) {
+	t.Helper()
+	if len(want.Paths) != len(got.Paths) {
+		t.Fatalf("%s: %d paths, want %d", label, len(got.Paths), len(want.Paths))
+	}
+	for i := range want.Paths {
+		if !samePath(want.Paths[i], got.Paths[i]) {
+			t.Fatalf("%s: path %d differs:\n got  %v cube=%v delays=%g/%g\n want %v cube=%v delays=%g/%g",
+				label, i,
+				got.Paths[i], got.Paths[i].Cube, got.Paths[i].RiseDelay, got.Paths[i].FallDelay,
+				want.Paths[i], want.Paths[i].Cube, want.Paths[i].RiseDelay, want.Paths[i].FallDelay)
+		}
+	}
+	if got.Courses != want.Courses || got.MultiVectorCourses != want.MultiVectorCourses {
+		t.Errorf("%s: courses %d/%d, want %d/%d", label,
+			got.Courses, got.MultiVectorCourses, want.Courses, want.MultiVectorCourses)
+	}
+	if got.Truncated != want.Truncated || got.Truncation != want.Truncation {
+		t.Errorf("%s: truncation %v/%v, want %v/%v", label,
+			got.Truncated, got.Truncation, want.Truncated, want.Truncation)
+	}
+	if !strictStats {
+		return
+	}
+	if !reflect.DeepEqual(got.Stats, want.Stats) {
+		t.Errorf("%s: stats differ:\n got  %+v\n want %+v", label, got.Stats, want.Stats)
+	}
+	if got.Steps != want.Steps || got.JustificationAborts != want.JustificationAborts {
+		t.Errorf("%s: steps/aborts %d/%d, want %d/%d", label,
+			got.Steps, got.JustificationAborts, want.Steps, want.JustificationAborts)
+	}
+}
+
+// runDiff executes run with Workers:1 and each parallel count and
+// asserts the results are identical. Every worker count is also run
+// twice to pin run-to-run determinism at a fixed pool size (there,
+// stats must match exactly even when strictStats is off).
+func runDiff(t *testing.T, label string, strictStats bool, run func(workers int) (*Result, error)) {
+	t.Helper()
+	serial, err := run(1)
+	if err != nil {
+		t.Fatalf("%s serial: %v", label, err)
+	}
+	for _, n := range workerCounts() {
+		par, err := run(n)
+		if err != nil {
+			t.Fatalf("%s workers=%d: %v", label, n, err)
+		}
+		assertSameResult(t, fmt.Sprintf("%s/workers=%d", label, n), serial, par, strictStats)
+		again, err := run(n)
+		if err != nil {
+			t.Fatalf("%s workers=%d rerun: %v", label, n, err)
+		}
+		assertSameResult(t, fmt.Sprintf("%s/workers=%d/rerun", label, n), par, again, true)
+	}
+}
+
+func TestParallelEnumerateDifferential(t *testing.T) {
+	tc := t130(t)
+	for name, c := range diffCircuits(t) {
+		c := c
+		t.Run(name, func(t *testing.T) {
+			runDiff(t, name, true, func(w int) (*Result, error) {
+				return New(c, tc, nil, Options{Workers: w}).Enumerate()
+			})
+		})
+	}
+}
+
+func TestParallelEnumerateWithDelaysDifferential(t *testing.T) {
+	tc := t130(t)
+	lib := charLib130(t)
+	for _, name := range []string{"fig4", "c17"} {
+		c, err := circuits.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			runDiff(t, name, true, func(w int) (*Result, error) {
+				return New(c, tc, lib, Options{Workers: w}).Enumerate()
+			})
+		})
+	}
+}
+
+func TestParallelRobustAndComplexOnlyDifferential(t *testing.T) {
+	tc := t130(t)
+	c, err := circuits.Get("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDiff(t, "fig4/robust", true, func(w int) (*Result, error) {
+		return New(c, tc, nil, Options{Workers: w, Robust: true}).Enumerate()
+	})
+	runDiff(t, "fig4/complex-only", true, func(w int) (*Result, error) {
+		return New(c, tc, nil, Options{Workers: w, ComplexOnly: true}).Enumerate()
+	})
+}
+
+func TestParallelKWorstDifferential(t *testing.T) {
+	tc := t130(t)
+	lib := charLib130(t)
+	for name, c := range diffCircuits(t) {
+		c := c
+		useLib := lib
+		if name == "rand-small" || name == "rand-wide" {
+			useLib = nil // generated circuits may use uncharacterized cells
+		}
+		for _, k := range []int{1, 3, 10} {
+			k := k
+			t.Run(fmt.Sprintf("%s/k=%d", name, k), func(t *testing.T) {
+				runDiff(t, name, false, func(w int) (*Result, error) {
+					return New(c, tc, useLib, Options{Workers: w}).KWorst(k)
+				})
+			})
+		}
+	}
+}
+
+// courseCircuit builds a circuit whose launching input feeds an AO22
+// directly, so the first hop of a course has several sensitization
+// vectors — the sharding axis of the parallel EnumerateCourse.
+func courseCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	lib := cell.Default()
+	c := netlist.New("course")
+	for _, in := range []string{"a", "b", "x", "y", "e"} {
+		if _, err := c.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, spec := range []struct {
+		cell, out string
+		pins      map[string]string
+	}{
+		{"AO22", "n1", map[string]string{"A": "a", "B": "b", "C": "x", "D": "y"}},
+		{"NAND2", "out", map[string]string{"A": "n1", "B": "e"}},
+	} {
+		if _, err := c.AddGate(lib, spec.cell, spec.out, spec.pins); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.MarkOutput("out")
+	return c
+}
+
+func TestParallelEnumerateCourseDifferential(t *testing.T) {
+	tc := t130(t)
+	c := courseCircuit(t)
+	course := []string{"a", "n1", "out"}
+	runDiff(t, "course a→n1→out", true, func(w int) (*Result, error) {
+		return New(c, tc, nil, Options{Workers: w}).EnumerateCourse(course)
+	})
+	// The whole-circuit search over the same netlist must agree too.
+	runDiff(t, "course circuit enumerate", true, func(w int) (*Result, error) {
+		return New(c, tc, nil, Options{Workers: w}).Enumerate()
+	})
+	// Fig. 4's critical path has a single-vector first hop, so the
+	// parallel request must fall back to the serial walk and still
+	// agree with it.
+	fig4, err := circuits.Get("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDiff(t, "fig4 critical path", true, func(w int) (*Result, error) {
+		return New(fig4, tc, nil, Options{Workers: w}).EnumerateCourse(circuits.Fig4CriticalPath())
+	})
+}
+
+// Under truncating caps the parallel budget split diverges from the
+// serial rollover by design, but the outcome must still be identical
+// across parallel worker counts: shard outcomes depend only on the
+// (input, quota) pair and the merge order is fixed.
+func TestParallelCapsWorkerCountInvariant(t *testing.T) {
+	tc := t130(t)
+	c := genCircuit(t, circuits.Profile{
+		Name: "rcap", Inputs: 8, Outputs: 4, Gates: 40, Depth: 6, Seed: 99})
+	for _, opts := range []Options{
+		{MaxVariants: 7},
+		{MaxSteps: 1200},
+	} {
+		opts := opts
+		opts.Workers = 2
+		base, err := New(c, tc, nil, opts).Enumerate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{3, 4, 8} {
+			o := opts
+			o.Workers = n
+			got, err := New(c, tc, nil, o).Enumerate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, fmt.Sprintf("caps/workers=%d", n), base, got, true)
+		}
+	}
+}
+
+// safeTrace is a concurrency-safe collecting tracer.
+type safeTrace struct {
+	mu  sync.Mutex
+	evs []obs.Event
+}
+
+func (s *safeTrace) Emit(ev obs.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evs = append(s.evs, ev)
+}
+
+func TestParallelProgressAndTrace(t *testing.T) {
+	tc := t130(t)
+	c, err := circuits.Get("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &safeTrace{}
+	var mu sync.Mutex
+	var last ProgressInfo
+	calls := 0
+	e := New(c, tc, nil, Options{
+		Workers:       2,
+		ProgressEvery: 1,
+		Tracer:        tr,
+		Progress: func(pi ProgressInfo) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			last = pi
+		},
+	})
+	res, err := e.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("no progress callbacks")
+	}
+	if !last.Done {
+		t.Error("final progress callback not marked Done")
+	}
+	if last.Workers != 2 {
+		t.Errorf("final progress Workers = %d, want 2", last.Workers)
+	}
+	if last.Steps != res.Steps {
+		t.Errorf("final progress Steps = %d, want %d", last.Steps, res.Steps)
+	}
+	dones := 0
+	for _, ev := range tr.evs {
+		if ev.Kind == "done" {
+			dones++
+			if ev.Steps != res.Steps {
+				t.Errorf("done event Steps = %d, want %d", ev.Steps, res.Steps)
+			}
+		}
+	}
+	if dones != 1 {
+		t.Errorf("%d done events, want exactly 1", dones)
+	}
+	if last := tr.evs[len(tr.evs)-1]; last.Kind != "done" {
+		t.Errorf("last trace event kind %q, want done", last.Kind)
+	}
+}
+
+func TestParallelStatsSnapshot(t *testing.T) {
+	tc := t130(t)
+	c, err := circuits.Get("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(c, tc, nil, Options{Workers: 3})
+	if got := e.ParallelStats(); got.Workers != 0 {
+		t.Errorf("pre-run ParallelStats = %+v, want zero", got)
+	}
+	res, err := e.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := e.ParallelStats()
+	if ps.Workers != 3 {
+		t.Errorf("Workers = %d, want 3", ps.Workers)
+	}
+	if ps.Shards != len(c.Inputs) {
+		t.Errorf("Shards = %d, want %d", ps.Shards, len(c.Inputs))
+	}
+	if ps.WallSeconds <= 0 {
+		t.Errorf("WallSeconds = %g", ps.WallSeconds)
+	}
+	if len(ps.BusySeconds) != 3 {
+		t.Errorf("BusySeconds len = %d", len(ps.BusySeconds))
+	}
+	if ps.Utilization < 0 || ps.Utilization > 1 {
+		t.Errorf("Utilization = %g", ps.Utilization)
+	}
+	if e.Stats() != res.Stats {
+		t.Errorf("engine Stats %+v != result Stats %+v", e.Stats(), res.Stats)
+	}
+}
+
+// Serial runs through the parallel-capable engine must leave the
+// existing serial semantics (budget rollover) untouched.
+func TestWorkersOneIsSerial(t *testing.T) {
+	e := structEngine(t, "fig4")
+	e.Opts.Workers = 1
+	res, err := e.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ParallelStats().Workers != 0 {
+		t.Error("serial run recorded ParallelStats")
+	}
+	if len(res.Paths) == 0 {
+		t.Fatal("no paths")
+	}
+}

@@ -169,6 +169,44 @@ func (s *searcher) restore(f frame) {
 	s.aliveR, s.aliveF = f.aliveR, f.aliveF
 }
 
+// walkCourse explores every sensitization-vector combination of one
+// resolved course, restricted — when firstVecs is non-nil — to the
+// given subset of the first hop's vectors (the sharding axis of the
+// parallel EnumerateCourse; nil explores all of them).
+func (s *searcher) walkCourse(start *netlist.Node, hops []courseHop, firstVecs []cell.Vector) {
+	s.start = start
+	s.aliveR, s.aliveF = true, true
+	s.curRising = true
+	f := s.save()
+	defer s.restore(f)
+	if !s.assign(start.ID, logic.DualTransition) {
+		return
+	}
+	s.pathNodes = append(s.pathNodes[:0], start.Name)
+	var walk func(i int)
+	walk = func(i int) {
+		if s.stopped {
+			return
+		}
+		if i == len(hops) {
+			s.record()
+			return
+		}
+		h := hops[i]
+		vecs := h.gate.Cell.Vectors(h.pin)
+		if i == 0 && firstVecs != nil {
+			vecs = firstVecs
+		}
+		for _, vec := range vecs {
+			if s.stopped {
+				return
+			}
+			s.tryArc(h.gate, h.pin, vec, func(*netlist.Node) { walk(i + 1) })
+		}
+	}
+	walk(0)
+}
+
 // searchFrom runs the DFS for one launching primary input, exploring
 // both edges simultaneously via the dual values.
 func (s *searcher) searchFrom(in *netlist.Node) {
@@ -615,7 +653,12 @@ func (s *searcher) emit() {
 	if p.FallOK {
 		edges += "F"
 	}
-	key := p.CourseKey() + "|" + vk.String() + "|" + cubeKey.String() + "|" + edges
+	// Memoize the identity keys on the path: the dedup below, the final
+	// sort and the parallel merge all compare them without
+	// re-allocating.
+	p.courseKey = strings.Join(p.Nodes, "→")
+	p.variantKey = vk.String() + "|" + cubeKey.String() + "|" + edges
+	key := p.courseKey + "|" + p.variantKey
 	if s.seen[key] {
 		s.deduped++
 		return
@@ -649,24 +692,9 @@ func (s *searcher) emit() {
 	}
 }
 
-// result packages the recorded paths and publishes the instrumentation
-// snapshot on the engine.
-func (s *searcher) result() *Result {
-	if s.prune != nil {
-		s.paths = s.prune.all()
-	}
-	sortPaths(s.paths)
-	courses := map[string]int{}
-	for _, p := range s.paths {
-		courses[p.CourseKey()]++
-	}
-	multi := 0
-	for _, n := range courses {
-		if n > 1 {
-			multi++
-		}
-	}
-	stats := SearchStats{
+// statsSnapshot copies the instrumentation counters.
+func (s *searcher) statsSnapshot() SearchStats {
+	return SearchStats{
 		SensitizationAttempts: s.steps,
 		Conflicts:             s.conflicts,
 		Backtracks:            s.backtracks,
@@ -676,12 +704,23 @@ func (s *searcher) result() *Result {
 		PathsDeduped:          s.deduped,
 		Truncation:            s.truncWhy,
 	}
+}
+
+// result packages the recorded paths and publishes the instrumentation
+// snapshot on the engine.
+func (s *searcher) result() *Result {
+	if s.prune != nil {
+		s.paths = s.prune.all()
+	}
+	sortPaths(s.paths)
+	courses, multi := countCourses(s.paths)
+	stats := s.statsSnapshot()
 	s.eng.lastStats = stats
 	s.progress(true)
 	s.trace(obs.Event{Kind: "done", Steps: s.steps, N: s.recorded})
 	return &Result{
 		Paths:               s.paths,
-		Courses:             len(courses),
+		Courses:             courses,
 		MultiVectorCourses:  multi,
 		Truncated:           s.truncated,
 		Truncation:          s.truncWhy,
@@ -689,4 +728,19 @@ func (s *searcher) result() *Result {
 		JustificationAborts: s.justAborts,
 		Stats:               stats,
 	}
+}
+
+// countCourses returns the number of distinct courses among paths and
+// how many of them carry more than one recorded variant.
+func countCourses(paths []*TruePath) (courses, multi int) {
+	byCourse := map[string]int{}
+	for _, p := range paths {
+		byCourse[p.CourseKey()]++
+	}
+	for _, n := range byCourse {
+		if n > 1 {
+			multi++
+		}
+	}
+	return len(byCourse), multi
 }

@@ -16,6 +16,11 @@ type Printer struct {
 	start   time.Time
 	lastLen int
 	wrote   bool
+	workers int
+	// maxSteps is a high-water mark: a multi-worker aggregate can reach
+	// the printer slightly out of order, and the line must never count
+	// backwards.
+	maxSteps int64
 }
 
 // NewPrinter builds a Printer writing to w.
@@ -23,14 +28,41 @@ func NewPrinter(w io.Writer) *Printer {
 	return &Printer{w: w, start: time.Now()}
 }
 
+// SetWorkers tells the printer how many concurrent searchers feed the
+// aggregate counts; with more than one the line is labeled with the
+// pool size. Safe to call on every update.
+func (p *Printer) SetWorkers(n int) {
+	if n > 1 {
+		p.workers = n
+	}
+}
+
+// label renders the line prefix ("search[×4]:" for a 4-worker pool).
+func (p *Printer) label() string {
+	if p.workers > 1 {
+		return fmt.Sprintf("search[×%d]:", p.workers)
+	}
+	return "search:"
+}
+
+// clamp enforces the monotonic step count.
+func (p *Printer) clamp(steps int64) int64 {
+	if steps < p.maxSteps {
+		return p.maxSteps
+	}
+	p.maxSteps = steps
+	return steps
+}
+
 // Update redraws the progress line.
 func (p *Printer) Update(steps, budget, paths int64) {
+	steps = p.clamp(steps)
 	elapsed := time.Since(p.start).Seconds()
 	rate := 0.0
 	if elapsed > 0 {
 		rate = float64(steps) / elapsed
 	}
-	line := fmt.Sprintf("search: %s steps %s/s paths %d", siCount(steps), siCount(int64(rate)), paths)
+	line := fmt.Sprintf("%s %s steps %s/s paths %d", p.label(), siCount(steps), siCount(int64(rate)), paths)
 	if budget > 0 && rate > 0 {
 		pct := 100 * float64(steps) / float64(budget)
 		if pct > 100 {
@@ -48,8 +80,9 @@ func (p *Printer) Update(steps, budget, paths int64) {
 // Done draws a final line (no ETA — the search ended, whether or not it
 // spent its budget) and terminates it.
 func (p *Printer) Done(steps, paths int64) {
+	steps = p.clamp(steps)
 	elapsed := time.Since(p.start).Seconds()
-	p.draw(fmt.Sprintf("search: %s steps in %.1fs, %d paths", siCount(steps), elapsed, paths))
+	p.draw(fmt.Sprintf("%s %s steps in %.1fs, %d paths", p.label(), siCount(steps), elapsed, paths))
 	p.Finish()
 }
 

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// WorkerGauges tracks a fixed-size worker pool: a live gauge of how
+// many workers are busy and a per-worker busy-time accumulator, from
+// which pool utilization is derived. All methods are safe for
+// concurrent use; each worker touches only its own slot on the hot
+// path, so there is no contention between workers.
+//
+// The parallel true-path search and any other sharded engine publish
+// one of these per run; CharStats-style utilization summaries are
+// computed from the snapshot at the end.
+type WorkerGauges struct {
+	start time.Time
+	busy  []atomic.Int64 // accumulated busy nanoseconds per worker
+	live  Gauge          // workers busy right now
+}
+
+// NewWorkerGauges builds gauges for an n-worker pool and starts the
+// wall clock.
+func NewWorkerGauges(n int) *WorkerGauges {
+	return &WorkerGauges{start: time.Now(), busy: make([]atomic.Int64, n)}
+}
+
+// Busy marks worker w busy; the returned stop function accumulates the
+// elapsed time into the worker's gauge.
+func (g *WorkerGauges) Busy(w int) func() {
+	g.live.Add(1)
+	t0 := time.Now()
+	return func() {
+		g.busy[w].Add(int64(time.Since(t0)))
+		g.live.Add(-1)
+	}
+}
+
+// Live returns the number of workers busy right now.
+func (g *WorkerGauges) Live() int64 { return g.live.Load() }
+
+// Workers returns the pool size.
+func (g *WorkerGauges) Workers() int { return len(g.busy) }
+
+// BusySeconds returns the accumulated busy time per worker.
+func (g *WorkerGauges) BusySeconds() []float64 {
+	out := make([]float64, len(g.busy))
+	for i := range g.busy {
+		out[i] = time.Duration(g.busy[i].Load()).Seconds()
+	}
+	return out
+}
+
+// WallSeconds returns the elapsed wall time since construction.
+func (g *WorkerGauges) WallSeconds() float64 { return time.Since(g.start).Seconds() }
+
+// Utilization returns total busy time over workers × wall time — how
+// well the pool was kept fed (1.0 = every worker busy the whole run).
+func (g *WorkerGauges) Utilization() float64 {
+	wall := g.WallSeconds()
+	if len(g.busy) == 0 || wall <= 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range g.BusySeconds() {
+		total += s
+	}
+	return total / (float64(len(g.busy)) * wall)
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWorkerGauges(t *testing.T) {
+	g := NewWorkerGauges(3)
+	if g.Workers() != 3 {
+		t.Fatalf("Workers() = %d", g.Workers())
+	}
+	if g.Live() != 0 {
+		t.Fatalf("Live() = %d before any work", g.Live())
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				stop := g.Busy(w)
+				time.Sleep(time.Millisecond)
+				stop()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Live() != 0 {
+		t.Errorf("Live() = %d after all stopped", g.Live())
+	}
+	busy := g.BusySeconds()
+	if len(busy) != 3 {
+		t.Fatalf("BusySeconds len = %d", len(busy))
+	}
+	for w, s := range busy {
+		if s <= 0 {
+			t.Errorf("worker %d busy seconds = %g", w, s)
+		}
+	}
+	if g.WallSeconds() <= 0 {
+		t.Errorf("WallSeconds = %g", g.WallSeconds())
+	}
+	if u := g.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("Utilization = %g", u)
+	}
+}
+
+func TestPrinterWorkersAndMonotonicity(t *testing.T) {
+	var buf strings.Builder
+	p := NewPrinter(&buf)
+	p.SetWorkers(4)
+	p.Update(1000, 0, 2)
+	// An aggregate arriving out of order must not count backwards.
+	p.Update(400, 0, 2)
+	p.Done(1000, 3)
+	out := buf.String()
+	if !strings.Contains(out, "search[×4]:") {
+		t.Errorf("output missing pool label: %q", out)
+	}
+	if strings.Contains(out, "400 steps") {
+		t.Errorf("output counted backwards: %q", out)
+	}
+}

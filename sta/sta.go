@@ -17,6 +17,10 @@
 // but different vectors are distinct results, so the vector-dependent
 // delay of complex gates (the paper's Section II) is never collapsed.
 //
+// Searches parallelize across launch points via EngineOptions.Workers
+// (0 = all CPUs, 1 = serial) with deterministically merged, serial-
+// identical results; Engine.ParallelStats reports pool utilization.
+//
 // The package re-exports, under one roof:
 //
 //   - the standard-cell library and its sensitization-vector enumeration
@@ -110,6 +114,11 @@ type (
 	EngineStats = core.SearchStats
 	// EngineProgress is the payload of EngineOptions.Progress.
 	EngineProgress = core.ProgressInfo
+	// EngineParallelStats is the worker-pool snapshot of the engine's
+	// most recent parallel run (EngineOptions.Workers != 1): pool size,
+	// shard count, wall/busy seconds and utilization. See
+	// Engine.ParallelStats.
+	EngineParallelStats = core.ParallelStats
 	// TruncReason identifies which cap stopped (part of) a search.
 	TruncReason = core.TruncReason
 	// BaselineStats is the emulated tool's instrumentation snapshot
