@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench clean
+.PHONY: build test lint check race bench clean
 
 build:
 	$(GO) build ./...
@@ -8,12 +8,19 @@ build:
 test:
 	$(GO) test ./...
 
+# lint runs the stock go vet passes plus the repository's own stalint
+# suite (internal/analysis): sharedstate, exhaustive, floatcmp,
+# obscheck and errwrap. stalint standalone re-execs `go vet -vettool`
+# on itself, so both layers go through the same driver.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/stalint ./...
+
 # check is the pre-commit gate: static analysis, the race-sensitive
 # packages (the instrumentation layer, the parallel search engine and
 # the shared cell/library caches it touches) under the race detector,
 # and a short fuzz smoke of the Verilog parser.
-check:
-	$(GO) vet ./...
+check: lint
 	$(GO) test -race ./internal/obs ./internal/core ./internal/cell ./internal/charlib
 	$(GO) test -run '^$$' -fuzz '^FuzzVerilog$$' -fuzztime 10s ./internal/netlist
 

@@ -1,0 +1,84 @@
+// Command stalint runs the repository's custom static-analysis suite
+// (internal/analysis): sharedstate, exhaustive, floatcmp, obscheck and
+// errwrap.
+//
+// It speaks the go vet -vettool protocol (unitchecker), so the same
+// binary works two ways:
+//
+//	go vet -vettool=$(which stalint) ./...   # explicit vet integration
+//	stalint ./...                            # standalone: re-execs go vet
+//
+// In standalone mode stalint locates its own executable and re-invokes
+// `go vet -vettool=<self> <patterns>`, which gives the full driver —
+// package loading, facts, caching — without depending on
+// golang.org/x/tools/go/packages.
+//
+// Analyzer flags pass through in both modes, e.g.
+// `stalint -exhaustive.enums=logic.Trit ./...`.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"tpsta/internal/analysis/stalint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if vetProtocol(args) {
+		unitchecker.Main(stalint.Analyzers()...) // does not return
+	}
+	os.Exit(standalone(args))
+}
+
+// vetProtocol reports whether the process was invoked by go vet: the
+// driver probes with -V=full and -flags, then passes a *.cfg per
+// package.
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") || strings.HasPrefix(a, "-V=") || a == "-flags" {
+			return true
+		}
+	}
+	return false
+}
+
+// standalone re-executes the suite through `go vet -vettool=<self>`,
+// forwarding flags and defaulting to ./... when no package pattern is
+// given. Returns the exit code.
+func standalone(args []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stalint: cannot locate own executable: %v\n", err)
+		return 2
+	}
+	var flags, pats []string
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") {
+			flags = append(flags, a)
+		} else {
+			pats = append(pats, a)
+		}
+	}
+	if len(pats) == 0 {
+		pats = []string{"./..."}
+	}
+	vetArgs := append([]string{"vet", "-vettool=" + exe}, append(flags, pats...)...)
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "stalint: %v\n", err)
+		return 2
+	}
+	return 0
+}

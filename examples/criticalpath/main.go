@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"tpsta/internal/exp"
+	"tpsta/internal/num"
 	"tpsta/sta"
 )
 
@@ -46,7 +47,7 @@ func main() {
 	for _, r := range rows {
 		if r.ReportedByBaseline {
 			easy = r
-		} else if hard.SpiceDelay == 0 {
+		} else if num.IsZero(hard.SpiceDelay) {
 			hard = r // rows come worst-first
 		}
 	}

@@ -1,0 +1,137 @@
+// Package errwrap defines an analyzer that keeps error chains intact
+// across package boundaries.
+//
+// The engine's deep call stacks (CLI → sta → core → cell → lut) rely
+// on errors.Is/errors.As to classify failures — a liberty parse error
+// surfacing from a characterization run must still match its sentinel.
+// Formatting an underlying error with %v or %s flattens it to text and
+// severs the chain; the invariant is that fmt.Errorf applies %w to
+// every error operand.
+//
+// The analyzer flags:
+//
+//   - fmt.Errorf calls where an argument of type error is consumed by
+//     a verb other than %w (%v, %s, %q, ...);
+//   - errors.New(fmt.Sprintf(...)) — spelled-out fmt.Errorf that can
+//     never wrap.
+//
+// The rare intentional flattening (e.g. folding many errors into a
+// summary string) is suppressed with
+// `// stalint:ignore errwrap <why>`.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"tpsta/internal/analysis/internal/ignore"
+)
+
+// Analyzer is the errwrap pass.
+const name = "errwrap"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "errors crossing package boundaries must be wrapped with %w, not flattened with %v/%s",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ix := ignore.New(pass, name)
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		switch {
+		case isPkgFunc(pass, call, "fmt", "Errorf"):
+			checkErrorf(pass, ix, call)
+		case isPkgFunc(pass, call, "errors", "New"):
+			if len(call.Args) == 1 {
+				if inner, ok := call.Args[0].(*ast.CallExpr); ok && isPkgFunc(pass, inner, "fmt", "Sprintf") {
+					ix.Reportf(call.Pos(), "errors.New(fmt.Sprintf(...)): use fmt.Errorf, which can wrap with %%w")
+				}
+			}
+		}
+	})
+	return nil, nil
+}
+
+// checkErrorf maps each format verb of a fmt.Errorf call to its
+// operand and reports error operands consumed by a non-%w verb.
+func checkErrorf(pass *analysis.Pass, ix *ignore.Index, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	operands := call.Args[1:]
+	argIdx := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// Skip flags, width, precision; '*' consumes an operand.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				argIdx++
+				i++
+				continue
+			}
+			if c == '#' || c == '+' || c == '-' || c == ' ' || c == '0' || c == '.' || c >= '0' && c <= '9' {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		if argIdx >= len(operands) {
+			break
+		}
+		arg := operands[argIdx]
+		argIdx++
+		if verb == 'w' {
+			continue
+		}
+		if t := pass.TypesInfo.TypeOf(arg); t != nil && types.Implements(t, errorIface) {
+			ix.Reportf(arg.Pos(), "error formatted with %%%c loses the chain; use %%w so callers can errors.Is/As", verb)
+		}
+	}
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkg.name (matched by package name, so it tolerates import renames
+// only when the name is kept).
+func isPkgFunc(pass *analysis.Pass, call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkg
+}

@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"tpsta/internal/analysis/analysistest"
+	"tpsta/internal/analysis/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errwrap.Analyzer, "errwrap")
+}

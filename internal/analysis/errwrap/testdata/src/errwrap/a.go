@@ -1,0 +1,47 @@
+// Fixture for the errwrap analyzer.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+type parseError struct{ line int }
+
+func (e *parseError) Error() string { return fmt.Sprintf("parse error at line %d", e.line) }
+
+func wrap(err error, name string, pe *parseError) error {
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", name, err) // ok: wrapped
+	}
+	return fmt.Errorf("loading %s: %v", name, err) // want `error formatted with %v loses the chain; use %w`
+}
+
+func flatten(err error, name string) {
+	_ = fmt.Errorf("bad: %s", err)                       // want `error formatted with %s loses the chain`
+	_ = fmt.Errorf("bad: %q", err)                       // want `error formatted with %q loses the chain`
+	_ = fmt.Errorf("gate %q: %v", name, err)             // want `error formatted with %v loses the chain`
+	_ = fmt.Errorf("pad %-10v!", err)                    // want `error formatted with %v loses the chain`
+	_ = fmt.Errorf("%d%% done, %w", 50, err)             // ok: %% escape handled, error wrapped
+	_ = fmt.Errorf("gate %s ok", name)                   // ok: no error operand
+	_ = fmt.Errorf("wrapped twice: %w and %w", err, err) // ok: multi-wrap
+}
+
+func concrete(pe *parseError) {
+	_ = fmt.Errorf("liberty: %v", pe)  // want `error formatted with %v loses the chain`
+	_ = fmt.Errorf("liberty: %w", pe)  // ok
+	_ = fmt.Errorf("line %d", pe.line) // ok: int field, not the error
+}
+
+func sprintfNew(name string) error {
+	return errors.New(fmt.Sprintf("no cell %s", name)) // want `errors\.New\(fmt\.Sprintf\(\.\.\.\)\): use fmt\.Errorf`
+}
+
+func plainNew() error {
+	return errors.New("static message") // ok
+}
+
+func suppressed(errs []error) error {
+	// stalint:ignore errwrap summary string deliberately flattens the list
+	return fmt.Errorf("%d failures, first: %v", len(errs), errs[0])
+}

@@ -1,0 +1,153 @@
+// Package exhaustive defines an analyzer that checks switches over the
+// engine's enum types for exhaustiveness.
+//
+// The paper's semi-undetermined dual-value logic domain
+// (logic.Trit, logic.Value) and the search-truncation taxonomy
+// (core.TruncReason) are small closed sets; a switch that silently
+// falls through on a member the author forgot is exactly the class of
+// bug that made the engine report "X" where it should have refined a
+// trajectory. The invariant: a switch over one of these types either
+// names every constant of the type or carries an explicit default
+// clause (a documented catch-all, or a panic("unreachable")).
+//
+// Which types are enums is controlled by the -enums flag, a
+// comma-separated list of pkg.Type entries where pkg matches the LAST
+// path segment of the defining package (so "logic.Trit" matches
+// tpsta/internal/logic.Trit wherever the module lives). The default
+// list covers the engine's domains: logic.Trit, logic.Value,
+// core.TruncReason, baseline.Verdict, spice.DeviceState.
+package exhaustive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"tpsta/internal/analysis/internal/ignore"
+)
+
+// DefaultEnums is the built-in enum list (see the package comment for
+// the matching rule).
+const DefaultEnums = "logic.Trit,logic.Value,core.TruncReason,baseline.Verdict,spice.DeviceState"
+
+// Analyzer is the exhaustive pass.
+const name = "exhaustive"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "switches over engine enum types must cover every constant or have an explicit default",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var enumsFlag string
+
+func init() {
+	Analyzer.Flags.StringVar(&enumsFlag, "enums", DefaultEnums,
+		"comma-separated pkg.Type enum list (pkg matches the defining package's last path segment)")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	targets := map[string]bool{}
+	for _, e := range strings.Split(enumsFlag, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			targets[e] = true
+		}
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ix := ignore.New(pass, name)
+
+	ins.Preorder([]ast.Node{(*ast.SwitchStmt)(nil)}, func(n ast.Node) {
+		sw := n.(*ast.SwitchStmt)
+		if sw.Tag == nil {
+			return
+		}
+		named := enumType(pass, sw.Tag, targets)
+		if named == nil {
+			return
+		}
+		members := enumMembers(named)
+		if len(members) == 0 {
+			return
+		}
+		covered := map[string]bool{} // constant exact value string → covered
+		for _, stmt := range sw.Body.List {
+			cc := stmt.(*ast.CaseClause)
+			if cc.List == nil {
+				return // explicit default: exhaustive by decree
+			}
+			for _, e := range cc.List {
+				if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+					covered[tv.Value.ExactString()] = true
+				}
+			}
+		}
+		var missing []string
+		for _, m := range members {
+			if !covered[m.Val().ExactString()] {
+				missing = append(missing, m.Name())
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			ix.Reportf(sw.Switch, "switch over %s is not exhaustive: missing %s (add the cases or an explicit default)",
+				typeLabel(named), strings.Join(missing, ", "))
+		}
+	})
+	return nil, nil
+}
+
+// enumType returns the named type of the switch tag when it is one of
+// the target enums, nil otherwise.
+func enumType(pass *analysis.Pass, tag ast.Expr, targets map[string]bool) *types.Named {
+	t := pass.TypesInfo.TypeOf(tag)
+	if t == nil {
+		return nil
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil // builtin (error, comparable)
+	}
+	segs := strings.Split(obj.Pkg().Path(), "/")
+	key := segs[len(segs)-1] + "." + obj.Name()
+	if !targets[key] {
+		return nil
+	}
+	return named
+}
+
+// enumMembers lists the package-level constants of exactly type named,
+// declared in the type's own package, deduplicated by value (aliases
+// such as TruncNone/TruncDefault would count once).
+func enumMembers(named *types.Named) []*types.Const {
+	pkg := named.Obj().Pkg()
+	scope := pkg.Scope()
+	seen := map[string]bool{}
+	var members []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if v := c.Val().ExactString(); !seen[v] {
+			seen[v] = true
+			members = append(members, c)
+		}
+	}
+	return members
+}
+
+func typeLabel(named *types.Named) string {
+	obj := named.Obj()
+	return fmt.Sprintf("%s.%s", obj.Pkg().Name(), obj.Name())
+}

@@ -1,0 +1,12 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"tpsta/internal/analysis/analysistest"
+	"tpsta/internal/analysis/exhaustive"
+)
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), exhaustive.Analyzer, "exhaustive")
+}

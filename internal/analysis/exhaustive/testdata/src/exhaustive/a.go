@@ -1,0 +1,72 @@
+// Fixture for the exhaustive analyzer.
+package exhaustive
+
+import "logic"
+
+func missingCase(t logic.Trit) string {
+	switch t { // want `switch over logic\.Trit is not exhaustive: missing TX \(add the cases or an explicit default\)`
+	case logic.T0:
+		return "0"
+	case logic.T1:
+		return "1"
+	}
+	return ""
+}
+
+func missingTwo(v logic.Value) int {
+	switch v { // want `switch over logic\.Value is not exhaustive: missing VF, VX`
+	case logic.V0, logic.V1:
+		return 0
+	case logic.VR:
+		return 1
+	}
+	return -1
+}
+
+func covered(t logic.Trit) string {
+	switch t { // all constants named: ok
+	case logic.T0:
+		return "0"
+	case logic.T1:
+		return "1"
+	case logic.TX:
+		return "X"
+	}
+	return ""
+}
+
+func defaulted(t logic.Trit) string {
+	switch t { // explicit default: ok
+	case logic.T0:
+		return "0"
+	default:
+		return "?"
+	}
+}
+
+func notAnEnum(w logic.Weight) int {
+	switch w { // Weight is not in -enums: unchecked
+	case logic.W0:
+		return 0
+	}
+	return 1
+}
+
+func tagless(t logic.Trit) int {
+	switch { // tagless switches are not equality over the enum
+	case t == logic.T0:
+		return 0
+	}
+	return 1
+}
+
+func suppressed(t logic.Trit) string {
+	// stalint:ignore exhaustive TX handled by caller contract
+	switch t {
+	case logic.T0:
+		return "0"
+	case logic.T1:
+		return "1"
+	}
+	return ""
+}

@@ -1,0 +1,34 @@
+// Fixture mirror of tpsta/internal/logic: the analyzer matches enums
+// by the last path segment of the defining package, so this package
+// stands in for the real one.
+package logic
+
+// Trit is a three-state logic level.
+type Trit uint8
+
+// The three levels.
+const (
+	T0 Trit = iota
+	T1
+	TX
+)
+
+// Value is a trajectory pair.
+type Value uint8
+
+// A subset of the nine values keeps the fixture small.
+const (
+	V0 Value = iota
+	V1
+	VR
+	VF
+	VX
+)
+
+// Weight is not in the enum list; switches over it are unchecked.
+type Weight uint8
+
+const (
+	W0 Weight = iota
+	W1
+)

@@ -1,0 +1,43 @@
+// Fixture for the floatcmp analyzer.
+package floatcmp
+
+func comparisons(a, b float64, f32 float32, i int, s string) {
+	_ = a == b     // want `floating-point equality \(==\); use num\.Eq/num\.IsZero`
+	_ = a != b     // want `floating-point equality \(!=\); use num\.Eq/num\.IsZero`
+	_ = a == 0     // want `floating-point equality`
+	_ = 0.5 == b   // want `floating-point equality`
+	_ = f32 != 1.5 // want `floating-point equality`
+	_ = a != a     // want `floating-point self-comparison; use math\.IsNaN`
+	_ = a < b      // ordering comparisons are fine
+	_ = a >= 0     // ordering comparisons are fine
+	_ = i == 2     // integers are fine
+	_ = s == "x"   // strings are fine
+	_ = i != 0 && a < b
+}
+
+func switches(a float64, i int) {
+	switch a { // want `switch on floating-point value compares with ==`
+	case 0:
+	case 1.5:
+	}
+	switch i { // integer switch is fine
+	case 0:
+	}
+	switch { // tagless switch is fine (conditions are bools)
+	case a < 0:
+	}
+}
+
+type delay float64
+
+func namedFloat(d, e delay) {
+	_ = d == e // want `floating-point equality`
+}
+
+func suppressed(a, b float64) {
+	_ = a == b // stalint:ignore floatcmp bit-exact sentinel comparison intended
+	// stalint:ignore floatcmp comment-above form also suppresses
+	_ = a != b
+	// stalint:ignore exhaustive wrong analyzer name does not suppress
+	_ = a == b // want `floating-point equality`
+}

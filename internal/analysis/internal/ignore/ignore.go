@@ -1,0 +1,116 @@
+// Package ignore implements the `// stalint:ignore` suppression
+// protocol shared by every stalint analyzer.
+//
+// A diagnostic is suppressed when the line it points at, or the line
+// immediately above it, carries a comment of the form
+//
+//	// stalint:ignore <analyzer>[,<analyzer>...] <one-line justification>
+//
+// The analyzer list is mandatory — a bare `stalint:ignore` suppresses
+// nothing, so a suppression always names what it silences. The
+// justification is free text; by repository convention (enforced in
+// review, not by machine) it must say why the invariant does not apply.
+package ignore
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// marker is the comment prefix that starts a suppression.
+const marker = "stalint:ignore"
+
+// Index answers "is this position suppressed for this analyzer?" for
+// one pass. Build it once per Run with New and report every diagnostic
+// through Reportf.
+type Index struct {
+	pass *analysis.Pass
+	name string
+	// suppressed maps filename → set of line numbers on which a
+	// diagnostic from this analyzer is silenced.
+	suppressed map[string]map[int]bool
+}
+
+// New scans the pass's files for stalint:ignore comments that name
+// analyzer (the canonical analyzer name, e.g. "floatcmp").
+func New(pass *analysis.Pass, name string) *Index {
+	ix := &Index{pass: pass, name: name, suppressed: map[string]map[int]bool{}}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parse(c.Text)
+				if !ok || !names[name] {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				lines := ix.suppressed[pos.Filename]
+				if lines == nil {
+					lines = map[int]bool{}
+					ix.suppressed[pos.Filename] = lines
+				}
+				// The comment silences its own line (trailing form) and
+				// the line below (comment-above form).
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return ix
+}
+
+// parse extracts the analyzer names from a comment, reporting ok=false
+// when the comment is not a stalint:ignore directive or names no
+// analyzer.
+func parse(text string) (map[string]bool, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, marker) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, marker))
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false // bare ignore: suppresses nothing
+	}
+	names := map[string]bool{}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n != "" {
+			names[n] = true
+		}
+	}
+	return names, len(names) > 0
+}
+
+// Suppressed reports whether a diagnostic at pos is silenced.
+func (ix *Index) Suppressed(pos token.Pos) bool {
+	p := ix.pass.Fset.Position(pos)
+	return ix.suppressed[p.Filename][p.Line]
+}
+
+// Reportf emits a diagnostic unless it is suppressed.
+func (ix *Index) Reportf(pos token.Pos, format string, args ...interface{}) {
+	if ix.Suppressed(pos) {
+		return
+	}
+	ix.pass.Report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// DocHasMarker reports whether a declaration's doc comment group
+// carries the given stalint marker word (e.g. "stalint:shared").
+func DocHasMarker(doc *ast.CommentGroup, word string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		t := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+		if strings.HasPrefix(t, word) {
+			return true
+		}
+	}
+	return false
+}

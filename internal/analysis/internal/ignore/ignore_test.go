@@ -1,0 +1,26 @@
+package ignore
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		text  string
+		name  string
+		match bool
+	}{
+		{"// stalint:ignore floatcmp exact sentinel", "floatcmp", true},
+		{"// stalint:ignore floatcmp,errwrap both silenced", "errwrap", true},
+		{"// stalint:ignore floatcmp", "exhaustive", false},
+		{"// stalint:ignore", "floatcmp", false}, // bare ignore names nothing
+		{"// just a comment", "floatcmp", false},
+		{"/* stalint:ignore obscheck block form */", "obscheck", true},
+		{"//stalint:ignore floatcmp no space after //", "floatcmp", true},
+	}
+	for _, c := range cases {
+		names, ok := parse(c.text)
+		got := ok && names[c.name]
+		if got != c.match {
+			t.Errorf("parse(%q)[%s] = %v, want %v", c.text, c.name, got, c.match)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package obscheck defines an analyzer that enforces the repository's
+// instrumentation discipline on the obs package (internal/obs).
+//
+// Instruments created through (*obs.Set).Counter/Timer/Gauge form the
+// engine's public observability surface: names appear in JSON
+// snapshots, expvar and dashboards, so they must be stable, statically
+// known, and namespaced. Counters additionally promise monotonicity —
+// a counter that is reset or decremented turns every rate computed
+// from it into garbage.
+//
+// The analyzer flags:
+//
+//   - a Counter/Timer/Gauge name that is not a compile-time string
+//     constant (fmt.Sprintf names produce unbounded snapshot keys);
+//   - a constant name that is not package-prefixed and dotted, i.e.
+//     does not match ^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$ (for example
+//     "core.paths_recorded", not "pathsRecorded");
+//   - (*obs.Counter).Add with a constant argument <= 0 (counters only
+//     go up — use a Gauge for level-like quantities);
+//   - overwriting a Counter value (`*c = obs.Counter{}` and friends):
+//     counters are never reset.
+package obscheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"tpsta/internal/analysis/internal/ignore"
+)
+
+// Analyzer is the obscheck pass.
+const name = "obscheck"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "obs instrument names must be package-prefixed constants; counters are monotonic",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// namePattern is the required shape of an instrument name:
+// lower-case dotted path with a package prefix.
+var namePattern = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ix := ignore.New(pass, name)
+
+	nodeFilter := []ast.Node{
+		(*ast.CallExpr)(nil),
+		(*ast.AssignStmt)(nil),
+	}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, ix, n)
+		case *ast.AssignStmt:
+			// Only storing a Counter VALUE is a reset; pointer
+			// assignments (c := set.Counter(...)) are the normal way to
+			// hold an instrument.
+			for _, lhs := range n.Lhs {
+				if isObsValue(pass.TypesInfo.TypeOf(lhs), "Counter") {
+					ix.Reportf(lhs.Pos(), "obs.Counter overwritten; counters are monotonic and never reset")
+				}
+			}
+		}
+	})
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, ix *ignore.Index, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Counter", "Timer", "Gauge":
+		if !isObsType(pass.TypesInfo.TypeOf(sel.X), "Set") || len(call.Args) != 1 {
+			return
+		}
+		arg := call.Args[0]
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			ix.Reportf(arg.Pos(), "obs.Set.%s name is not a compile-time constant; dynamic names make snapshot keys unbounded", sel.Sel.Name)
+			return
+		}
+		name := constant.StringVal(tv.Value)
+		if !namePattern.MatchString(name) {
+			ix.Reportf(arg.Pos(), "obs instrument name %q is not package-prefixed (want e.g. \"core.paths_recorded\")", name)
+		}
+	case "Add":
+		if !isObsType(pass.TypesInfo.TypeOf(sel.X), "Counter") || len(call.Args) != 1 {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			return
+		}
+		if v, ok := constant.Int64Val(tv.Value); ok && v <= 0 {
+			ix.Reportf(call.Args[0].Pos(), "obs.Counter.Add(%d): counters only increment; use a Gauge for values that can fall", v)
+		}
+	}
+}
+
+// isObsType reports whether t (through pointers/aliases) is the named
+// type obs.<name>, where obs is any package whose import path ends in
+// "obs" — matching both tpsta/internal/obs and test fixtures.
+func isObsType(t types.Type, name string) bool {
+	for t != nil {
+		if p, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	return isObsValue(t, name)
+}
+
+// isObsValue is isObsType without pointer unwrapping: t must be the
+// obs.<name> value type itself.
+func isObsValue(t types.Type, name string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "obs" || len(path) > 4 && path[len(path)-4:] == "/obs"
+}

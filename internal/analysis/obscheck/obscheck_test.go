@@ -1,0 +1,12 @@
+package obscheck_test
+
+import (
+	"testing"
+
+	"tpsta/internal/analysis/analysistest"
+	"tpsta/internal/analysis/obscheck"
+)
+
+func TestObscheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), obscheck.Analyzer, "obscheck")
+}

@@ -1,0 +1,34 @@
+// Fixture mirror of tpsta/internal/obs: the analyzer matches the Set
+// and Counter types by package-path suffix "obs".
+package obs
+
+// Counter is a monotonic counter.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Timer accumulates durations.
+type Timer struct{ ns int64 }
+
+// Gauge is an instantaneous value.
+type Gauge struct{ v int64 }
+
+// Set is a named collection of instruments.
+type Set struct {
+	counters map[string]*Counter
+	timers   map[string]*Timer
+	gauges   map[string]*Gauge
+}
+
+// Counter returns the named counter.
+func (s *Set) Counter(name string) *Counter { return s.counters[name] }
+
+// Timer returns the named timer.
+func (s *Set) Timer(name string) *Timer { return s.timers[name] }
+
+// Gauge returns the named gauge.
+func (s *Set) Gauge(name string) *Gauge { return s.gauges[name] }

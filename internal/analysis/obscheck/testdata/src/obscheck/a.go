@@ -1,0 +1,43 @@
+// Fixture for the obscheck analyzer.
+package obscheck
+
+import (
+	"fmt"
+
+	"obs"
+)
+
+// Package-prefixed constants: the required naming shape.
+const (
+	cSteps    = "core.search_steps"
+	cBadShape = "searchSteps"
+)
+
+func names(s *obs.Set, i int) {
+	s.Counter(cSteps).Inc()                    // ok: constant, prefixed
+	s.Counter("core.paths_recorded").Inc()     // ok: literal constant, prefixed
+	s.Timer("charlib.fit.solve")               // ok: nested prefix
+	s.Gauge("core.workers_busy")               // ok
+	s.Counter(cBadShape).Inc()                 // want `obs instrument name "searchSteps" is not package-prefixed`
+	s.Counter("Steps.total")                   // want `not package-prefixed`
+	s.Gauge("core.")                           // want `not package-prefixed`
+	s.Counter(fmt.Sprintf("shard%d.steps", i)) // want `name is not a compile-time constant`
+	s.Timer("t" + fmt.Sprint(i))               // want `name is not a compile-time constant`
+	s.Counter("pfx" + ".steps").Inc()          // ok: constant-folded to "pfx.steps"
+}
+
+func monotonic(c *obs.Counter, s *obs.Set, n int64) {
+	c.Inc()            // ok
+	c.Add(5)           // ok
+	c.Add(n)           // ok: not a constant, runtime discipline
+	c.Add(0)           // want `obs\.Counter\.Add\(0\): counters only increment`
+	c.Add(-3)          // want `obs\.Counter\.Add\(-3\): counters only increment`
+	*c = obs.Counter{} // want `obs\.Counter overwritten; counters are monotonic and never reset`
+	var tmp obs.Counter
+	tmp = *c // want `obs\.Counter overwritten`
+	_ = tmp
+}
+
+func suppressed(s *obs.Set, i int) {
+	s.Counter(fmt.Sprintf("c%d", i)).Inc() // stalint:ignore obscheck stress fixture exercises map growth
+}

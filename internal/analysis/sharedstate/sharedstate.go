@@ -1,0 +1,243 @@
+// Package sharedstate defines an analyzer that guards the engine's
+// shared caches against unguarded mutation.
+//
+// PR 2 made the true-path search concurrent: cell justification-cube
+// caches and the k-worst pruner's bound tables are now read by many
+// searcher goroutines at once. The invariant that keeps them safe is
+// that every such structure is written only while it is still private —
+// inside its constructor — or under a sync.Once. The race detector can
+// only catch the schedules a test happens to produce; this analyzer
+// checks the rule itself.
+//
+// Annotate a struct type by putting `stalint:shared` in its doc
+// comment:
+//
+//	// pruner holds the bound tables shared by forked workers.
+//	//
+//	// stalint:shared
+//	type pruner struct { ... }
+//
+// The analyzer then flags every write to a field of that type —
+// assignment, map/slice element store, ++/--, delete — unless the
+// write happens
+//
+//   - inside a function whose name starts with "new" or "New" (the
+//     constructor convention used throughout this module), or in
+//     package init, or
+//   - inside a function literal passed to (*sync.Once).Do.
+//
+// Deliberate warm-before-share mutation (a cache filled while the
+// value is still goroutine-private, documented as such) is suppressed
+// with `// stalint:ignore sharedstate <why>`.
+//
+// The check is intra-package by design: shared fields are unexported,
+// so all writes live in the declaring package.
+package sharedstate
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"tpsta/internal/analysis/internal/ignore"
+)
+
+// Marker is the doc-comment word that opts a type into the check.
+const Marker = "stalint:shared"
+
+// Analyzer is the sharedstate pass.
+const name = "sharedstate"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "writes to stalint:shared types must stay inside constructors or sync.Once",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	shared := sharedTypes(pass)
+	if len(shared) == 0 {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ix := ignore.New(pass, name)
+
+	nodeFilter := []ast.Node{
+		(*ast.AssignStmt)(nil),
+		(*ast.IncDecStmt)(nil),
+		(*ast.CallExpr)(nil),
+	}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, ix, shared, lhs, stack)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, ix, shared, n.X, stack)
+		case *ast.CallExpr:
+			// delete(x.f, k) and clear(x.f) mutate their argument.
+			if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "delete" || id.Name == "clear") && len(n.Args) > 0 {
+				checkWrite(pass, ix, shared, n.Args[0], stack)
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// sharedTypes collects the named struct types in this package whose
+// declaration carries the stalint:shared marker.
+func sharedTypes(pass *analysis.Pass) map[types.Object]bool {
+	shared := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if ignore.DocHasMarker(gd.Doc, Marker) ||
+					ignore.DocHasMarker(ts.Doc, Marker) ||
+					ignore.DocHasMarker(ts.Comment, Marker) {
+					if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+						shared[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return shared
+}
+
+// checkWrite reports lhs when it stores into a field of a shared type
+// from a disallowed context.
+func checkWrite(pass *analysis.Pass, ix *ignore.Index, shared map[types.Object]bool, lhs ast.Expr, stack []ast.Node) {
+	sel, field := sharedField(pass, shared, lhs)
+	if sel == nil {
+		return
+	}
+	if allowedContext(pass, stack) {
+		return
+	}
+	owner := ownerName(pass, sel)
+	ix.Reportf(lhs.Pos(), "write to %s of shared type %s outside a constructor or sync.Once (see stalint:shared)",
+		field, owner)
+}
+
+// sharedField unwraps index/slice/star/paren layers off lhs and
+// reports the selector that targets a field of an annotated type, plus
+// the field name. It returns (nil, "") when lhs does not touch shared
+// state.
+func sharedField(pass *analysis.Pass, shared map[types.Object]bool, lhs ast.Expr) (*ast.SelectorExpr, string) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.SliceExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if ownedByShared(pass, shared, e.X) {
+				return e, e.Sel.Name
+			}
+			// x.a.b: the outer selector's base may itself be a shared
+			// field chain.
+			lhs = e.X
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// ownedByShared reports whether expr's type (through pointers and
+// aliases) is one of the annotated named types.
+func ownedByShared(pass *analysis.Pass, shared map[types.Object]bool, expr ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(expr)
+	for t != nil {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	return shared[named.Obj()]
+}
+
+// allowedContext walks the enclosing nodes innermost-first and reports
+// whether the write sits in constructor scope or under sync.Once.
+func allowedContext(pass *analysis.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit:
+			if i > 0 && isOnceDoArg(pass, stack[i-1], n) {
+				return true
+			}
+			// Other literals inherit their enclosing function's verdict:
+			// keep walking out.
+		case *ast.FuncDecl:
+			name := n.Name.Name
+			return strings.HasPrefix(name, "new") || strings.HasPrefix(name, "New") || name == "init"
+		}
+	}
+	return false
+}
+
+// isOnceDoArg reports whether lit is the argument of a
+// (*sync.Once).Do call whose AST parent is parent.
+func isOnceDoArg(pass *analysis.Pass, parent ast.Node, lit *ast.FuncLit) bool {
+	call, ok := parent.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 || call.Args[0] != lit {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Do" {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Once" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// ownerName renders the shared type a selector writes through, for the
+// diagnostic message.
+func ownerName(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	t := pass.TypesInfo.TypeOf(sel.X)
+	for {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return types.TypeString(t, nil)
+}

@@ -1,0 +1,12 @@
+package sharedstate_test
+
+import (
+	"testing"
+
+	"tpsta/internal/analysis/analysistest"
+	"tpsta/internal/analysis/sharedstate"
+)
+
+func TestSharedstate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sharedstate.Analyzer, "sharedstate")
+}

@@ -1,0 +1,84 @@
+// Fixture for the sharedstate analyzer.
+package sharedstate
+
+import "sync"
+
+// table caches per-gate bounds shared across worker goroutines.
+//
+// stalint:shared
+type table struct {
+	bounds []float64
+	byName map[string]float64
+	hits   int
+	slot   slot
+}
+
+// slot is a nested once-guarded cache cell.
+type slot struct {
+	once  sync.Once
+	cubes []int
+}
+
+// plain is not annotated; writes to it are unchecked.
+type plain struct {
+	bounds []float64
+}
+
+// newTable is constructor scope: all writes allowed.
+func newTable(n int) *table {
+	t := &table{}
+	t.bounds = make([]float64, n)
+	t.byName = map[string]float64{}
+	for i := range t.bounds {
+		t.bounds[i] = 1.0
+	}
+	t.byName["a"] = 2.0
+	return t
+}
+
+// lookup mutates the shared cache outside any guard: every write is a
+// diagnostic.
+func (t *table) lookup(name string) float64 {
+	t.hits++                // want `write to hits of shared type table outside a constructor or sync\.Once`
+	t.bounds[0] = 3         // want `write to bounds of shared type table`
+	t.byName[name] = 4      // want `write to byName of shared type table`
+	t.bounds = nil          // want `write to bounds of shared type table`
+	delete(t.byName, name)  // want `write to byName of shared type table`
+	t.slot.cubes = []int{1} // want `write to (slot|cubes) of shared type table`
+	return t.byName[name]
+}
+
+// cubes fills the nested slot under its sync.Once: allowed.
+func (t *table) cubesOnce() []int {
+	t.slot.once.Do(func() {
+		t.slot.cubes = []int{1, 2}
+	})
+	return t.slot.cubes
+}
+
+// notOnce uses a func literal that is NOT a sync.Once argument: still
+// flagged.
+func (t *table) notOnce() {
+	f := func() {
+		t.hits++ // want `write to hits of shared type table`
+	}
+	f()
+}
+
+// reads never trigger.
+func (t *table) read() float64 {
+	x := t.bounds[0]
+	y := t.byName["a"]
+	return x + y
+}
+
+// unannotated types are free to mutate.
+func (p *plain) set() {
+	p.bounds = append(p.bounds, 1)
+}
+
+// warm documents a warm-before-share fill and suppresses the check.
+func (t *table) warm() {
+	// stalint:ignore sharedstate cache filled before the table is shared
+	t.byName["warm"] = 1
+}

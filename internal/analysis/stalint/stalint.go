@@ -1,0 +1,35 @@
+// Package stalint assembles the repository's custom static-analysis
+// suite: the five analyzers that machine-check the engine invariants
+// go vet cannot see (see DESIGN §9).
+//
+//   - sharedstate: stalint:shared types mutate only in constructors or
+//     under sync.Once (concurrency invariant from the parallel search);
+//   - exhaustive: switches over the dual-value logic domain and other
+//     engine enums cover every constant or carry an explicit default;
+//   - floatcmp: no raw ==/!= on floating-point delay/slew values —
+//     epsilon comparison via internal/num;
+//   - obscheck: instrument names are package-prefixed constants and
+//     counters are monotonic;
+//   - errwrap: errors crossing package boundaries are wrapped with %w.
+package stalint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"tpsta/internal/analysis/errwrap"
+	"tpsta/internal/analysis/exhaustive"
+	"tpsta/internal/analysis/floatcmp"
+	"tpsta/internal/analysis/obscheck"
+	"tpsta/internal/analysis/sharedstate"
+)
+
+// Analyzers returns the full suite in a fresh slice, in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		sharedstate.Analyzer,
+		exhaustive.Analyzer,
+		floatcmp.Analyzer,
+		obscheck.Analyzer,
+		errwrap.Analyzer,
+	}
+}

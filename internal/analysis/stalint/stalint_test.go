@@ -1,0 +1,33 @@
+package stalint_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"tpsta/internal/analysis/stalint"
+)
+
+// TestSuite validates the analyzer graph (names, docs, acyclic
+// requirements) with the upstream validator and pins the suite
+// composition.
+func TestSuite(t *testing.T) {
+	as := stalint.Analyzers()
+	if err := analysis.Validate(as); err != nil {
+		t.Fatalf("suite does not validate: %v", err)
+	}
+	want := []string{"sharedstate", "exhaustive", "floatcmp", "obscheck", "errwrap"}
+	if len(as) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(as), len(want))
+	}
+	for i, a := range as {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+	}
+	// Fresh slice each call: mutating one must not leak into the next.
+	stalint.Analyzers()[0] = nil
+	if stalint.Analyzers()[0] == nil {
+		t.Error("Analyzers returns a shared slice")
+	}
+}

@@ -79,6 +79,7 @@ func TestStructuralPathsC17(t *testing.T) {
 		t.Errorf("k=3 returned %d", len(three))
 	}
 	for i := range three {
+		// stalint:ignore floatcmp truncated run must be bit-identical to the prefix
 		if three[i].StructuralDelay != paths[i].StructuralDelay {
 			t.Error("k-truncated enumeration differs from prefix")
 		}

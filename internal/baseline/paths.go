@@ -134,6 +134,7 @@ type itemHeap []*item
 func (h itemHeap) Len() int { return len(h) }
 func (h itemHeap) Less(i, j int) bool {
 	pi, pj := h[i].delay+h[i].bound, h[j].delay+h[j].bound
+	// stalint:ignore floatcmp heap order must be an exact total order (transitivity)
 	if pi != pj {
 		return pi > pj // max-heap
 	}

@@ -26,6 +26,7 @@ import (
 
 	"tpsta/internal/charlib"
 	"tpsta/internal/netlist"
+	"tpsta/internal/num"
 	"tpsta/internal/tech"
 )
 
@@ -78,10 +79,10 @@ func New(c *netlist.Circuit, tc *tech.Tech, lib *charlib.Library, opts Options) 
 	if opts.InputSlew <= 0 {
 		opts.InputSlew = 40e-12
 	}
-	if opts.Temp == 0 {
+	if num.IsZero(opts.Temp) {
 		opts.Temp = 25
 	}
-	if opts.VDD == 0 {
+	if num.IsZero(opts.VDD) {
 		opts.VDD = tc.VDD
 	}
 	return &Analyzer{Circuit: c, Tech: tc, Lib: lib, Opts: opts}
@@ -272,6 +273,7 @@ func (rep *Report) WorstNodes(k int) []string {
 		all = append(all, pair{n, nt.Slack})
 	}
 	sort.Slice(all, func(i, j int) bool {
+		// stalint:ignore floatcmp sort comparator must be an exact total order
 		if all[i].slack != all[j].slack {
 			return all[i].slack < all[j].slack
 		}

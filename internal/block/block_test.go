@@ -245,6 +245,7 @@ func TestIncrementalMatchesFullRun(t *testing.T) {
 			t.Fatalf("node %s slack: %g vs %g", name, got.Slack, want.Slack)
 		}
 	}
+	// stalint:ignore floatcmp incremental reanalysis must be bit-identical to full
 	if rep.WorstArrival != full.WorstArrival || rep.WorstOutput != full.WorstOutput {
 		t.Error("summary fields diverge")
 	}
@@ -257,6 +258,7 @@ func TestIncrementalNoChanges(t *testing.T) {
 	if err := a.Incremental(rep, nil); err != nil {
 		t.Fatal(err)
 	}
+	// stalint:ignore floatcmp a no-op incremental pass must not perturb a single bit
 	if rep.WorstArrival != before {
 		t.Error("no-op incremental changed the report")
 	}

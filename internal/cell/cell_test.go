@@ -6,6 +6,7 @@ import (
 
 	"tpsta/internal/expr"
 	"tpsta/internal/logic"
+	"tpsta/internal/num"
 	"tpsta/internal/tech"
 )
 
@@ -273,20 +274,20 @@ func TestStackCompensationSizing(t *testing.T) {
 	l := lib(t)
 	// NAND2: nMOS stack of 2 → WN=2; pMOS parallel → WP=1.
 	nand := l.MustGet("NAND2")
-	if st := nand.Stages[0]; st.WN != 2 || st.WP != 1 {
+	if st := nand.Stages[0]; !num.Eq(st.WN, 2) || !num.Eq(st.WP, 1) {
 		t.Errorf("NAND2 sizing WN=%v WP=%v, want 2/1", st.WN, st.WP)
 	}
 	nor := l.MustGet("NOR2")
-	if st := nor.Stages[0]; st.WN != 1 || st.WP != 2 {
+	if st := nor.Stages[0]; !num.Eq(st.WN, 1) || !num.Eq(st.WP, 2) {
 		t.Errorf("NOR2 sizing WN=%v WP=%v, want 1/2", st.WN, st.WP)
 	}
 	// AOI22 core: both networks are depth-2.
 	aoi := l.MustGet("AOI22")
-	if st := aoi.Stages[0]; st.WN != 2 || st.WP != 2 {
+	if st := aoi.Stages[0]; !num.Eq(st.WN, 2) || !num.Eq(st.WP, 2) {
 		t.Errorf("AOI22 sizing WN=%v WP=%v, want 2/2", st.WN, st.WP)
 	}
 	inv := l.MustGet("INV")
-	if st := inv.Stages[0]; st.WN != 1 || st.WP != 1 {
+	if st := inv.Stages[0]; !num.Eq(st.WN, 1) || !num.Eq(st.WP, 1) {
 		t.Errorf("INV sizing WN=%v WP=%v, want 1/1", st.WN, st.WP)
 	}
 }
@@ -296,12 +297,12 @@ func TestInputCap(t *testing.T) {
 	l := lib(t)
 	inv := l.MustGet("INV")
 	wantInv := tc.CgOf(tc.WminN) + tc.CgOf(tc.WminP)
-	if got := inv.InputCap(tc, "A"); got != wantInv {
+	if got := inv.InputCap(tc, "A"); !num.Eq(got, wantInv) {
 		t.Errorf("INV input cap = %g, want %g", got, wantInv)
 	}
 	// NAND2 input devices are double width: cap doubles.
 	nand := l.MustGet("NAND2")
-	if got := nand.InputCap(tc, "A"); got != 2*tc.CgOf(tc.WminN)+tc.CgOf(tc.WminP) {
+	if got := nand.InputCap(tc, "A"); !num.Eq(got, 2*tc.CgOf(tc.WminN)+tc.CgOf(tc.WminP)) {
 		t.Errorf("NAND2 input cap = %g", got)
 	}
 	// All library cells present a positive cap on every pin; MaxInputCap

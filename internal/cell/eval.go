@@ -29,6 +29,7 @@ func (c *Cell) compileEval() {
 	for i, p := range c.Inputs {
 		idx[p] = i
 	}
+	// stalint:ignore sharedstate warm-before-share: library construction precompiles every cell before publishing
 	c.fastEval = compile(c.Function, idx)
 }
 

@@ -64,6 +64,7 @@ func (c *Cell) Topology() *Topology {
 		}
 	}
 	nets = append(nets, Output)
+	// stalint:ignore sharedstate warm-before-share: library construction elaborates every cell before publishing
 	c.topology = &Topology{Devices: b.devices, Nets: nets}
 	return c.topology
 }

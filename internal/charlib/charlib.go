@@ -25,6 +25,7 @@ import (
 
 	"tpsta/internal/cell"
 	"tpsta/internal/lut"
+	"tpsta/internal/num"
 	"tpsta/internal/obs"
 	"tpsta/internal/polyfit"
 	"tpsta/internal/spice"
@@ -82,12 +83,12 @@ func (g Grid) validate() error {
 	}
 	hasT, hasV := false, false
 	for _, t := range g.Temp {
-		if t == 25 {
+		if num.Eq(t, 25) {
 			hasT = true
 		}
 	}
 	for _, v := range g.VDDRel {
-		if v == 1 {
+		if num.Eq(v, 1) {
 			hasV = true
 		}
 	}
@@ -383,7 +384,7 @@ func characterizeArc(tc *tech.Tech, c *cell.Cell, vec cell.Vector, rising bool, 
 		for _, vr := range grid.VDDRel {
 			vdd := vr * tc.VDD
 			s := spice.NewAt(tc, temp, vdd)
-			nominal := temp == 25 && vr == 1
+			nominal := num.Eq(temp, 25) && num.Eq(vr, 1)
 			for fi, fo := range grid.Fo {
 				for si, tin := range grid.Tin {
 					r, err := s.SimulateGate(c, vec, rising, tin, fo*cinRef)

@@ -223,6 +223,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// stalint:ignore floatcmp save/load round trip must preserve evaluation bit-exactly
 	if d1 != d2 || s1 != s2 {
 		t.Errorf("eval changed after round trip: %g/%g vs %g/%g", d1, s1, d2, s2)
 	}

@@ -23,6 +23,7 @@ import (
 	"tpsta/internal/cell"
 	"tpsta/internal/charlib"
 	"tpsta/internal/netlist"
+	"tpsta/internal/num"
 	"tpsta/internal/obs"
 	"tpsta/internal/sim"
 	"tpsta/internal/tech"
@@ -195,10 +196,10 @@ func (o Options) withDefaults(tc *tech.Tech) Options {
 	if o.InputSlew <= 0 {
 		o.InputSlew = 40e-12
 	}
-	if o.Temp == 0 {
+	if num.IsZero(o.Temp) {
 		o.Temp = 25
 	}
-	if o.VDD == 0 && tc != nil {
+	if num.IsZero(o.VDD) && tc != nil {
 		o.VDD = tc.VDD
 	}
 	return o
@@ -502,6 +503,9 @@ func (e *Engine) ArcDelays(arcs []Arc, launchRising bool) ([]float64, error) {
 // order (DESIGN.md §8).
 func pathBetter(a, b *TruePath) bool {
 	da, db := a.WorstDelay(), b.WorstDelay()
+	// Canonical path order must be exact: the parallel merge is
+	// byte-identical to serial only under a strict total order.
+	// stalint:ignore floatcmp exact comparison keeps the order total
 	if da != db {
 		return da > db
 	}

@@ -413,6 +413,7 @@ func TestKWorstWithDelaysMatchesEnumerate(t *testing.T) {
 		t.Fatalf("KWorst returned %d paths", len(kres.Paths))
 	}
 	for i := 0; i < k; i++ {
+		// stalint:ignore floatcmp k-worst must rank bit-identically to the full search
 		if kres.Paths[i].WorstDelay() != full.Paths[i].WorstDelay() {
 			t.Errorf("rank %d: kworst %g vs full %g", i, kres.Paths[i].WorstDelay(), full.Paths[i].WorstDelay())
 		}

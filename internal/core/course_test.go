@@ -7,6 +7,7 @@ import (
 	"tpsta/internal/cell"
 	"tpsta/internal/circuits"
 	"tpsta/internal/netlist"
+	"tpsta/internal/num"
 	"tpsta/internal/sim"
 )
 
@@ -180,11 +181,11 @@ func TestStructureOnlyArcDelaysAreUnit(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, d := range ds {
-		if d != 1 {
+		if !num.Eq(d, 1) {
 			t.Errorf("unit delay expected, got %v", d)
 		}
 	}
-	if p.WorstDelay() != float64(len(p.Arcs)) {
+	if !num.Eq(p.WorstDelay(), float64(len(p.Arcs))) {
 		t.Errorf("structure-only worst delay %v for %d arcs", p.WorstDelay(), len(p.Arcs))
 	}
 }

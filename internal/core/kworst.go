@@ -38,6 +38,11 @@ func (e *Engine) KWorst(k int) (*Result, error) {
 }
 
 // pruner holds the bound tables and the current k-best heap.
+//
+// stalint:shared — the bound tables (arcUB, suffixUB) are computed in
+// newPruner and then shared read-only across forked workers; the heap is
+// fork-private. The sharedstate analyzer flags writes to either outside
+// constructor scope so the sharing contract stays visible.
 type pruner struct {
 	eng      *Engine
 	k        int
@@ -124,6 +129,7 @@ func (p *pruner) gateUB(g *netlist.Gate) (float64, error) {
 // strictly below a delay that k already-found paths reach.
 func (p *pruner) fork() *pruner {
 	f := *p
+	// stalint:ignore sharedstate the heap is fork-private by construction; only the bound tables are shared
 	f.heap = nil
 	return &f
 }
@@ -164,6 +170,7 @@ func (p *pruner) add(tp *TruePath) {
 		return
 	}
 	if pathBetter(tp, p.heap[0]) {
+		// stalint:ignore sharedstate the heap is fork-private; each worker mutates only its own
 		p.heap[0] = tp
 		heap.Fix(&p.heap, 0)
 	}

@@ -68,9 +68,11 @@ func samePath(a, b *TruePath) bool {
 			return false
 		}
 	}
+	// stalint:ignore floatcmp sharded search must reproduce serial delays bit-exactly
+	delaysEqual := a.RiseDelay == b.RiseDelay && a.FallDelay == b.FallDelay
 	return reflect.DeepEqual(a.Cube, b.Cube) &&
 		a.RiseOK == b.RiseOK && a.FallOK == b.FallOK &&
-		a.RiseDelay == b.RiseDelay && a.FallDelay == b.FallDelay
+		delaysEqual
 }
 
 // assertSameResult compares two results field by field. strictStats

@@ -8,6 +8,7 @@ import (
 	"tpsta/internal/baseline"
 	"tpsta/internal/circuits"
 	"tpsta/internal/core"
+	"tpsta/internal/num"
 	"tpsta/internal/report"
 	"tpsta/internal/spice"
 	"tpsta/internal/tech"
@@ -165,7 +166,7 @@ func accuracyTableNumber(techName string) string {
 }
 
 func relErr(est, ref float64) float64 {
-	if ref == 0 {
+	if num.IsZero(ref) {
 		return 0
 	}
 	return math.Abs(est-ref) / math.Abs(ref)

@@ -160,6 +160,9 @@ func Table6(cfg Config, specs []Table6Spec) ([]Table6Row, *report.Table, error) 
 				if len(cres.Paths) > 0 {
 					row.MisFalse++
 				}
+			case baseline.VerdictAbandoned:
+				// The baseline gave up before a verdict; there is no
+				// prediction to adjudicate.
 			case baseline.VerdictTrue:
 				if len(cres.Paths) < 2 {
 					continue

@@ -8,6 +8,7 @@ import (
 
 	"tpsta/internal/cell"
 	"tpsta/internal/charlib"
+	"tpsta/internal/num"
 	"tpsta/internal/tech"
 )
 
@@ -176,7 +177,7 @@ func TestGroupHelpers(t *testing.T) {
 		t.Error("Attr")
 	}
 	ns, err := g.Floats("nums")
-	if err != nil || len(ns) != 3 || ns[2] != 3 {
+	if err != nil || len(ns) != 3 || !num.Eq(ns[2], 3) {
 		t.Errorf("Floats: %v %v", ns, err)
 	}
 	if _, err := g.Floats("zz"); err == nil {

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"tpsta/internal/num"
 )
 
 func table(t *testing.T) *Table {
@@ -69,13 +71,13 @@ func TestLookupBilinear(t *testing.T) {
 
 func TestLookupClampsOutsideGrid(t *testing.T) {
 	tb := table(t)
-	if got := tb.Lookup(0.1, 5); got != 100 {
+	if got := tb.Lookup(0.1, 5); !num.Eq(got, 100) {
 		t.Errorf("below-grid lookup = %v, want clamp to 100", got)
 	}
-	if got := tb.Lookup(100, 100); got != 290 {
+	if got := tb.Lookup(100, 100); !num.Eq(got, 290) {
 		t.Errorf("above-grid lookup = %v, want clamp to 290", got)
 	}
-	if got := tb.Lookup(0.5, 15); got != 120 {
+	if got := tb.Lookup(0.5, 15); !num.Eq(got, 120) {
 		t.Errorf("mixed clamp = %v, want 120", got)
 	}
 }
@@ -115,7 +117,7 @@ func TestPropertyLookupWithinCellBounds(t *testing.T) {
 func TestArcShape(t *testing.T) {
 	tb := table(t)
 	arc := Arc{Delay: tb, Slew: tb}
-	if arc.Delay.Lookup(1, 10) != 100 || arc.Slew.Lookup(4, 20) != 290 {
+	if !num.Eq(arc.Delay.Lookup(1, 10), 100) || !num.Eq(arc.Slew.Lookup(4, 20), 290) {
 		t.Error("Arc field plumbing broken")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"tpsta/internal/cell"
+	"tpsta/internal/num"
 	"tpsta/internal/tech"
 )
 
@@ -174,12 +175,12 @@ func TestLoadCap(t *testing.T) {
 	n11 := c.Node("11")
 	nand := cell.Default().MustGet("NAND2")
 	want := tc.Cw + nand.InputCap(tc, "B") + nand.InputCap(tc, "A")
-	if got := c.LoadCap(n11, tc); got != want {
+	if got := c.LoadCap(n11, tc); !num.Eq(got, want) {
 		t.Errorf("LoadCap(11) = %g, want %g", got, want)
 	}
 	// Output net 22 adds the default output load.
 	n22 := c.Node("22")
-	if got := c.LoadCap(n22, tc); got != tc.Cw+DefaultOutputLoad(tc) {
+	if got := c.LoadCap(n22, tc); !num.Eq(got, tc.Cw+DefaultOutputLoad(tc)) {
 		t.Errorf("LoadCap(22) = %g", got)
 	}
 }

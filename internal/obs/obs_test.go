@@ -82,27 +82,36 @@ func TestTimerConcurrent(t *testing.T) {
 	}
 }
 
+// Instrument names in this test follow the obscheck discipline:
+// compile-time constants, package-prefixed and dotted.
+const (
+	testSteps   = "test.steps"
+	testFit     = "test.fit"
+	testWorkers = "test.workers"
+)
+
 func TestSetSnapshotAndJSON(t *testing.T) {
 	s := NewSet()
-	s.Counter("steps").Add(42)
-	s.Counter("steps").Inc() // same instrument, not a new one
-	s.Timer("fit").Observe(2 * time.Second)
-	s.Gauge("workers").Set(8)
+	s.Counter(testSteps).Add(42)
+	s.Counter(testSteps).Inc() // same instrument, not a new one
+	s.Timer(testFit).Observe(2 * time.Second)
+	s.Gauge(testWorkers).Set(8)
 
 	snap := s.Snapshot()
-	if snap.Counters["steps"] != 43 {
-		t.Fatalf("snapshot counter = %d, want 43", snap.Counters["steps"])
+	if snap.Counters[testSteps] != 43 {
+		t.Fatalf("snapshot counter = %d, want 43", snap.Counters[testSteps])
 	}
-	if snap.Timers["fit"].Seconds != 2 || snap.Timers["fit"].Count != 1 {
-		t.Fatalf("snapshot timer = %+v", snap.Timers["fit"])
+	// stalint:ignore floatcmp the snapshot records an exact integer second count
+	if snap.Timers[testFit].Seconds != 2 || snap.Timers[testFit].Count != 1 {
+		t.Fatalf("snapshot timer = %+v", snap.Timers[testFit])
 	}
-	if snap.Gauges["workers"] != 8 {
-		t.Fatalf("snapshot gauge = %d, want 8", snap.Gauges["workers"])
+	if snap.Gauges[testWorkers] != 8 {
+		t.Fatalf("snapshot gauge = %d, want 8", snap.Gauges[testWorkers])
 	}
 
 	// Snapshot is a copy: later increments must not leak in.
-	s.Counter("steps").Inc()
-	if snap.Counters["steps"] != 43 {
+	s.Counter(testSteps).Inc()
+	if snap.Counters[testSteps] != 43 {
 		t.Fatal("snapshot mutated by later increment")
 	}
 
@@ -114,8 +123,8 @@ func TestSetSnapshotAndJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
 		t.Fatalf("WriteJSON output not valid JSON: %v", err)
 	}
-	if back.Counters["steps"] != 44 {
-		t.Fatalf("roundtrip counter = %d, want 44", back.Counters["steps"])
+	if back.Counters[testSteps] != 44 {
+		t.Fatalf("roundtrip counter = %d, want 44", back.Counters[testSteps])
 	}
 }
 
@@ -127,6 +136,7 @@ func TestSetConcurrentCreate(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
+				// stalint:ignore obscheck dynamic names on purpose: stressing concurrent instrument creation
 				s.Counter(fmt.Sprintf("c%d", i%10)).Inc()
 			}
 		}()
@@ -134,6 +144,7 @@ func TestSetConcurrentCreate(t *testing.T) {
 	wg.Wait()
 	total := int64(0)
 	for i := 0; i < 10; i++ {
+		// stalint:ignore obscheck dynamic names on purpose: reading the stress-test instruments
 		total += s.Counter(fmt.Sprintf("c%d", i)).Load()
 	}
 	if total != 800 {

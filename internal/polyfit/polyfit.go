@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+
+	"tpsta/internal/num"
 )
 
 // fitSolves counts least-squares solves performed by Fit since process
@@ -127,7 +129,7 @@ func (m *Model) Eval(x []float64) float64 {
 	}
 	for idx := range m.Coef {
 		term := m.Coef[idx]
-		if term != 0 {
+		if !num.IsZero(term) {
 			if fast {
 				for i := 0; i < k; i++ {
 					term *= pows[i][exps[i]]
@@ -333,7 +335,7 @@ func FitAuto(vars []string, samples []Sample, opts AutoOptions) (*Model, float64
 	_, scale := normalization(k, samples)
 	orders := make([]int, k)
 	for i := 0; i < k; i++ {
-		if scale[i] != 0 {
+		if !num.IsZero(scale[i]) {
 			orders[i] = 1
 		}
 	}
@@ -348,7 +350,7 @@ func FitAuto(vars []string, samples []Sample, opts AutoOptions) (*Model, float64
 		var candErr float64
 		candVar := -1
 		for i := 0; i < k; i++ {
-			if scale[i] == 0 || orders[i] >= opts.MaxOrder {
+			if num.IsZero(scale[i]) || orders[i] >= opts.MaxOrder {
 				continue
 			}
 			orders[i]++
@@ -396,7 +398,7 @@ func solve(A [][]float64, b []float64) ([]float64, error) {
 		inv := 1 / A[col][col]
 		for r := col + 1; r < n; r++ {
 			f := A[r][col] * inv
-			if f == 0 {
+			if num.IsZero(f) {
 				continue
 			}
 			for c := col; c < n; c++ {

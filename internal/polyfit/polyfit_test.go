@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"tpsta/internal/num"
 )
 
 func TestFitExactQuadratic(t *testing.T) {
@@ -135,7 +137,7 @@ func TestErrorMetrics(t *testing.T) {
 	if e := m.MeanRelError(samples, 1e-12); e > 1e-12 {
 		t.Errorf("exact fit mean err %g", e)
 	}
-	if MeanIsZeroForEmpty := m.MeanRelError(nil, 1e-12); MeanIsZeroForEmpty != 0 {
+	if MeanIsZeroForEmpty := m.MeanRelError(nil, 1e-12); !num.IsZero(MeanIsZeroForEmpty) {
 		t.Error("mean error of no samples should be 0")
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"tpsta/internal/charlib"
 	"tpsta/internal/logic"
 	"tpsta/internal/netlist"
+	"tpsta/internal/num"
 	"tpsta/internal/tech"
 )
 
@@ -51,10 +52,10 @@ func (o Options) withDefaults(tc *tech.Tech) Options {
 	if o.InputSlew <= 0 {
 		o.InputSlew = 40e-12
 	}
-	if o.Temp == 0 {
+	if num.IsZero(o.Temp) {
 		o.Temp = 25
 	}
-	if o.VDD == 0 {
+	if num.IsZero(o.VDD) {
 		o.VDD = tc.VDD
 	}
 	return o
@@ -187,6 +188,7 @@ func Estimate(c *netlist.Circuit, tc *tech.Tech, lib *charlib.Library, opts Opti
 		rep.GlitchFraction = float64(totalGlitches) / float64(totalToggles)
 	}
 	sort.Slice(rep.ByNet, func(i, j int) bool {
+		// stalint:ignore floatcmp sort comparator must be an exact total order
 		if rep.ByNet[i].Power != rep.ByNet[j].Power {
 			return rep.ByNet[i].Power > rep.ByNet[j].Power
 		}
@@ -213,6 +215,7 @@ type peventQueue []pevent
 
 func (q peventQueue) Len() int { return len(q) }
 func (q peventQueue) Less(i, j int) bool {
+	// stalint:ignore floatcmp event order must be an exact total order
 	if q[i].time != q[j].time {
 		return q[i].time < q[j].time
 	}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"tpsta/internal/num"
 )
 
 // Table accumulates rows and renders them with aligned columns.
@@ -47,7 +49,7 @@ func (t *Table) Note(format string, args ...interface{}) *Table {
 // formatFloat prints with sensible precision for table cells.
 func formatFloat(v float64) string {
 	switch {
-	case v == 0:
+	case num.IsZero(v):
 		return "0"
 	case v >= 1000 || v <= -1000:
 		return fmt.Sprintf("%.0f", v)

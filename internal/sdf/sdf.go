@@ -15,6 +15,7 @@ import (
 
 	"tpsta/internal/charlib"
 	"tpsta/internal/netlist"
+	"tpsta/internal/num"
 	"tpsta/internal/tech"
 )
 
@@ -32,10 +33,10 @@ func Write(w io.Writer, c *netlist.Circuit, tc *tech.Tech, lib *charlib.Library,
 	if opts.InputSlew <= 0 {
 		opts.InputSlew = 40e-12
 	}
-	if opts.Temp == 0 {
+	if num.IsZero(opts.Temp) {
 		opts.Temp = 25
 	}
-	if opts.VDD == 0 {
+	if num.IsZero(opts.VDD) {
 		opts.VDD = tc.VDD
 	}
 	bw := bufio.NewWriter(w)
@@ -104,7 +105,7 @@ func arcTriples(lib *charlib.Library, g *netlist.Gate, pin string, fo float64, o
 		if d > a.max {
 			a.max = d
 		}
-		if isTyp || a.typ == 0 {
+		if isTyp || num.IsZero(a.typ) {
 			a.typ = d
 		}
 	}

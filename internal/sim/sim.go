@@ -168,6 +168,7 @@ type eventQueue []eventItem
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
+	// stalint:ignore floatcmp event order must be an exact total order
 	if q[i].time != q[j].time {
 		return q[i].time < q[j].time
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"tpsta/internal/cell"
+	"tpsta/internal/num"
 	"tpsta/internal/tech"
 )
 
@@ -208,7 +209,7 @@ func (nw *network) assemble(v, vp []float64, G [][]float64, I []float64) {
 		va := nw.termVolt(d.a, v)
 		vb := nw.termVolt(d.b, v)
 		g := nw.conductance(d, vg, va, vb)
-		if g == 0 {
+		if num.IsZero(g) {
 			continue
 		}
 		stamp := func(i, j int) {
@@ -247,7 +248,7 @@ func solveLinear(G [][]float64, I []float64) ([]float64, error) {
 		inv := 1 / G[col][col]
 		for r := col + 1; r < n; r++ {
 			f := G[r][col] * inv
-			if f == 0 {
+			if num.IsZero(f) {
 				continue
 			}
 			for c := col; c < n; c++ {

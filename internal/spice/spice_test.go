@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tpsta/internal/cell"
+	"tpsta/internal/num"
 	"tpsta/internal/tech"
 )
 
@@ -51,10 +52,10 @@ func TestRampAndSlew(t *testing.T) {
 	if !ok || math.Abs(slew-40e-12) > 1e-15 {
 		t.Errorf("falling slew = %v, %v", slew, ok)
 	}
-	if v := fall.At(0); v != vdd {
+	if v := fall.At(0); !num.Eq(v, vdd) {
 		t.Errorf("falling ramp starts at %v", v)
 	}
-	if f := Flat(0.5); f.At(123) != 0.5 || f.Final() != 0.5 {
+	if f := Flat(0.5); !num.Eq(f.At(123), 0.5) || !num.Eq(f.Final(), 0.5) {
 		t.Error("Flat broken")
 	}
 }

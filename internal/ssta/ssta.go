@@ -25,6 +25,7 @@ import (
 
 	"tpsta/internal/charlib"
 	"tpsta/internal/netlist"
+	"tpsta/internal/num"
 	"tpsta/internal/tech"
 )
 
@@ -61,7 +62,7 @@ func (c Canonical) addDelay(d0, betaG, betaL float64) Canonical {
 // correlation between two canonicals through the shared global term.
 func correlation(a, b Canonical) float64 {
 	sa, sb := a.Sigma(), b.Sigma()
-	if sa == 0 || sb == 0 {
+	if num.IsZero(sa) || num.IsZero(sb) {
 		return 0
 	}
 	return a.Global * b.Global / (sa * sb)
@@ -106,19 +107,19 @@ type Options struct {
 }
 
 func (o Options) withDefaults(tc *tech.Tech) Options {
-	if o.BetaGlobal == 0 {
+	if num.IsZero(o.BetaGlobal) {
 		o.BetaGlobal = 0.05
 	}
-	if o.BetaLocal == 0 {
+	if num.IsZero(o.BetaLocal) {
 		o.BetaLocal = 0.03
 	}
 	if o.InputSlew <= 0 {
 		o.InputSlew = 40e-12
 	}
-	if o.Temp == 0 {
+	if num.IsZero(o.Temp) {
 		o.Temp = 25
 	}
-	if o.VDD == 0 {
+	if num.IsZero(o.VDD) {
 		o.VDD = tc.VDD
 	}
 	return o
@@ -230,7 +231,7 @@ func (a *Analyzer) Run() (*Report, error) {
 // given period: P(worst arrival ≤ period).
 func (rep *Report) Yield(period float64) float64 {
 	s := rep.Worst.Sigma()
-	if s == 0 {
+	if num.IsZero(s) {
 		if rep.Worst.Mean <= period {
 			return 1
 		}

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"tpsta/internal/num"
 )
 
 func TestRegistry(t *testing.T) {
@@ -109,7 +111,7 @@ func TestVtTemperatureShift(t *testing.T) {
 		if tc.Vt(true, 125) >= tc.Vt(true, 25) {
 			t.Errorf("%s: Vt should drop with temperature", tc.Name)
 		}
-		if tc.Vt(false, 25) != tc.VtP {
+		if !num.Eq(tc.Vt(false, 25), tc.VtP) {
 			t.Errorf("%s: nominal pMOS Vt wrong", tc.Name)
 		}
 	}

@@ -26,6 +26,7 @@ import (
 	"tpsta/internal/charlib"
 	"tpsta/internal/core"
 	"tpsta/internal/netlist"
+	"tpsta/internal/num"
 	"tpsta/internal/tech"
 )
 
@@ -157,16 +158,16 @@ func (o MCOptions) withDefaults() MCOptions {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
-	if o.TempMean == 0 {
+	if num.IsZero(o.TempMean) {
 		o.TempMean = 25
 	}
-	if o.TempSigma == 0 {
+	if num.IsZero(o.TempSigma) {
 		o.TempSigma = 15
 	}
-	if o.VddSigmaRel == 0 {
+	if num.IsZero(o.VddSigmaRel) {
 		o.VddSigmaRel = 0.03
 	}
-	if o.LocalVddSigmaRel == 0 {
+	if num.IsZero(o.LocalVddSigmaRel) {
 		o.LocalVddSigmaRel = 0.01
 	}
 	return o
