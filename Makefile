@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check race bench clean
+.PHONY: build test lint check race bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -27,8 +27,25 @@ check: lint
 race:
 	$(GO) test -race ./...
 
+# bench measures the delay-kernel hot path (ArcDelays before/after the
+# run-specialized kernels, plus the delay-mode K-worst search) and
+# records the numbers as BENCH_delay_kernels.json via cmd/benchjson,
+# then runs the paper-table benchmarks of the root package once.
+KERNEL_BENCH = -run '^$$' -bench 'BenchmarkArcDelays|BenchmarkKWorstDelay' -benchtime 2000x ./internal/core
 bench:
+	$(GO) test $(KERNEL_BENCH) | $(GO) run ./cmd/benchjson \
+		-artifact "run-specialized delay kernels" \
+		-command "go test $(KERNEL_BENCH)" \
+		-workload "circuit=fig4 (paper Fig. 4 sample circuit, 130nm TestGrid characterization)" \
+		-workload "query=slowest enumerated path, rising launch (ArcDelays); k=5 branch-and-bound (KWorstDelay)" \
+		-note "ArcDelays/mapkeyed is the pre-kernel implementation (string-keyed library lookups, full 4-variable polynomial) kept as the differential oracle; ArcDelays/kernel is the integer-indexed (T,VDD)-specialized layer with a reused output buffer. Results are bit-identical by construction (see internal/core kernel tests); only the cost changes." \
+		-out BENCH_delay_kernels.json
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-smoke compiles and runs every benchmark in the repository once —
+# the CI gate that keeps benchmark code from rotting uncompiled.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 clean:
 	$(GO) clean ./...

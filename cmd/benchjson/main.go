@@ -1,0 +1,144 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// repository's recorded benchmark artifact format (see
+// BENCH_parallel_search.json, BENCH_delay_kernels.json): a small JSON
+// document with the host description, the per-benchmark ns/op, B/op and
+// allocs/op figures, and a free-form note.
+//
+// Usage:
+//
+//	go test -run '^$' -bench X -benchtime 100x ./pkg | \
+//	    go run ./cmd/benchjson -artifact "thing measured" -out BENCH_thing.json
+//
+// When the input contains the BenchmarkArcDelays kernel/mapkeyed pair,
+// the before/after comparison is appended to the note automatically so
+// the recorded artifact always carries the measured speedup.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type host struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPU        string `json:"cpu,omitempty"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+type report struct {
+	Artifact string             `json:"artifact"`
+	Date     string             `json:"date"`
+	Command  string             `json:"command,omitempty"`
+	Host     host               `json:"host"`
+	Note     string             `json:"note,omitempty"`
+	Workload map[string]string  `json:"workload,omitempty"`
+	Bench    map[string]metrics `json:"bench"`
+}
+
+type metrics struct {
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+}
+
+// benchLine matches one result row, e.g.
+// "BenchmarkArcDelays/kernel-4   634924   453.0 ns/op   0 B/op   0 allocs/op"
+// (the -4 GOMAXPROCS suffix and the memory columns are optional).
+var benchLine = regexp.MustCompile(
+	`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+type workloadFlag map[string]string
+
+func (w workloadFlag) String() string { return "" }
+func (w workloadFlag) Set(kv string) error {
+	k, v, ok := strings.Cut(kv, "=")
+	if !ok {
+		return fmt.Errorf("workload %q is not key=value", kv)
+	}
+	w[k] = v
+	return nil
+}
+
+func main() {
+	r := report{
+		Date:     time.Now().Format("2006-01-02"),
+		Workload: workloadFlag{},
+		Bench:    map[string]metrics{},
+		Host: host{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			CPUs:       runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+	}
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.StringVar(&r.Artifact, "artifact", "", "what the benchmarks measure")
+	flag.StringVar(&r.Command, "command", "", "the benchmark command, for reproduction")
+	flag.StringVar(&r.Note, "note", "", "free-form interpretation note")
+	flag.Var(workloadFlag(r.Workload), "workload", "workload descriptor key=value (repeatable)")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // keep the raw output visible on the terminal
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			r.Host.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var mt metrics
+		mt.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			mt.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			mt.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		r.Bench[m[1]] = mt
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(r.Bench) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	if after, okA := r.Bench["ArcDelays/kernel"]; okA {
+		if before, okB := r.Bench["ArcDelays/mapkeyed"]; okB && after.NsPerOp > 0 {
+			r.Note = strings.TrimSpace(r.Note + fmt.Sprintf(
+				" Measured this run: mapkeyed (before) %.0f ns/op, %.0f allocs/op vs kernel (after) %.0f ns/op, %.0f allocs/op — %.2fx fewer ns/op.",
+				before.NsPerOp, before.AllocsPerOp, after.NsPerOp, after.AllocsPerOp,
+				before.NsPerOp/after.NsPerOp))
+		}
+	}
+	buf, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *out)
+}

@@ -126,8 +126,9 @@ type statsReport struct {
 		Truncated          bool    `json:"truncated"`
 		WorstDelayPs       float64 `json:"worstDelayPs"`
 	} `json:"result"`
-	Characterization *charlib.CharStats `json:"characterization,omitempty"`
+	Characterization *charlib.CharStats  `json:"characterization,omitempty"`
 	Parallel         *core.ParallelStats `json:"parallel,omitempty"`
+	Kernels          *core.KernelStats   `json:"kernels,omitempty"`
 }
 
 func run(cfg config, out io.Writer) error {
@@ -165,6 +166,12 @@ func run(cfg config, out io.Writer) error {
 				return core.ParallelStats{}
 			}
 			return eng.ParallelStats()
+		})
+		obs.Publish("tpsta.kernels", func() any {
+			if eng == nil {
+				return core.KernelStats{}
+			}
+			return eng.KernelStats()
 		})
 	}
 
@@ -307,6 +314,10 @@ func run(cfg config, out io.Writer) error {
 		fmt.Fprintf(os.Stderr, "parallel: %d workers over %d shards, %.0f%% pool utilization\n",
 			ps.Workers, ps.Shards, ps.Utilization*100)
 	}
+	if ks := eng.KernelStats(); ks.Arcs > 0 {
+		fmt.Fprintf(os.Stderr, "kernels: %d arcs specialized (%d terms) in %.1fms, %d arc queries\n",
+			ks.Arcs, ks.Terms, ks.BuildSeconds*1e3, ks.ArcQueries)
+	}
 	if res.Truncated {
 		fmt.Fprintf(os.Stderr, "warning: search truncated (%s) — results may be incomplete; raise -max-steps to search further\n",
 			res.Truncation)
@@ -404,6 +415,9 @@ func run(cfg config, out io.Writer) error {
 		sr.Characterization = charStats
 		if ps := eng.ParallelStats(); ps.Workers > 1 {
 			sr.Parallel = &ps
+		}
+		if ks := eng.KernelStats(); ks.Arcs > 0 {
+			sr.Kernels = &ks
 		}
 		buf, err := json.MarshalIndent(&sr, "", "  ")
 		if err != nil {

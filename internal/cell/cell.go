@@ -88,6 +88,14 @@ type Vector struct {
 	Side map[string]bool
 
 	key string // cached Key(), filled by Vectors()
+
+	// outEdge memoizes Cell.OutputEdge per input edge ([0] falling,
+	// [1] rising), filled by Vectors(): 0 = not computed (hand-built
+	// vector), 1 = does not propagate, 2 = output falls, 3 = output
+	// rises. The search consults OutputEdge on every sensitization
+	// decision and the delay kernels on every arc, so the memo keeps
+	// both paths free of the per-call logic-environment allocation.
+	outEdge [2]uint8
 }
 
 // Key returns a canonical, order-independent rendering such as
@@ -154,6 +162,10 @@ func (c *Cell) Vectors(pin string) []Vector {
 	vs := make([]Vector, len(assigns))
 	for i, a := range assigns {
 		vs[i] = Vector{Pin: pin, Case: i + 1, Side: a, key: buildVectorKey(a)}
+		for ei, rising := range [2]bool{false, true} {
+			outR, ok := c.outputEdgeSlow(vs[i], rising)
+			vs[i].outEdge[ei] = encodeOutEdge(outR, ok)
+		}
 	}
 	// stalint:ignore sharedstate warm-before-share: see above
 	c.vectors[pin] = vs
@@ -208,8 +220,35 @@ func (c *Cell) EvalDual(env map[string]logic.Dual) logic.Dual {
 // OutputEdge returns the output transition direction when pin makes the
 // given transition under vector v: true for a rising output. The second
 // result is false if the vector does not actually propagate the
-// transition (which would indicate a corrupted vector).
+// transition (which would indicate a corrupted vector). Vectors
+// obtained from Cell.Vectors answer from a per-edge memo; hand-built
+// vectors fall back to evaluating the cell function.
 func (c *Cell) OutputEdge(v Vector, inputRising bool) (outputRising, ok bool) {
+	ei := 0
+	if inputRising {
+		ei = 1
+	}
+	if m := v.outEdge[ei]; m != 0 {
+		return m == 3, m >= 2
+	}
+	return c.outputEdgeSlow(v, inputRising)
+}
+
+// encodeOutEdge packs an OutputEdge result into the Vector memo.
+func encodeOutEdge(outputRising, ok bool) uint8 {
+	switch {
+	case !ok:
+		return 1
+	case outputRising:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// outputEdgeSlow evaluates the cell function under the vector's side
+// assignment — the uncached path behind OutputEdge.
+func (c *Cell) outputEdgeSlow(v Vector, inputRising bool) (outputRising, ok bool) {
 	env := make(map[string]logic.Value, len(c.Inputs))
 	for side, val := range v.Side {
 		env[side] = logic.StableOf(trit(val))

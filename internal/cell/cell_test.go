@@ -165,6 +165,32 @@ func TestOutputEdgeAndInverting(t *testing.T) {
 	}
 }
 
+func TestOutputEdgeMemoMatchesSlowPath(t *testing.T) {
+	// Every library vector carries the OutputEdge memo; it must agree
+	// with the uncached function evaluation for both input edges, and a
+	// hand-built vector (no memo) must still answer via the slow path.
+	l := lib(t)
+	for _, c := range l.Cells() {
+		for _, pin := range c.Inputs {
+			for _, v := range c.Vectors(pin) {
+				for _, rising := range []bool{false, true} {
+					gotR, gotOK := c.OutputEdge(v, rising)
+					wantR, wantOK := c.outputEdgeSlow(v, rising)
+					if gotR != wantR || gotOK != wantOK {
+						t.Errorf("%s/%s %s rising=%v: memo (%v,%v) vs slow (%v,%v)",
+							c.Name, pin, v.Key(), rising, gotR, gotOK, wantR, wantOK)
+					}
+				}
+			}
+		}
+	}
+	nand := l.MustGet("NAND2")
+	hand := Vector{Pin: "A", Case: 1, Side: map[string]bool{"B": true}}
+	if up, ok := nand.OutputEdge(hand, true); !ok || up {
+		t.Error("hand-built vector: NAND2 rising A should give falling Z")
+	}
+}
+
 func TestEvalAndEvalDual(t *testing.T) {
 	ao22 := lib(t).MustGet("AO22")
 	env := map[string]logic.Value{

@@ -467,6 +467,17 @@ func (l *Library) GateDelay(cellName, pin, vectorKey string, rising bool, fo, ti
 	return m.Delay.Eval(x[:]), m.Slew.Eval(x[:]), nil
 }
 
+// Arc returns the fitted polynomial models of one timing arc, or false
+// when the library does not characterize it. It shares the lazily
+// built struct-keyed index with GateDelay; the core engine uses it to
+// resolve every arc of a circuit once and then query by integer index
+// (the delay-kernel layer), keeping string keys out of the hot path.
+func (l *Library) Arc(cellName, pin, vectorKey string, rising bool) (*ArcModel, bool) {
+	l.idxOnce.Do(l.buildIndex)
+	m, ok := l.polyIdx[arcID{cellName, pin, vectorKey, rising}]
+	return m, ok
+}
+
 // LUTDelay evaluates the baseline tables of the given arc. load is the
 // absolute output capacitance in farads.
 func (l *Library) LUTDelay(cellName, pin string, rising bool, load, tin float64) (delay, slew float64, err error) {

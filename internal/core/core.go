@@ -323,6 +323,8 @@ type Engine struct {
 	Opts Options
 
 	loadCache map[int]float64 // gate ID → output load capacitance
+	kern      *kernelState    // cached delay-kernel build (see kernels.go)
+	scratch   []float64       // serial-context arc-delay buffer (reports, bounds)
 	lastStats SearchStats     // snapshot of the most recent search
 	lastPar   ParallelStats   // pool snapshot of the most recent parallel search
 }
@@ -340,7 +342,7 @@ func New(c *netlist.Circuit, tc *tech.Tech, lib *charlib.Library, opts Options) 
 		Tech:      tc,
 		Lib:       lib,
 		Opts:      opts.withDefaults(tc),
-		loadCache: map[int]float64{},
+		loadCache: make(map[int]float64, len(c.Gates)),
 	}
 }
 
@@ -447,50 +449,76 @@ func (e *Engine) load(g *netlist.Gate) float64 {
 	return v
 }
 
-// pathDelay chains the polynomial model along the arcs for the given
-// launch edge, returning the total delay. Without a library (structure-
-// only mode) every arc counts one unit, so delays order paths by length.
-func (e *Engine) pathDelay(arcs []Arc, launchRising bool) (float64, error) {
-	ds, err := e.ArcDelays(arcs, launchRising)
+// pathDelay chains the kernel delays along the arcs for the given
+// launch edge, reusing scratch for the per-arc buffer. It returns the
+// total and the (possibly grown) scratch for the caller to keep.
+// Without a library (structure-only mode) every arc counts one unit, so
+// delays order paths by length.
+func (e *Engine) pathDelay(scratch []float64, arcs []Arc, launchRising bool) (float64, []float64, error) {
+	ds, err := e.ArcDelaysInto(scratch, arcs, launchRising)
 	if err != nil {
-		return 0, err
+		return 0, scratch, err
 	}
 	total := 0.0
 	for _, d := range ds {
 		total += d
 	}
-	return total, nil
+	return total, ds, nil
 }
 
 // ArcDelays returns the per-gate polynomial-model delays along arcs for
 // the given launch edge (slews chained gate to gate). Without a library
-// every arc counts one unit.
+// every arc counts one unit. It allocates a fresh result slice; hot
+// callers reuse one via ArcDelaysInto.
 func (e *Engine) ArcDelays(arcs []Arc, launchRising bool) ([]float64, error) {
-	out := make([]float64, len(arcs))
+	return e.ArcDelaysInto(nil, arcs, launchRising)
+}
+
+// ArcDelaysInto is ArcDelays with a caller-supplied buffer: the delays
+// are appended to dst[:0] and the (possibly grown) slice returned. In
+// steady state — kernel table built, cap(dst) ≥ len(arcs) — the query
+// performs no allocations, no map lookups and no string building: each
+// arc resolves by (gate ID, pin index, vector case, edge) into the
+// run-specialized 2-variable kernels (see kernels.go), bit-identical
+// to evaluating the full 4-variable models.
+func (e *Engine) ArcDelaysInto(dst []float64, arcs []Arc, launchRising bool) ([]float64, error) {
+	out := dst[:0]
 	if e.Lib == nil {
-		for i := range out {
-			out[i] = 1
+		for range arcs {
+			out = append(out, 1)
 		}
 		return out, nil
 	}
+	kt, err := e.kernels()
+	if err != nil {
+		return nil, err
+	}
+	kt.queries.Add(int64(len(arcs)))
 	slew := e.Opts.InputSlew
 	rising := launchRising
-	for i, a := range arcs {
-		fo, err := e.Lib.Fo(a.Gate.Cell.Name, e.load(a.Gate))
+	var x [2]float64
+	for i := range arcs {
+		a := &arcs[i]
+		if err := kt.foErr[a.Gate.ID]; err != nil {
+			return nil, err
+		}
+		ak, err := kt.arc(a)
 		if err != nil {
 			return nil, err
 		}
-		d, outSlew, err := e.Lib.GateDelay(a.Gate.Cell.Name, a.Pin, a.Vec.Key(), rising, fo, slew, e.Opts.Temp, e.Opts.VDD)
-		if err != nil {
-			return nil, err
+		ei := edgeIndex(rising)
+		dm := ak.delay[ei]
+		if dm == nil {
+			return nil, fmt.Errorf("charlib: no polynomial arc %s",
+				charlib.PolyKey(a.Gate.Cell.Name, a.Pin, a.Vec.Key(), rising))
 		}
-		out[i] = d
-		slew = outSlew
-		outRising, ok := a.Gate.Cell.OutputEdge(a.Vec, rising)
-		if !ok {
+		x[0], x[1] = kt.fo[a.Gate.ID], slew
+		out = append(out, dm.Eval(x[:]))
+		slew = ak.slew[ei].Eval(x[:])
+		if !ak.outOK[ei] {
 			return nil, fmt.Errorf("core: arc %s/%s vector %s does not propagate", a.Gate.Name, a.Pin, a.Vec.Key())
 		}
-		rising = outRising
+		rising = ak.outRising[ei]
 	}
 	return out, nil
 }

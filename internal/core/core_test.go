@@ -326,7 +326,7 @@ func TestKWorstStructural(t *testing.T) {
 // charLib130 characterizes the cells used by c17 and fig4 once.
 var libCache *charlib.Library
 
-func charLib130(t *testing.T) *charlib.Library {
+func charLib130(t testing.TB) *charlib.Library {
 	t.Helper()
 	if libCache != nil {
 		return libCache

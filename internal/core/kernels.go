@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/charlib"
+	"tpsta/internal/obs"
+	"tpsta/internal/polyfit"
+)
+
+// Run-specialized delay kernels. An STA run fixes temperature and
+// supply for its whole duration, and the circuit fixes every gate's
+// output load, so the library's string-keyed 4-variable arc models can
+// be resolved and partially evaluated once per engine:
+//
+//   - every (cell, pin, vector, edge) polynomial is specialized at the
+//     run's (T, VDD) into a 2-variable (Fo, Tin) kernel
+//     (polyfit.Specialize — bit-identical to the full model by
+//     contract, so the parallel merge's byte-identity survives);
+//   - every gate's equivalent fanout is precomputed from its load;
+//   - the vector's output edge (Cell.OutputEdge) is memoized alongside.
+//
+// After the build, ArcDelays resolves arcs by (gate ID, pin index,
+// vector case, edge) — no map lookups, no string building, and with a
+// caller-supplied scratch buffer no allocations.
+
+// arcKernel is one fully resolved timing arc, indexed by the input
+// transition edge (edgeIndex). A nil model means the library does not
+// characterize the arc; the error is raised only when a query actually
+// reaches it, exactly like the string-keyed lookup this replaces.
+type arcKernel struct {
+	delay, slew [2]*polyfit.Specialized
+	outRising   [2]bool // memoized Cell.OutputEdge result
+	outOK       [2]bool // whether the vector propagates that edge
+}
+
+// cellKernels is one cell's kernel block, indexed [pin index][vector
+// Case-1] following Cell.Inputs and Cell.Vectors order. Gates of the
+// same cell share one block.
+type cellKernels [][]arcKernel
+
+// kernelTable is an engine's run-specialized delay-kernel layer.
+//
+// stalint:shared — the table is fully built by newKernelTable before
+// any query (parallel runs warm it before the fan-out) and is read-only
+// afterwards, shared by every worker engine's shallow copy; the only
+// post-construction mutation is the atomic query counter.
+type kernelTable struct {
+	temp, vdd float64 // operating point the kernels are specialized at
+
+	fo    []float64     // per gate ID: equivalent fanout at the gate's load
+	foErr []error       // per gate ID: deferred load-resolution failure
+	gates []cellKernels // per gate ID: the cell's shared kernel block
+
+	arcs  int           // kernels specialized (distinct cell arcs × edges)
+	terms int           // surviving polynomial monomials across all kernels
+	build time.Duration // one-time specialization cost
+
+	queries obs.Counter // arc evaluations served (atomic: shared by workers)
+}
+
+// kernelState caches one build outcome — table or sticky error — at the
+// operating point it was attempted for, so a failing library is
+// reported (or, in emit, swallowed) per query without rebuilding.
+// Worker engine copies share the pointer.
+type kernelState struct {
+	temp, vdd float64
+	table     *kernelTable
+	err       error
+}
+
+// edgeIndex maps an input transition direction to a kernel slot.
+func edgeIndex(rising bool) int {
+	if rising {
+		return 1
+	}
+	return 0
+}
+
+// newKernelTable resolves every (gate, pin, vector, edge) arc of the
+// circuit against the library: string keys are built and looked up here
+// — and only here — and each arc's models are specialized at the run's
+// fixed (T, VDD). Per-gate load failures are deferred to query time
+// (mirroring the lazy lookup this replaces); a model whose free
+// variables are not exactly (Fo, Tin) fails the build outright.
+func newKernelTable(e *Engine) (*kernelTable, error) {
+	t0 := time.Now()
+	kt := &kernelTable{temp: e.Opts.Temp, vdd: e.Opts.VDD}
+	fixed := map[string]float64{
+		charlib.ModelVars[2]: e.Opts.Temp, // "T"
+		charlib.ModelVars[3]: e.Opts.VDD,  // "VDD"
+	}
+	kt.fo = make([]float64, len(e.Circuit.Gates))
+	kt.foErr = make([]error, len(e.Circuit.Gates))
+	kt.gates = make([]cellKernels, len(e.Circuit.Gates))
+	cells := map[string]cellKernels{}
+	for _, g := range e.Circuit.Gates {
+		kt.fo[g.ID], kt.foErr[g.ID] = e.Lib.Fo(g.Cell.Name, e.load(g))
+		ck, ok := cells[g.Cell.Name]
+		if !ok {
+			var arcs, terms int
+			var err error
+			ck, arcs, terms, err = specializeCell(e.Lib, g.Cell, fixed)
+			if err != nil {
+				return nil, err
+			}
+			cells[g.Cell.Name] = ck
+			kt.arcs += arcs
+			kt.terms += terms
+		}
+		kt.gates[g.ID] = ck
+	}
+	kt.build = time.Since(t0)
+	if t := e.Opts.Tracer; t != nil {
+		t.Emit(obs.Event{Kind: "kernels", N: int64(kt.arcs),
+			Detail: fmt.Sprintf("%d terms, %d cells", kt.terms, len(cells))})
+	}
+	return kt, nil
+}
+
+// specializeCell builds one cell's kernel block: both edges of every
+// (pin, vector) arc, resolved by string key once and partially
+// evaluated at the fixed operating point.
+func specializeCell(lib *charlib.Library, c *cell.Cell, fixed map[string]float64) (ck cellKernels, arcs, terms int, err error) {
+	ck = make(cellKernels, len(c.Inputs))
+	for pi, pin := range c.Inputs {
+		vecs := c.Vectors(pin)
+		ck[pi] = make([]arcKernel, len(vecs))
+		for vi := range vecs {
+			ak := &ck[pi][vi]
+			for _, rising := range [2]bool{false, true} {
+				ei := edgeIndex(rising)
+				ak.outRising[ei], ak.outOK[ei] = c.OutputEdge(vecs[vi], rising)
+				am, ok := lib.Arc(c.Name, pin, vecs[vi].Key(), rising)
+				if !ok {
+					continue // uncharacterized arc: error only if queried
+				}
+				d, err := am.Delay.Specialize(fixed)
+				if err != nil {
+					return nil, 0, 0, err
+				}
+				if err := checkKernelVars(c, pin, d); err != nil {
+					return nil, 0, 0, err
+				}
+				s, err := am.Slew.Specialize(fixed)
+				if err != nil {
+					return nil, 0, 0, err
+				}
+				ak.delay[ei], ak.slew[ei] = d, s
+				arcs++
+				terms += d.NumTerms() + s.NumTerms()
+			}
+		}
+	}
+	return ck, arcs, terms, nil
+}
+
+// checkKernelVars verifies a specialized arc model is the 2-variable
+// (Fo, Tin) kernel ArcDelays evaluates positionally.
+func checkKernelVars(c *cell.Cell, pin string, s *polyfit.Specialized) error {
+	vars := s.Vars()
+	if len(vars) != 2 || vars[0] != charlib.ModelVars[0] || vars[1] != charlib.ModelVars[1] {
+		return fmt.Errorf("core: specialized arc model for %s/%s has free variables %v, want [%s %s]",
+			c.Name, pin, vars, charlib.ModelVars[0], charlib.ModelVars[1])
+	}
+	return nil
+}
+
+// arc resolves one traversed arc into its kernel by integer indexing:
+// gate ID, the entry pin's position in the cell's input list, and the
+// vector's 1-based Case.
+func (kt *kernelTable) arc(a *Arc) (*arcKernel, error) {
+	ck := kt.gates[a.Gate.ID]
+	for pi, p := range a.Gate.Cell.Inputs {
+		if p == a.Pin {
+			if vi := a.Vec.Case - 1; vi >= 0 && vi < len(ck[pi]) {
+				return &ck[pi][vi], nil
+			}
+			return nil, fmt.Errorf("core: arc %s/%s vector case %d unknown to the kernel table", a.Gate.Name, a.Pin, a.Vec.Case)
+		}
+	}
+	return nil, fmt.Errorf("core: arc pin %s/%s unknown to the kernel table", a.Gate.Name, a.Pin)
+}
+
+// kernels returns the engine's kernel table, building it on first use
+// or after an operating-point change. Engines are single-threaded;
+// parallel runs warm the table before the fan-out (warmKernels) so
+// every worker shares one read-only build.
+func (e *Engine) kernels() (*kernelTable, error) {
+	// The cache is keyed on the exact values the table was built at;
+	// any representational change of the operating point is a rebuild.
+	// stalint:ignore floatcmp cache identity wants the exact build-time values
+	if st := e.kern; st != nil && st.temp == e.Opts.Temp && st.vdd == e.Opts.VDD {
+		return st.table, st.err
+	}
+	st := &kernelState{temp: e.Opts.Temp, vdd: e.Opts.VDD}
+	st.table, st.err = newKernelTable(e)
+	e.kern = st
+	return st.table, st.err
+}
+
+// warmKernels pre-builds the kernel table (and with it the load cache)
+// before a parallel fan-out, so the worker engines' shallow copies
+// share one read-only table. A build failure is cached too: queries
+// surface — or, for recorded-path delays, swallow — it exactly where
+// the lazy lookup would have.
+func (e *Engine) warmKernels() {
+	if e.Lib == nil {
+		return
+	}
+	_, _ = e.kernels()
+}
+
+// KernelStats describes the engine's delay-kernel layer (zero value
+// until the first delay query builds it).
+type KernelStats struct {
+	// Arcs counts the specialized (cell, pin, vector, edge) kernels.
+	Arcs int `json:"arcs"`
+	// Terms counts the surviving polynomial monomials across kernels.
+	Terms int `json:"terms"`
+	// BuildSeconds is the one-time specialization cost.
+	BuildSeconds float64 `json:"buildSeconds"`
+	// ArcQueries counts arc delay/slew evaluations served by the
+	// kernels, aggregated across parallel workers.
+	ArcQueries int64 `json:"arcQueries"`
+}
+
+// KernelStats returns the kernel-layer snapshot of the engine.
+func (e *Engine) KernelStats() KernelStats {
+	st := e.kern
+	if st == nil || st.table == nil {
+		return KernelStats{}
+	}
+	return KernelStats{
+		Arcs:         st.table.arcs,
+		Terms:        st.table.terms,
+		BuildSeconds: st.table.build.Seconds(),
+		ArcQueries:   st.table.queries.Load(),
+	}
+}

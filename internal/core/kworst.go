@@ -2,8 +2,10 @@ package core
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
 
+	"tpsta/internal/charlib"
 	"tpsta/internal/netlist"
 )
 
@@ -91,27 +93,37 @@ func newPruner(e *Engine, k int) (*pruner, error) {
 
 // gateUB returns an optimistic (large) delay for any traversal of g: the
 // worst characterized arc at the gate's actual load and the slowest
-// characterized input slew. Without a library, every traversal counts 1
-// (K-worst degenerates to K-longest by gate count).
+// characterized input slew, evaluated on the run-specialized kernels
+// (bit-identical to the full models, so the bound tables — and with
+// them the pruning decisions — match the unspecialized build exactly).
+// Without a library, every traversal counts 1 (K-worst degenerates to
+// K-longest by gate count).
 func (p *pruner) gateUB(g *netlist.Gate) (float64, error) {
-	lib := p.eng.Lib
-	if lib == nil {
+	e := p.eng
+	if e.Lib == nil {
 		return 1, nil
 	}
-	fo, err := lib.Fo(g.Cell.Name, p.eng.load(g))
+	kt, err := e.kernels()
 	if err != nil {
 		return 0, err
 	}
-	slowest := lib.Grid.Tin[len(lib.Grid.Tin)-1]
+	if err := kt.foErr[g.ID]; err != nil {
+		return 0, err
+	}
+	slowest := e.Lib.Grid.Tin[len(e.Lib.Grid.Tin)-1]
+	x := [2]float64{kt.fo[g.ID], slowest}
 	worst := 0.0
-	for _, pin := range g.Cell.Inputs {
-		for _, vec := range g.Cell.Vectors(pin) {
-			for _, rising := range []bool{true, false} {
-				d, _, err := lib.GateDelay(g.Cell.Name, pin, vec.Key(), rising, fo, slowest, p.eng.Opts.Temp, p.eng.Opts.VDD)
-				if err != nil {
-					return 0, err
+	ck := kt.gates[g.ID]
+	for pi, pin := range g.Cell.Inputs {
+		for vi := range ck[pi] {
+			for ei := range ck[pi][vi].delay {
+				dm := ck[pi][vi].delay[ei]
+				if dm == nil {
+					vecs := g.Cell.Vectors(pin)
+					return 0, fmt.Errorf("charlib: no polynomial arc %s",
+						charlib.PolyKey(g.Cell.Name, pin, vecs[vi].Key(), ei == 1))
 				}
-				if d > worst {
+				if d := dm.Eval(x[:]); d > worst {
 					worst = d
 				}
 			}

@@ -58,7 +58,9 @@ type ParallelStats struct {
 func (e *Engine) ParallelStats() ParallelStats { return e.lastPar }
 
 // precomputeLoads fills the output-load cache for every gate so the
-// map is read-only while the workers share it.
+// map is read-only while the workers share it. warmKernels (kernels.go)
+// plays the same role for the delay-kernel table and is called right
+// after it at every parallel entry point.
 func (e *Engine) precomputeLoads() {
 	for _, g := range e.Circuit.Gates {
 		e.load(g)
@@ -82,7 +84,7 @@ func parallelQuota(maxSteps int64, shards int) int64 {
 
 // workerEngine builds a shallow engine clone for one worker: circuit,
 // technology, characterized library and the pre-warmed (now read-only)
-// load cache are shared; the options are private with the global step
+// load cache and delay-kernel table are shared; the options are private with the global step
 // cap disabled — parallel budgets are enforced per shard via
 // inputQuota — and the progress fan-in hook installed. When Workers >
 // 1, a configured Tracer receives events from all workers and must be
@@ -130,12 +132,12 @@ func newProgressAgg(e *Engine, workers int) *progressAgg {
 		return nil
 	}
 	return &progressAgg{
-		fn:       e.Opts.Progress,
-		maxSteps: e.Opts.MaxSteps,
-		workers:  workers,
-		cur:      make([]int64, workers),
-		done:     make([]int64, workers),
-		curPaths: make([]int64, workers),
+		fn:        e.Opts.Progress,
+		maxSteps:  e.Opts.MaxSteps,
+		workers:   workers,
+		cur:       make([]int64, workers),
+		done:      make([]int64, workers),
+		curPaths:  make([]int64, workers),
 		donePaths: make([]int64, workers),
 	}
 }
@@ -192,6 +194,7 @@ func (e *Engine) enumerateParallel(workers int) (*Result, error) {
 		return nil, err
 	}
 	e.precomputeLoads()
+	e.warmKernels()
 	if workers > len(inputs) {
 		workers = len(inputs)
 	}
@@ -232,6 +235,7 @@ func (e *Engine) enumerateCourseParallel(workers int, start *netlist.Node, hops 
 		return nil, err
 	}
 	e.precomputeLoads()
+	e.warmKernels()
 	vecs := hops[0].gate.Cell.Vectors(hops[0].pin)
 	if workers > len(vecs) {
 		workers = len(vecs)
@@ -282,6 +286,7 @@ func (e *Engine) kworstParallel(workers, k int) (*Result, error) {
 		return nil, err
 	}
 	e.precomputeLoads()
+	e.warmKernels()
 	base, err := newPruner(e, k)
 	if err != nil {
 		return nil, err

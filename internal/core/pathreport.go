@@ -14,10 +14,11 @@ func (e *Engine) WritePathReport(w io.Writer, p *TruePath, rising bool) error {
 	if rising && !p.RiseOK || !rising && !p.FallOK {
 		return fmt.Errorf("core: path is not true for the requested edge")
 	}
-	delays, err := e.ArcDelays(p.Arcs, rising)
+	delays, err := e.ArcDelaysInto(e.scratch, p.Arcs, rising)
 	if err != nil {
 		return err
 	}
+	e.scratch = delays // keep the grown buffer for the next report
 	edge := "fall"
 	if rising {
 		edge = "rise"

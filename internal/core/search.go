@@ -58,6 +58,11 @@ type searcher struct {
 	inputStart     int64
 	inputExhausted bool
 
+	// dscratch is the reusable arc-delay buffer for recorded-path
+	// scoring: each searcher owns one, so worker shards never share a
+	// backing array.
+	dscratch []float64
+
 	// kworst pruning (nil when not in K-worst mode).
 	prune *pruner
 }
@@ -667,13 +672,13 @@ func (s *searcher) emit() {
 	s.recorded++
 
 	if p.RiseOK {
-		if d, err := s.eng.pathDelay(p.Arcs, true); err == nil {
-			p.RiseDelay = d
+		if d, buf, err := s.eng.pathDelay(s.dscratch, p.Arcs, true); err == nil {
+			p.RiseDelay, s.dscratch = d, buf
 		}
 	}
 	if p.FallOK {
-		if d, err := s.eng.pathDelay(p.Arcs, false); err == nil {
-			p.FallDelay = d
+		if d, buf, err := s.eng.pathDelay(s.dscratch, p.Arcs, false); err == nil {
+			p.FallDelay, s.dscratch = d, buf
 		}
 	}
 	if s.eng.Opts.Tracer != nil {

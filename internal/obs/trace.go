@@ -15,19 +15,21 @@ import (
 //	"input"    — DFS from a launching primary input begins (Input, Steps)
 //	"path"     — a true path was recorded (Path, Edges, DelayPs, Steps)
 //	"truncate" — a search cap fired (Detail = reason, Steps)
+//	"kernels"  — the run-specialized delay-kernel table was built
+//	             (N = arcs specialized, Detail = terms and cells)
 //	"done"     — the search finished (Steps, N = paths recorded)
 type Event struct {
 	// T is seconds since the tracer was created (stamped by the sink,
 	// not the engine).
-	T      float64 `json:"t"`
-	Kind   string  `json:"kind"`
-	Input  string  `json:"input,omitempty"`
-	Path   string  `json:"path,omitempty"`
-	Edges  string  `json:"edges,omitempty"`
+	T       float64 `json:"t"`
+	Kind    string  `json:"kind"`
+	Input   string  `json:"input,omitempty"`
+	Path    string  `json:"path,omitempty"`
+	Edges   string  `json:"edges,omitempty"`
 	DelayPs float64 `json:"delayPs,omitempty"`
-	Steps  int64   `json:"steps,omitempty"`
-	N      int64   `json:"n,omitempty"`
-	Detail string  `json:"detail,omitempty"`
+	Steps   int64   `json:"steps,omitempty"`
+	N       int64   `json:"n,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
 }
 
 // Tracer consumes structured search events. Engines call Emit only at

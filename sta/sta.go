@@ -119,6 +119,11 @@ type (
 	// shard count, wall/busy seconds and utilization. See
 	// Engine.ParallelStats.
 	EngineParallelStats = core.ParallelStats
+	// EngineKernelStats describes the engine's run-specialized
+	// delay-kernel layer: arcs specialized at the run's (T, VDD),
+	// surviving polynomial terms, one-time build cost and arc queries
+	// served. See Engine.KernelStats.
+	EngineKernelStats = core.KernelStats
 	// TruncReason identifies which cap stopped (part of) a search.
 	TruncReason = core.TruncReason
 	// BaselineStats is the emulated tool's instrumentation snapshot
