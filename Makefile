@@ -28,10 +28,14 @@ race:
 	$(GO) test -race ./...
 
 # bench measures the delay-kernel hot path (ArcDelays before/after the
-# run-specialized kernels, plus the delay-mode K-worst search) and
-# records the numbers as BENCH_delay_kernels.json via cmd/benchjson,
-# then runs the paper-table benchmarks of the root package once.
+# run-specialized kernels, plus the delay-mode K-worst search) and the
+# work-stealing scheduler (serial vs static sharding vs stealing on the
+# skewed topology, plus the string-free dedupe record path), records the
+# numbers as BENCH_delay_kernels.json and BENCH_work_stealing.json via
+# cmd/benchjson, then runs the paper-table benchmarks of the root
+# package once.
 KERNEL_BENCH = -run '^$$' -bench 'BenchmarkArcDelays|BenchmarkKWorstDelay' -benchtime 2000x ./internal/core
+STEAL_BENCH = -run '^$$' -bench 'BenchmarkWorkStealing|BenchmarkDedupeEmit' -benchtime 10x -benchmem ./internal/core
 bench:
 	$(GO) test $(KERNEL_BENCH) | $(GO) run ./cmd/benchjson \
 		-artifact "run-specialized delay kernels" \
@@ -40,6 +44,13 @@ bench:
 		-workload "query=slowest enumerated path, rising launch (ArcDelays); k=5 branch-and-bound (KWorstDelay)" \
 		-note "ArcDelays/mapkeyed is the pre-kernel implementation (string-keyed library lookups, full 4-variable polynomial) kept as the differential oracle; ArcDelays/kernel is the integer-indexed (T,VDD)-specialized layer with a reused output buffer. Results are bit-identical by construction (see internal/core kernel tests); only the cost changes." \
 		-out BENCH_delay_kernels.json
+	$(GO) test $(STEAL_BENCH) | $(GO) run ./cmd/benchjson \
+		-artifact "work-stealing parallel search + string-free dedupe" \
+		-command "go test $(STEAL_BENCH)" \
+		-workload "circuit=skew (circuits.Skewed: 3 deep launch cones + 8 shallow inputs, depth-24 mixed-gate ladder, structure-only enumeration)" \
+		-workload "modes=serial; static-4 (PR 2 static launch-point sharding, Options.StaticSharding); stealing-4 (work-stealing scheduler with subtree donation)" \
+		-note "On a host with >= 4 CPUs, stealing-4 is the headline: static sharding strands the pool on the three deep shards while stealing spreads their donated subtrees across all workers (expected >= 1.5x over static-4). On a single-CPU host (see the host block) the three modes measure at parity: repeated runs land within the +-10-15% run-to-run noise of the machine with no consistent winner — there is no idle time for stealing to recover, and the donation/replay traffic the skew provokes costs nothing measurable. BenchmarkDedupeEmit is the string-free dedupe claim: a duplicate variant reaching emit costs 0 allocs/op (the string-keyed dedupe paid two builders and a join per visited path); the allocs column is the result, ns/op is incidental." \
+		-out BENCH_work_stealing.json
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # bench-smoke compiles and runs every benchmark in the repository once —

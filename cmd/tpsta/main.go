@@ -311,8 +311,9 @@ func run(cfg config, out io.Writer) error {
 	}
 	searchDur := stopSearch()
 	if ps := eng.ParallelStats(); ps.Workers > 1 {
-		fmt.Fprintf(os.Stderr, "parallel: %d workers over %d shards, %.0f%% pool utilization\n",
-			ps.Workers, ps.Shards, ps.Utilization*100)
+		fmt.Fprintf(os.Stderr, "parallel: %d workers over %d shards (%d units), %.0f%% pool utilization, %d shard + %d subtree steals, %d donations, %.2f balance\n",
+			ps.Workers, ps.Shards, ps.Units, ps.Utilization*100,
+			ps.ShardSteals, ps.SubtreeSteals, ps.Donations, ps.Balance)
 	}
 	if ks := eng.KernelStats(); ks.Arcs > 0 {
 		fmt.Fprintf(os.Stderr, "kernels: %d arcs specialized (%d terms) in %.1fms, %d arc queries\n",

@@ -24,11 +24,18 @@
 //   - inside a function whose name starts with "new" or "New" (the
 //     constructor convention used throughout this module), or in
 //     package init, or
-//   - inside a function literal passed to (*sync.Once).Do.
+//   - inside a function literal passed to (*sync.Once).Do, or
+//   - lexically after a Lock call on a sync.Mutex/RWMutex field of the
+//     same value in the same function (`d.mu.Lock()` … `d.deques[w] =
+//     …`) — the guarded-mutation pattern the parallel scheduler uses.
+//     The analyzer checks lexical order, not dominance: a Lock on any
+//     path whitelists later writes in that function, so keep guarded
+//     types' methods small enough that the lock is unconditional.
 //
 // Deliberate warm-before-share mutation (a cache filled while the
-// value is still goroutine-private, documented as such) is suppressed
-// with `// stalint:ignore sharedstate <why>`.
+// value is still goroutine-private, documented as such) and writes in
+// helpers whose caller holds the lock are suppressed with
+// `// stalint:ignore sharedstate <why>`.
 //
 // The check is intra-package by design: shared fields are unexported,
 // so all writes live in the declaring package.
@@ -132,6 +139,9 @@ func checkWrite(pass *analysis.Pass, ix *ignore.Index, shared map[types.Object]b
 	if allowedContext(pass, stack) {
 		return
 	}
+	if mutexGuarded(pass, sel, lhs, stack) {
+		return
+	}
 	owner := ownerName(pass, sel)
 	ix.Reportf(lhs.Pos(), "write to %s of shared type %s outside a constructor or sync.Once (see stalint:shared)",
 		field, owner)
@@ -200,6 +210,103 @@ func allowedContext(pass *analysis.Pass, stack []ast.Node) bool {
 		}
 	}
 	return false
+}
+
+// mutexGuarded reports whether the enclosing function locks a
+// sync.Mutex/RWMutex field of the same value before (lexically) the
+// write: the guarded-mutation pattern, `d.mu.Lock()` followed by field
+// writes. Helpers that rely on their caller holding the lock do not
+// match and need an explicit stalint:ignore.
+func mutexGuarded(pass *analysis.Pass, sel *ast.SelectorExpr, lhs ast.Expr, stack []ast.Node) bool {
+	base := rootIdent(sel.X)
+	if base == nil {
+		return false
+	}
+	baseObj := pass.TypesInfo.Uses[base]
+	if baseObj == nil {
+		return false
+	}
+	var body *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit:
+			body = n.Body
+		case *ast.FuncDecl:
+			body = n.Body
+		}
+		if body != nil {
+			break
+		}
+	}
+	if body == nil {
+		return false
+	}
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (fun.Sel.Name != "Lock" && fun.Sel.Name != "RLock") || call.Pos() >= lhs.Pos() {
+			return true
+		}
+		// fun.X must be a mutex-typed field of the same base value:
+		// base.mu in base.mu.Lock().
+		mf, ok := fun.X.(*ast.SelectorExpr)
+		if !ok || !isSyncMutex(pass.TypesInfo.TypeOf(mf)) {
+			return true
+		}
+		if mb := rootIdent(mf.X); mb != nil && pass.TypesInfo.Uses[mb] == baseObj {
+			guarded = true
+		}
+		return true
+	})
+	return guarded
+}
+
+// rootIdent unwraps selector/paren/star/index layers to the base
+// identifier of an expression (d in d.deques[w], nil for anything that
+// does not bottom out in one).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isSyncMutex reports whether t (through pointers) is sync.Mutex or
+// sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
 }
 
 // isOnceDoArg reports whether lit is the argument of a

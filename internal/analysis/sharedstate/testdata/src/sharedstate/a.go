@@ -82,3 +82,38 @@ func (t *table) warm() {
 	// stalint:ignore sharedstate cache filled before the table is shared
 	t.byName["warm"] = 1
 }
+
+// queue is a mutex-guarded shared structure (the scheduler pattern).
+//
+// stalint:shared
+type queue struct {
+	mu    sync.Mutex
+	items []int
+}
+
+// push locks its own mutex before writing: allowed.
+func (q *queue) push(x int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, x)
+}
+
+// pushBefore writes lexically before the Lock: flagged.
+func (q *queue) pushBefore(x int) {
+	q.items = append(q.items, x) // want `write to items of shared type queue`
+	q.mu.Lock()
+	defer q.mu.Unlock()
+}
+
+// wrongLock locks a different value's mutex: flagged.
+func (q *queue) wrongLock(p *queue, x int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q.items = append(q.items, x) // want `write to items of shared type queue`
+}
+
+// helper relies on its caller holding the lock: suppressed explicitly.
+func (q *queue) helper(x int) {
+	// stalint:ignore sharedstate caller holds q.mu
+	q.items = append(q.items, x)
+}

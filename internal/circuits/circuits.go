@@ -55,6 +55,7 @@ var registry = map[string]builder{
 	"c3540": func() (*netlist.Circuit, error) { return Generate(Profile{"c3540", 50, 22, 1669, 30, 21}) },
 	"c5315": func() (*netlist.Circuit, error) { return Generate(Profile{"c5315", 178, 123, 2307, 49, 29}) },
 	"c6288": func() (*netlist.Circuit, error) { return Multiplier("c6288", 16) },
+	"skew":  func() (*netlist.Circuit, error) { return Skewed("skew", 24, 8) },
 	"c7552": func() (*netlist.Circuit, error) { return Generate(Profile{"c7552", 207, 108, 3512, 43, 31}) },
 }
 

@@ -8,7 +8,7 @@ import (
 )
 
 func TestRegistryNames(t *testing.T) {
-	if len(Names()) != 12 {
+	if len(Names()) != 13 {
 		t.Errorf("registry has %d circuits: %v", len(Names()), Names())
 	}
 	if len(ISCASNames()) != 11 {

@@ -31,18 +31,28 @@ import (
 
 // Options tune a true-path search.
 type Options struct {
-	// Workers shards the search across launch points: Enumerate and
-	// KWorst partition the primary inputs over this many concurrent
-	// searchers (EnumerateCourse partitions the first hop's
-	// sensitization vectors), each with its own assignment state,
-	// justification caches and counters. 0 selects GOMAXPROCS; 1 is the
-	// classic serial search. The shards are merged deterministically
-	// (see DESIGN.md §8): recorded paths, vectors, cubes and delays are
-	// byte-identical for every worker count whenever the serial search
-	// runs untruncated, and identical across repeated runs at any fixed
-	// setting. Under a MaxSteps budget, parallel mode splits the budget
-	// evenly per launch input instead of the serial rollover spreading.
+	// Workers runs the search on a work-stealing pool: Enumerate and
+	// KWorst seed one shard per primary input (EnumerateCourse one per
+	// first-hop sensitization vector), idle workers steal untouched
+	// shards, and busy searchers donate unexplored DFS subtrees so a
+	// single hot launch cone spreads across the pool (DESIGN.md §11).
+	// 0 selects GOMAXPROCS; 1 is the classic serial search. The shards
+	// are merged deterministically (see DESIGN.md §8): recorded paths,
+	// vectors, cubes and delays are byte-identical for every worker
+	// count whenever the serial search runs untruncated, and identical
+	// across repeated runs at any fixed setting. Under a MaxSteps
+	// budget, the pool draws on a single shared global budget, so a
+	// truncated parallel run performs exactly the serial step total —
+	// which paths land inside the budget then depends on scheduling.
 	Workers int
+	// StaticSharding disables stealing and donation: each worker runs
+	// exactly the shards seeded to it round-robin, as in the original
+	// static mode. Ablation/benchmark baseline only.
+	StaticSharding bool
+	// StealPollSteps is the period, in sensitization attempts, at which
+	// a busy parallel worker checks for starving peers and donates a
+	// subtree (default 128; the steal-storm stress test sets 1).
+	StealPollSteps int64
 	// ComplexOnly records only paths traversing at least one multi-vector
 	// arc (the paths of interest in the paper's evaluation). Traversal is
 	// unchanged; only recording is filtered.
@@ -233,16 +243,46 @@ type TruePath struct {
 	// library was supplied).
 	RiseDelay, FallDelay float64
 
-	// courseKey memoizes CourseKey; the search fills it at recording
-	// time so the dedup and parallel-merge comparisons never rebuild
-	// the join.
+	// sig is the 128-bit path signature (launch node, arc decisions,
+	// cube, edges — see sig.go): the dedupe identity at record time and
+	// the cross-worker identity in the parallel merge. Zero on
+	// hand-built paths.
+	sig sig128
+
+	// courseKey memoizes CourseKey; built lazily on first use (the
+	// search no longer materializes any string at record time).
 	courseKey string
 	// variantKey discriminates same-course variants: the arc vector
-	// cases, the justified cube levels and the true edges, filled at
-	// recording time. Together with courseKey it uniquely identifies a
-	// recorded path (it is the dedup key), which makes pathBetter a
+	// cases, the justified cube levels (sorted input order) and the
+	// true edges, built lazily by variantID. Together with courseKey it
+	// uniquely identifies a recorded path, which makes pathBetter a
 	// total order.
 	variantKey string
+}
+
+// variantID returns the memoized variant sort key. Like CourseKey, the
+// first call on a given path is not safe for concurrent use; the
+// engine only compares keys during the single-threaded sort/merge.
+func (p *TruePath) variantID() string {
+	if p.variantKey == "" {
+		var b strings.Builder
+		for _, a := range p.Arcs {
+			fmt.Fprintf(&b, "%d.", a.Vec.Case)
+		}
+		b.WriteByte('|')
+		for _, n := range sortedCubeNames(p.Cube) {
+			b.WriteString(p.Cube[n].String())
+		}
+		b.WriteByte('|')
+		if p.RiseOK {
+			b.WriteByte('R')
+		}
+		if p.FallOK {
+			b.WriteByte('F')
+		}
+		p.variantKey = b.String()
+	}
+	return p.variantKey
 }
 
 // CourseKey identifies the path's course (node sequence), ignoring
@@ -327,6 +367,27 @@ type Engine struct {
 	scratch   []float64       // serial-context arc-delay buffer (reports, bounds)
 	lastStats SearchStats     // snapshot of the most recent search
 	lastPar   ParallelStats   // pool snapshot of the most recent parallel search
+	fanins    [][]int         // shared gate→fanin-node-ID table (faninTable)
+	// pathHint is the recorded-path count of the previous run; the next
+	// run's searchers pre-size their dedupe sets from it.
+	pathHint int
+}
+
+// faninTable returns the gate→fanin-node-ID table, built once per
+// engine. Worker engines share it read-only (it is warmed before the
+// parallel fan-out), so per-searcher construction cost is gone.
+func (e *Engine) faninTable() [][]int {
+	if e.fanins == nil {
+		e.fanins = make([][]int, len(e.Circuit.Gates))
+		for _, g := range e.Circuit.Gates {
+			ids := make([]int, len(g.Cell.Inputs))
+			for i, pin := range g.Cell.Inputs {
+				ids[i] = g.Fanin[pin].ID
+			}
+			e.fanins[g.ID] = ids
+		}
+	}
+	return e.fanins
 }
 
 // Stats returns the instrumentation snapshot of the engine's most
@@ -540,7 +601,7 @@ func pathBetter(a, b *TruePath) bool {
 	if ak, bk := a.CourseKey(), b.CourseKey(); ak != bk {
 		return ak < bk
 	}
-	return a.variantKey < b.variantKey
+	return a.variantID() < b.variantID()
 }
 
 // sortPaths orders by the canonical total order (worst delay

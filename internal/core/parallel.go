@@ -11,22 +11,31 @@ import (
 
 // Parallel execution of the true-path search. The search is sharded by
 // launch point — one shard per primary input for Enumerate/KWorst, one
-// per first-hop sensitization vector for EnumerateCourse — because
-// shards are mutually independent: every shard starts from the same
-// clean constraint store, and the dedup keys of two shards can never
-// collide (a path's key begins with its launching node / first vector).
-// Each worker therefore runs plain single-threaded searchers over its
-// shards, and the reduction is a deterministic merge:
+// per first-hop sensitization vector for EnumerateCourse — and the
+// shards are spread over a work-stealing pool (steal.go): idle workers
+// steal whole untouched shards, and when none remain busy searchers
+// donate unexplored DFS subtrees, so a single hot launch cone spreads
+// across the pool instead of serializing on one worker. Correctness
+// rests on the donation protocol partitioning each shard's decision
+// tree exactly (steal.go, search.go:maybeDonate) and on the reduction
+// being a deterministic merge:
 //
-//   - counters are summed (independence makes the sums equal the serial
-//     counters whenever the serial run is untruncated);
+//   - counters are summed (the donation accounting keeps the sums equal
+//     to the serial counters whenever the run is untruncated);
+//   - variants recorded twice across workers (possible only when a
+//     shard was split by donation) are collapsed by their 128-bit path
+//     signature — duplicates are value-identical, so any copy survives;
 //   - the strongest truncation reason wins, exactly like the serial
 //     severity order;
 //   - recorded paths are ordered by the canonical total order
-//     (pathBetter), so the output cannot depend on worker count or
-//     completion order.
+//     (pathBetter), so the output cannot depend on worker count,
+//     stealing or completion order.
 //
-// See DESIGN.md §8 for the determinism contract.
+// Under a MaxSteps budget all workers draw on one shared global step
+// budget, so a truncated parallel run performs exactly the serial step
+// total; which decisions land inside the budget then depends on
+// scheduling, so truncated results are valid but not worker-count
+// invariant. See DESIGN.md §8 and §11.
 
 // effectiveWorkers resolves Options.Workers (0 = GOMAXPROCS).
 func (e *Engine) effectiveWorkers() int {
@@ -38,19 +47,40 @@ func (e *Engine) effectiveWorkers() int {
 
 // ParallelStats describes the worker pool of the engine's most recent
 // parallel run (zero value until one ran). Unlike SearchStats it
-// carries wall-clock measurements, so it is not deterministic.
+// carries wall-clock measurements and scheduling counters, so it is
+// not deterministic.
 type ParallelStats struct {
 	// Workers is the pool size used.
 	Workers int `json:"workers"`
-	// Shards is the number of independent work units the search was
-	// split into (launch inputs, or first-hop vectors for a course).
+	// Shards is the number of root work units the search was split
+	// into (launch inputs, or first-hop vectors for a course).
 	Shards int `json:"shards"`
+	// Units is the total number of scheduled work units: the root
+	// shards plus every donated subtree.
+	Units int64 `json:"units"`
+	// ShardSteals counts whole untouched shards taken from another
+	// worker's deque; SubtreeSteals counts donated subtrees taken the
+	// same way.
+	ShardSteals   int64 `json:"shardSteals"`
+	SubtreeSteals int64 `json:"subtreeSteals"`
+	// Donations counts DFS subtrees busy searchers handed to the pool.
+	Donations int64 `json:"donations"`
+	// StealsByWorker is the number of units each worker took from a
+	// peer's deque.
+	StealsByWorker []int64 `json:"stealsByWorker"`
 	// WallSeconds is the elapsed time of the parallel phase.
 	WallSeconds float64 `json:"wallSeconds"`
-	// BusySeconds is the accumulated search time per worker.
+	// BusySeconds is the accumulated search time per worker;
+	// IdleSeconds the accumulated time each spent parked waiting for
+	// work.
 	BusySeconds []float64 `json:"busySeconds"`
-	// Utilization is sum(BusySeconds) / (Workers × WallSeconds).
+	IdleSeconds []float64 `json:"idleSeconds"`
+	// Utilization is sum(BusySeconds) / (Workers × WallSeconds);
+	// Balance is max(BusySeconds) / mean(BusySeconds) — 1.0 is a
+	// perfectly even pool, the static-sharding skew this PR removes
+	// shows up as Balance ≈ Workers.
 	Utilization float64 `json:"utilization"`
+	Balance     float64 `json:"balance"`
 }
 
 // ParallelStats returns the pool snapshot of the most recent parallel
@@ -59,72 +89,58 @@ func (e *Engine) ParallelStats() ParallelStats { return e.lastPar }
 
 // precomputeLoads fills the output-load cache for every gate so the
 // map is read-only while the workers share it. warmKernels (kernels.go)
-// plays the same role for the delay-kernel table and is called right
-// after it at every parallel entry point.
+// and faninTable (core.go) play the same role for the delay-kernel and
+// fanin tables and are called right after it at every parallel entry
+// point.
 func (e *Engine) precomputeLoads() {
 	for _, g := range e.Circuit.Gates {
 		e.load(g)
 	}
 }
 
-// parallelQuota is the per-shard step budget: an even split of
-// MaxSteps (the serial rollover spreading has no parallel equivalent —
-// it depends on the order cones finish in), with the same 100-step
-// floor the serial spreading applies.
-func parallelQuota(maxSteps int64, shards int) int64 {
-	if maxSteps <= 0 || shards <= 0 {
-		return 0
+// warmShared pre-builds every structure the workers will share
+// read-only: load cache, delay kernels, fanin table, topological
+// order.
+func (e *Engine) warmShared() error {
+	if _, err := e.Circuit.TopoGates(); err != nil {
+		return err
 	}
-	q := maxSteps / int64(shards)
-	if q < 100 {
-		q = 100
-	}
-	return q
+	e.precomputeLoads()
+	e.warmKernels()
+	e.faninTable()
+	return nil
 }
 
 // workerEngine builds a shallow engine clone for one worker: circuit,
 // technology, characterized library and the pre-warmed (now read-only)
-// load cache and delay-kernel table are shared; the options are private with the global step
-// cap disabled — parallel budgets are enforced per shard via
-// inputQuota — and the progress fan-in hook installed. When Workers >
-// 1, a configured Tracer receives events from all workers and must be
-// safe for concurrent Emit (obs.JSONL is).
-func (e *Engine) workerEngine(progress func(ProgressInfo)) *Engine {
+// load cache, delay-kernel table and fanin table are shared; the
+// options are private with the global step cap disabled — the parallel
+// budget is the scheduler's shared stepBudget — and the progress
+// fan-in hook installed. The dedupe pre-size hint is divided across
+// the pool. When Workers > 1, a configured Tracer receives events from
+// all workers and must be safe for concurrent Emit (obs.JSONL is).
+func (e *Engine) workerEngine(progress func(ProgressInfo), workers int) *Engine {
 	we := *e
 	we.Opts.MaxSteps = 0
 	we.Opts.Progress = progress
+	if workers > 0 {
+		we.pathHint = e.pathHint / workers
+	}
 	return &we
 }
 
-// shardOutcome is one shard's contribution to the merge.
-type shardOutcome struct {
-	paths     []*TruePath
-	stats     SearchStats
-	truncated bool
-	err       error
-}
-
-// runShard runs one independent searcher to completion and snapshots
-// its outcome.
-func runShard(we *Engine, run func(*searcher)) shardOutcome {
-	s, err := newSearcher(we)
-	if err != nil {
-		return shardOutcome{err: err}
-	}
-	run(s)
-	return shardOutcome{paths: s.paths, stats: s.statsSnapshot(), truncated: s.truncated}
-}
-
 // progressAgg fans per-worker progress callbacks into the user's single
-// Options.Progress with aggregated step and path counts. A nil *progressAgg
-// is valid and inert (no Progress configured).
+// Options.Progress with aggregated step and path counts. Each worker
+// runs one persistent searcher whose counters are cumulative across
+// its units, so the aggregate is a plain sum of the latest report per
+// worker. A nil *progressAgg is valid and inert (no Progress
+// configured).
 type progressAgg struct {
-	mu                  sync.Mutex
-	fn                  func(ProgressInfo)
-	maxSteps            int64
-	workers             int
-	cur, done           []int64 // live / retired steps per worker
-	curPaths, donePaths []int64
+	mu            sync.Mutex
+	fn            func(ProgressInfo)
+	maxSteps      int64
+	workers       int
+	cur, curPaths []int64 // latest cumulative report per worker
 }
 
 func newProgressAgg(e *Engine, workers int) *progressAgg {
@@ -132,13 +148,11 @@ func newProgressAgg(e *Engine, workers int) *progressAgg {
 		return nil
 	}
 	return &progressAgg{
-		fn:        e.Opts.Progress,
-		maxSteps:  e.Opts.MaxSteps,
-		workers:   workers,
-		cur:       make([]int64, workers),
-		done:      make([]int64, workers),
-		curPaths:  make([]int64, workers),
-		donePaths: make([]int64, workers),
+		fn:       e.Opts.Progress,
+		maxSteps: e.Opts.MaxSteps,
+		workers:  workers,
+		cur:      make([]int64, workers),
+		curPaths: make([]int64, workers),
 	}
 }
 
@@ -154,26 +168,12 @@ func (a *progressAgg) hook(w int) func(ProgressInfo) {
 		a.cur[w], a.curPaths[w] = pi.Steps, pi.Paths
 		steps, paths := int64(0), int64(0)
 		for i := 0; i < a.workers; i++ {
-			steps += a.cur[i] + a.done[i]
-			paths += a.curPaths[i] + a.donePaths[i]
+			steps += a.cur[i]
+			paths += a.curPaths[i]
 		}
 		a.fn(ProgressInfo{Steps: steps, MaxSteps: a.maxSteps, Paths: paths,
 			Input: pi.Input, Workers: a.workers})
 	}
-}
-
-// retire folds a finished shard's totals into worker w's base — the
-// next shard's searcher restarts its local counters from zero.
-func (a *progressAgg) retire(w int, stats SearchStats) {
-	if a == nil {
-		return
-	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.done[w] += stats.SensitizationAttempts
-	a.cur[w] = 0
-	a.donePaths[w] += stats.PathsRecorded
-	a.curPaths[w] = 0
 }
 
 // finish emits the final Done callback with the merged totals.
@@ -185,209 +185,176 @@ func (a *progressAgg) finish(steps, paths int64) {
 		Workers: a.workers, Done: true})
 }
 
-// enumerateParallel is Enumerate's sharded mode: one shard per primary
-// input, dynamically assigned to the pool (assignment cannot affect the
-// outcome — shards are independent and the merge order is fixed).
-func (e *Engine) enumerateParallel(workers int) (*Result, error) {
-	inputs := e.Circuit.Inputs
-	if _, err := e.Circuit.TopoGates(); err != nil {
-		return nil, err
-	}
-	e.precomputeLoads()
-	e.warmKernels()
-	if workers > len(inputs) {
-		workers = len(inputs)
-	}
-	quota := parallelQuota(e.Opts.MaxSteps, len(inputs))
-	agg := newProgressAgg(e, workers)
-	gauges := obs.NewWorkerGauges(workers)
-	shards := make([]shardOutcome, len(inputs))
-	jobs := make(chan int)
+// runPool spawns the workers and collects their outcomes.
+func (d *sched) runPool(prunes []*pruner, run func(*searcher, task)) []workerOutcome {
+	outs := make([]workerOutcome, d.workers)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < d.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			we := e.workerEngine(agg.hook(w))
-			for idx := range jobs {
-				stop := gauges.Busy(w)
-				shards[idx] = runShard(we, func(s *searcher) {
-					s.inputQuota = quota
-					s.searchFrom(inputs[idx])
-				})
-				agg.retire(w, shards[idx].stats)
-				stop()
+			var prune *pruner
+			if prunes != nil {
+				prune = prunes[w]
 			}
+			outs[w] = d.runWorker(w, prune, run)
 		}(w)
 	}
-	for i := range inputs {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
-	return e.finishParallel(workers, shards, nil, gauges, agg)
+	return outs
+}
+
+// enumerateParallel is Enumerate's pooled mode: one root shard per
+// primary input, work-stealing pool, signature-deduped deterministic
+// merge.
+func (e *Engine) enumerateParallel(workers int) (*Result, error) {
+	inputs := e.Circuit.Inputs
+	if err := e.warmShared(); err != nil {
+		return nil, err
+	}
+	sd := newSched(e, len(inputs), workers)
+	outs := sd.runPool(nil, func(s *searcher, t task) {
+		if t.resume != nil {
+			s.resumeUnit(inputs[t.shard], t.resume)
+		} else {
+			s.searchFrom(inputs[t.shard])
+		}
+	})
+	return e.finishParallel(sd, outs, 0)
 }
 
 // enumerateCourseParallel shards a fixed-course exploration over the
-// first hop's sensitization vectors.
+// first hop's sensitization vectors (donations start from hop 1 — the
+// first hop is the sharding axis itself).
 func (e *Engine) enumerateCourseParallel(workers int, start *netlist.Node, hops []courseHop) (*Result, error) {
-	if _, err := e.Circuit.TopoGates(); err != nil {
+	if err := e.warmShared(); err != nil {
 		return nil, err
 	}
-	e.precomputeLoads()
-	e.warmKernels()
 	vecs := hops[0].gate.Cell.Vectors(hops[0].pin)
-	if workers > len(vecs) {
-		workers = len(vecs)
-	}
-	quota := parallelQuota(e.Opts.MaxSteps, len(vecs))
-	agg := newProgressAgg(e, workers)
-	gauges := obs.NewWorkerGauges(workers)
-	shards := make([]shardOutcome, len(vecs))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			we := e.workerEngine(agg.hook(w))
-			for idx := range jobs {
-				stop := gauges.Busy(w)
-				vec := []cell.Vector{vecs[idx]}
-				shards[idx] = runShard(we, func(s *searcher) {
-					s.inputQuota = quota
-					s.walkCourse(start, hops, vec)
-				})
-				agg.retire(w, shards[idx].stats)
-				stop()
-			}
-		}(w)
-	}
-	for i := range vecs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return e.finishParallel(workers, shards, nil, gauges, agg)
+	sd := newSched(e, len(vecs), workers)
+	outs := sd.runPool(nil, func(s *searcher, t task) {
+		if t.resume != nil {
+			s.resumeUnit(start, t.resume)
+		} else {
+			s.walkCourse(start, hops, []cell.Vector{vecs[t.shard]})
+		}
+	})
+	return e.finishParallel(sd, outs, 0)
 }
 
-// kworstParallel is KWorst's sharded mode. Workers own forked pruners
-// (shared read-only bound tables, private k-best heaps) and take their
-// inputs by static round-robin, so each worker's branch-and-bound
-// threshold evolves deterministically for a fixed worker count. The
-// union of the worker heaps always contains the canonical global
-// k-best — pruning only ever discards paths whose optimistic bound
-// falls strictly below a delay that k already-kept paths reach — so
-// sorting the union and keeping the first k reproduces the serial
-// path set for any pool size.
+// kworstParallel is KWorst's pooled mode. Workers own forked pruners
+// (shared read-only bound tables, private k-best heaps) attached to
+// their persistent searcher. The union of the worker heaps always
+// contains the canonical global k-best — pruning only ever discards
+// paths whose optimistic bound falls strictly below a delay that k
+// already-kept paths reach, an argument independent of which worker
+// kept them — so deduping and sorting the union and keeping the first
+// k reproduces the serial path set for any pool size and any steal
+// schedule.
 func (e *Engine) kworstParallel(workers, k int) (*Result, error) {
 	inputs := e.Circuit.Inputs
-	if _, err := e.Circuit.TopoGates(); err != nil {
+	if err := e.warmShared(); err != nil {
 		return nil, err
 	}
-	e.precomputeLoads()
-	e.warmKernels()
 	base, err := newPruner(e, k)
 	if err != nil {
 		return nil, err
 	}
-	if workers > len(inputs) {
-		workers = len(inputs)
+	sd := newSched(e, len(inputs), workers)
+	prunes := make([]*pruner, sd.workers)
+	for w := range prunes {
+		prunes[w] = base.fork()
 	}
-	quota := parallelQuota(e.Opts.MaxSteps, len(inputs))
-	agg := newProgressAgg(e, workers)
-	gauges := obs.NewWorkerGauges(workers)
-	shards := make([]shardOutcome, len(inputs))
-	kept := make([][]*TruePath, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			we := e.workerEngine(agg.hook(w))
-			prune := base.fork()
-			for idx := w; idx < len(inputs); idx += workers {
-				stop := gauges.Busy(w)
-				shards[idx] = runShard(we, func(s *searcher) {
-					s.prune = prune
-					s.inputQuota = quota
-					s.searchFrom(inputs[idx])
-				})
-				shards[idx].paths = nil // the fork's heap owns the kept paths
-				agg.retire(w, shards[idx].stats)
-				stop()
-			}
-			kept[w] = prune.all()
-		}(w)
-	}
-	wg.Wait()
-	var all []*TruePath
-	for _, wp := range kept {
-		all = append(all, wp...)
-	}
-	sortPaths(all)
-	if len(all) > k {
-		all = all[:k]
-	}
-	return e.finishParallel(workers, shards, all, gauges, agg)
+	outs := sd.runPool(prunes, func(s *searcher, t task) {
+		if t.resume != nil {
+			s.resumeUnit(inputs[t.shard], t.resume)
+		} else {
+			s.searchFrom(inputs[t.shard])
+		}
+	})
+	return e.finishParallel(sd, outs, k)
 }
 
-// finishParallel merges the shard outcomes into one Result and
-// publishes the engine-level snapshots. kworstPaths, when non-nil, is
-// the already-reduced path set (the k-best union); otherwise paths are
-// concatenated from the shards in launch order with the MaxVariants
-// cap re-applied at the seam — replicating where the serial search
-// would have stopped recording.
-func (e *Engine) finishParallel(workers int, shards []shardOutcome, kworstPaths []*TruePath, gauges *obs.WorkerGauges, agg *progressAgg) (*Result, error) {
-	for i := range shards {
-		if shards[i].err != nil {
-			return nil, shards[i].err
+// finishParallel merges the worker outcomes into one Result and
+// publishes the engine-level snapshots. Recorded variants are
+// collapsed by path signature (a shard split by donation can justify
+// the same variant on two workers; the copies are value-identical),
+// then sorted by the canonical total order. k > 0 keeps the k worst
+// (KWorst); otherwise a MaxVariants cap keeps the best MaxVariants of
+// whatever the pool recorded before the cap stopped it.
+func (e *Engine) finishParallel(sd *sched, outs []workerOutcome, k int) (*Result, error) {
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
 		}
 	}
 	stats := SearchStats{}
 	truncated := false
-	for i := range shards {
-		sh := &shards[i]
-		stats.SensitizationAttempts += sh.stats.SensitizationAttempts
-		stats.Conflicts += sh.stats.Conflicts
-		stats.Backtracks += sh.stats.Backtracks
-		stats.JustificationAborts += sh.stats.JustificationAborts
-		stats.InputQuotaExhaustions += sh.stats.InputQuotaExhaustions
-		stats.PathsRecorded += sh.stats.PathsRecorded
-		stats.PathsDeduped += sh.stats.PathsDeduped
-		if sh.stats.Truncation > stats.Truncation {
-			stats.Truncation = sh.stats.Truncation
+	for i := range outs {
+		o := &outs[i]
+		stats.SensitizationAttempts += o.stats.SensitizationAttempts
+		stats.Conflicts += o.stats.Conflicts
+		stats.Backtracks += o.stats.Backtracks
+		stats.JustificationAborts += o.stats.JustificationAborts
+		stats.InputQuotaExhaustions += o.stats.InputQuotaExhaustions
+		stats.PathsRecorded += o.stats.PathsRecorded
+		stats.PathsDeduped += o.stats.PathsDeduped
+		if o.stats.Truncation > stats.Truncation {
+			stats.Truncation = o.stats.Truncation
 		}
-		truncated = truncated || sh.truncated
+		truncated = truncated || o.truncated
 	}
-	paths := kworstPaths
-	if paths == nil {
-		maxVar := e.Opts.MaxVariants
-	merge:
-		for i := range shards {
-			for _, p := range shards[i].paths {
-				if maxVar > 0 && len(paths) >= maxVar {
-					truncated = true
-					if TruncMaxVariants > stats.Truncation {
-						stats.Truncation = TruncMaxVariants
-					}
-					break merge
-				}
-				paths = append(paths, p)
+	seen := make(map[sig128]struct{}, stats.PathsRecorded)
+	var paths []*TruePath
+	removed := int64(0)
+	for i := range outs {
+		for _, p := range outs[i].paths {
+			if _, dup := seen[p.sig]; dup {
+				removed++
+				continue
 			}
+			seen[p.sig] = struct{}{}
+			paths = append(paths, p)
 		}
-		sortPaths(paths)
+	}
+	if k == 0 {
+		// Fold cross-worker duplicates into the dedupe counter so the
+		// merged stats match the serial searcher's for untruncated
+		// runs: total justified emissions are scheduling-invariant, and
+		// serial would have recorded each variant exactly once.
+		stats.PathsRecorded -= removed
+		stats.PathsDeduped += removed
+	}
+	sortPaths(paths)
+	if k > 0 {
+		if len(paths) > k {
+			paths = paths[:k]
+		}
+	} else if mv := e.Opts.MaxVariants; mv > 0 && len(paths) > mv {
+		paths = paths[:mv]
+		truncated = true
+		if TruncMaxVariants > stats.Truncation {
+			stats.Truncation = TruncMaxVariants
+		}
 	}
 	courses, multi := countCourses(paths)
 	e.lastStats = stats
+	e.pathHint = int(stats.PathsRecorded)
 	e.lastPar = ParallelStats{
-		Workers:     workers,
-		Shards:      len(shards),
-		WallSeconds: gauges.WallSeconds(),
-		BusySeconds: gauges.BusySeconds(),
-		Utilization: gauges.Utilization(),
+		Workers:        sd.workers,
+		Shards:         sd.shards,
+		Units:          sd.units.Load(),
+		ShardSteals:    sd.shardSteals.Load(),
+		SubtreeSteals:  sd.subtreeSteals.Load(),
+		Donations:      sd.gauges.Donations(),
+		StealsByWorker: sd.gauges.Steals(),
+		WallSeconds:    sd.gauges.WallSeconds(),
+		BusySeconds:    sd.gauges.BusySeconds(),
+		IdleSeconds:    sd.gauges.IdleSeconds(),
+		Utilization:    sd.gauges.Utilization(),
+		Balance:        sd.gauges.Balance(),
 	}
-	agg.finish(stats.SensitizationAttempts, stats.PathsRecorded)
+	sd.agg.finish(stats.SensitizationAttempts, stats.PathsRecorded)
 	if t := e.Opts.Tracer; t != nil {
 		t.Emit(obs.Event{Kind: "done", Steps: stats.SensitizationAttempts, N: stats.PathsRecorded})
 	}

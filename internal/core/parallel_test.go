@@ -20,8 +20,8 @@ import (
 // plus the merged instrumentation counters.
 
 func workerCounts() []int {
-	ns := []int{2, 4}
-	if p := runtime.GOMAXPROCS(0); p != 2 && p != 4 {
+	ns := []int{2, 4, 8}
+	if p := runtime.GOMAXPROCS(0); p != 2 && p != 4 && p != 8 {
 		ns = append(ns, p)
 	}
 	return ns
@@ -117,8 +117,12 @@ func assertSameResult(t *testing.T, label string, want, got *Result, strictStats
 
 // runDiff executes run with Workers:1 and each parallel count and
 // asserts the results are identical. Every worker count is also run
-// twice to pin run-to-run determinism at a fixed pool size (there,
-// stats must match exactly even when strictStats is off).
+// twice to pin run-to-run determinism of the reported paths at a fixed
+// pool size. Reruns compare stats at the mode's own strictness: the
+// enumeration counters are steal-schedule invariant (every decision is
+// attempted exactly once across the pool), but K-worst's
+// branch-and-bound counters depend on which worker's heap pruned a
+// cone, which varies with the (timing-dependent) steal schedule.
 func runDiff(t *testing.T, label string, strictStats bool, run func(workers int) (*Result, error)) {
 	t.Helper()
 	serial, err := run(1)
@@ -135,7 +139,7 @@ func runDiff(t *testing.T, label string, strictStats bool, run func(workers int)
 		if err != nil {
 			t.Fatalf("%s workers=%d rerun: %v", label, n, err)
 		}
-		assertSameResult(t, fmt.Sprintf("%s/workers=%d/rerun", label, n), par, again, true)
+		assertSameResult(t, fmt.Sprintf("%s/workers=%d/rerun", label, n), par, again, strictStats)
 	}
 }
 
@@ -251,34 +255,183 @@ func TestParallelEnumerateCourseDifferential(t *testing.T) {
 	})
 }
 
-// Under truncating caps the parallel budget split diverges from the
-// serial rollover by design, but the outcome must still be identical
-// across parallel worker counts: shard outcomes depend only on the
-// (input, quota) pair and the merge order is fixed.
+// pathID keys a path by its full reported identity (course, vectors,
+// cube, edges) for subset checks.
+func pathID(p *TruePath) string {
+	return p.CourseKey() + "|" + p.variantID()
+}
+
+// Truncated parallel runs race the shared global budget, so which
+// paths land inside it depends on scheduling — worker-count and
+// run-to-run byte-identity is no longer the contract. What a truncated
+// run does guarantee, at every pool size:
+//
+//   - every reported path is a true path of the untruncated serial
+//     set, bit-identical delays included;
+//   - under MaxSteps, the pool performs exactly the configured number
+//     of sensitization attempts (the serial ceiling, no rounding
+//     remainder lost) and reports max-steps truncation;
+//   - under MaxVariants, exactly the configured number of variants is
+//     reported with max-variants truncation.
 func TestParallelCapsWorkerCountInvariant(t *testing.T) {
 	tc := t130(t)
 	c := genCircuit(t, circuits.Profile{
 		Name: "rcap", Inputs: 8, Outputs: 4, Gates: 40, Depth: 6, Seed: 99})
-	for _, opts := range []Options{
-		{MaxVariants: 7},
-		{MaxSteps: 1200},
-	} {
-		opts := opts
-		opts.Workers = 2
-		base, err := New(c, tc, nil, opts).Enumerate()
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, n := range []int{3, 4, 8} {
-			o := opts
-			o.Workers = n
-			got, err := New(c, tc, nil, o).Enumerate()
+	full, err := New(c, tc, nil, Options{}).Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]*TruePath{}
+	for _, p := range full.Paths {
+		known[pathID(p)] = p
+	}
+	// A budget below the natural total, deliberately not divisible by
+	// the 8 shards (the old even split would lose the remainder).
+	budget := full.Steps/2 + 1
+	if budget%8 == 0 {
+		budget++
+	}
+	for _, n := range []int{2, 3, 4, 8} {
+		t.Run(fmt.Sprintf("max-steps/workers=%d", n), func(t *testing.T) {
+			res, err := New(c, tc, nil, Options{Workers: n, MaxSteps: budget}).Enumerate()
 			if err != nil {
 				t.Fatal(err)
 			}
-			assertSameResult(t, fmt.Sprintf("caps/workers=%d", n), base, got, true)
+			if !res.Truncated || res.Truncation != TruncMaxSteps {
+				t.Fatalf("truncation %v/%v, want true/max-steps", res.Truncated, res.Truncation)
+			}
+			if res.Steps != budget {
+				t.Errorf("Steps = %d, want exactly the MaxSteps budget %d", res.Steps, budget)
+			}
+			assertSubsetOfFull(t, res, known)
+		})
+		t.Run(fmt.Sprintf("max-variants/workers=%d", n), func(t *testing.T) {
+			res, err := New(c, tc, nil, Options{Workers: n, MaxVariants: 7}).Enumerate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Truncated || res.Truncation != TruncMaxVariants {
+				t.Fatalf("truncation %v/%v, want true/max-variants", res.Truncated, res.Truncation)
+			}
+			if len(res.Paths) != 7 {
+				t.Errorf("%d paths, want the MaxVariants cap 7", len(res.Paths))
+			}
+			assertSubsetOfFull(t, res, known)
+		})
+	}
+}
+
+// assertSubsetOfFull checks every reported path of a truncated run
+// against the untruncated serial set, delays included.
+func assertSubsetOfFull(t *testing.T, res *Result, known map[string]*TruePath) {
+	t.Helper()
+	for _, p := range res.Paths {
+		want, ok := known[pathID(p)]
+		if !ok {
+			t.Fatalf("truncated run reported a path outside the untruncated set: %v", p)
+		}
+		if !samePath(want, p) {
+			t.Fatalf("truncated run path differs from its untruncated twin:\n got  %v cube=%v\n want %v cube=%v",
+				p, p.Cube, want, want.Cube)
 		}
 	}
+}
+
+// The global budget replaces the per-shard even split, whose rounding
+// dropped MaxSteps % shards: serial and parallel must observe the same
+// total step ceiling, exactly.
+func TestGlobalBudgetCeiling(t *testing.T) {
+	tc := t130(t)
+	c := genCircuit(t, circuits.Profile{
+		Name: "rbudget", Inputs: 7, Outputs: 4, Gates: 45, Depth: 6, Seed: 11})
+	full, err := New(c, tc, nil, Options{}).Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget below the natural total, deliberately not divisible by
+	// the 7 shards.
+	budget := full.Steps/2 + 1
+	if budget%7 == 0 {
+		budget++
+	}
+	serial, err := New(c, tc, nil, Options{MaxSteps: budget}).Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Truncated {
+		t.Fatalf("serial run with budget %d of %d not truncated", budget, full.Steps)
+	}
+	for _, n := range []int{2, 4, 8} {
+		res, err := New(c, tc, nil, Options{Workers: n, MaxSteps: budget}).Enumerate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Steps != budget {
+			t.Errorf("workers=%d: Steps = %d, want the full budget %d (no remainder lost)",
+				n, res.Steps, budget)
+		}
+		if !res.Truncated || res.Truncation != TruncMaxSteps {
+			t.Errorf("workers=%d: truncation %v/%v, want true/max-steps", n, res.Truncated, res.Truncation)
+		}
+	}
+}
+
+// Static sharding (the no-stealing ablation mode) must reproduce the
+// serial result byte-identically too — it is the same deterministic
+// merge over the same shard partition, just without load balancing.
+func TestParallelStaticShardingDifferential(t *testing.T) {
+	tc := t130(t)
+	c := genCircuit(t, circuits.Profile{
+		Name: "rstatic", Inputs: 8, Outputs: 4, Gates: 40, Depth: 6, Seed: 5})
+	runDiff(t, "static", true, func(w int) (*Result, error) {
+		return New(c, tc, nil, Options{Workers: w, StaticSharding: true}).Enumerate()
+	})
+}
+
+// Steal storm: donation poll every step, far more workers than shards,
+// race detector on (make check). The result must still be
+// byte-identical to serial with exact merged counters, and the pool
+// must actually have donated subtrees (that is the point of the
+// configuration).
+func TestStealStorm(t *testing.T) {
+	tc := t130(t)
+	c := genCircuit(t, circuits.Profile{
+		Name: "rstorm", Inputs: 6, Outputs: 4, Gates: 50, Depth: 7, Seed: 23})
+	serial, err := New(c, tc, nil, Options{}).Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(c, tc, nil, Options{Workers: 16, StealPollSteps: 1})
+	par, err := e.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "steal-storm", serial, par, true)
+	ps := e.ParallelStats()
+	if ps.Donations == 0 {
+		t.Error("steal storm produced no donations")
+	}
+	if ps.Units <= int64(ps.Shards) {
+		t.Errorf("Units = %d, want > Shards = %d (donated subtrees scheduled)", ps.Units, ps.Shards)
+	}
+	var steals int64
+	for _, s := range ps.StealsByWorker {
+		steals += s
+	}
+	if steals != ps.ShardSteals+ps.SubtreeSteals {
+		t.Errorf("per-worker steals sum %d != shard %d + subtree %d steals",
+			steals, ps.ShardSteals, ps.SubtreeSteals)
+	}
+	// KWorst under the same storm: the k-best merge is steal-invariant.
+	kSerial, err := New(c, tc, nil, Options{}).KWorst(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kPar, err := New(c, tc, nil, Options{Workers: 16, StealPollSteps: 1}).KWorst(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "steal-storm/kworst", kSerial, kPar, false)
 }
 
 // safeTrace is a concurrency-safe collecting tracer.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"tpsta/internal/sim"
 )
 
 // WritePathReport prints a per-gate breakdown of one reported path for
@@ -57,9 +59,12 @@ func edgeArrow(rising bool) string {
 	return "↓"
 }
 
-func cubeLine(p *TruePath) string {
-	names := make([]string, 0, len(p.Cube))
-	for n := range p.Cube {
+// sortedCubeNames returns the cube's input names in ascending order —
+// the deterministic iteration shared by the report line and the lazy
+// variant sort key.
+func sortedCubeNames(cube sim.InputCube) []string {
+	names := make([]string, 0, len(cube))
+	for n := range cube {
 		names = append(names, n)
 	}
 	// insertion sort (tiny n, avoids importing sort for one call)
@@ -68,6 +73,11 @@ func cubeLine(p *TruePath) string {
 			names[j], names[j-1] = names[j-1], names[j]
 		}
 	}
+	return names
+}
+
+func cubeLine(p *TruePath) string {
+	names := sortedCubeNames(p.Cube)
 	parts := make([]string, 0, len(names)+1)
 	parts = append(parts, p.Start+"=T")
 	for _, n := range names {

@@ -1,9 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"strings"
-
 	"tpsta/internal/cell"
 	"tpsta/internal/logic"
 	"tpsta/internal/netlist"
@@ -34,9 +31,15 @@ type searcher struct {
 	// curRising is the edge polarity of the current path head in the
 	// rise-launch scenario (the fall scenario is always its complement).
 	curRising bool
+	// pathSig is the incremental 128-bit signature of the current
+	// partial path: seeded with the launch node ID, one arcToken
+	// absorbed (and restored on backtrack) per traversed arc. emit()
+	// extends it with the cube and edge bits to form the variant
+	// identity — no string is built on the record path.
+	pathSig sig128
 
 	paths      []*TruePath
-	seen       map[string]bool
+	seen       map[sig128]struct{}
 	steps      int64
 	justAborts int64
 	stopped    bool
@@ -65,6 +68,37 @@ type searcher struct {
 
 	// kworst pruning (nil when not in K-worst mode).
 	prune *pruner
+
+	// Work-stealing state (nil sched = serial run). The searcher draws
+	// every decision from the shared global budget, polls for hungry
+	// peers every stealPoll steps, and tracks one donFrame per DFS
+	// level so maybeDonate can carve off the shallowest unexplored
+	// branch range. replaying suppresses step/conflict accounting while
+	// a stolen prefix is being re-descended (the donor already paid for
+	// it).
+	sched      *sched
+	worker     int
+	curShard   int
+	budget     *stepBudget
+	stealPoll  int64
+	replaying  bool
+	frames     []donFrame
+	courseHops []courseHop
+	donations  int64
+}
+
+// donFrame is the donation bookkeeping for one level of the DFS: the
+// branch position currently being explored (fanout-ref × vector for
+// the free search, vector alone for a fixed-course hop) and the arc
+// depth of the frame, whose prefix replays the constraint state.
+// Donating marks the frame; the owner stops before starting any branch
+// after the donated position.
+type donFrame struct {
+	node     *netlist.Node // free search: the path head; nil in course mode
+	hop      int           // course mode: hop index; -1 in the free search
+	arcDepth int           // len(s.arcs) when the frame was pushed
+	ref, vec int           // branch currently in flight
+	donated  bool          // branches after (ref, vec) were handed away
 }
 
 type trailEntry struct {
@@ -100,11 +134,18 @@ func newSearcher(e *Engine) (*searcher, error) {
 	if _, err := e.Circuit.TopoGates(); err != nil {
 		return nil, err
 	}
+	// Pre-size the dedupe set from the previous run's recorded-path
+	// count (the engine-level hint) so steady-state re-runs never grow
+	// the map incrementally.
+	hint := e.pathHint
+	if hint < 16 {
+		hint = 16
+	}
 	s := &searcher{
 		eng:      e,
 		c:        e.Circuit,
 		values:   make([]logic.Dual, len(e.Circuit.Nodes)),
-		seen:     map[string]bool{},
+		seen:     make(map[sig128]struct{}, hint),
 		scratchR: make([]logic.Value, 8),
 		scratchF: make([]logic.Value, 8),
 	}
@@ -115,14 +156,11 @@ func newSearcher(e *Engine) (*searcher, error) {
 	if s.progressEvery <= 0 {
 		s.progressEvery = 65536
 	}
-	s.gateFanins = make([][]int, len(e.Circuit.Gates))
-	for _, g := range e.Circuit.Gates {
-		ids := make([]int, len(g.Cell.Inputs))
-		for i, pin := range g.Cell.Inputs {
-			ids[i] = g.Fanin[pin].ID
-		}
-		s.gateFanins[g.ID] = ids
+	s.stealPoll = e.Opts.StealPollSteps
+	if s.stealPoll <= 0 {
+		s.stealPoll = defaultStealPoll
 	}
+	s.gateFanins = e.faninTable()
 	return s, nil
 }
 
@@ -182,34 +220,49 @@ func (s *searcher) walkCourse(start *netlist.Node, hops []courseHop, firstVecs [
 	s.start = start
 	s.aliveR, s.aliveF = true, true
 	s.curRising = true
+	s.courseHops = hops
 	f := s.save()
 	defer s.restore(f)
 	if !s.assign(start.ID, logic.DualTransition) {
 		return
 	}
 	s.pathNodes = append(s.pathNodes[:0], start.Name)
-	var walk func(i int)
-	walk = func(i int) {
-		if s.stopped {
-			return
-		}
-		if i == len(hops) {
-			s.record()
-			return
-		}
-		h := hops[i]
-		vecs := h.gate.Cell.Vectors(h.pin)
-		if i == 0 && firstVecs != nil {
-			vecs = firstVecs
-		}
-		for _, vec := range vecs {
-			if s.stopped {
-				return
-			}
-			s.tryArc(h.gate, h.pin, vec, func(*netlist.Node) { walk(i + 1) })
-		}
+	s.pathSig = sig128{}.absorb(uint64(start.ID))
+	s.walkHops(firstVecs, 0, 0)
+}
+
+// walkHops explores hops[i:] of the current course, iterating hop i's
+// vectors from vec0 — (i, vec0) is (0, 0) for a fresh walk and the
+// donated frontier position when a stolen subtree resumes. firstVecs,
+// when non-nil, restricts hop 0 (the parallel sharding axis).
+func (s *searcher) walkHops(firstVecs []cell.Vector, i, vec0 int) {
+	if s.stopped {
+		return
 	}
-	walk(0)
+	hops := s.courseHops
+	if i == len(hops) {
+		s.record()
+		return
+	}
+	h := hops[i]
+	vecs := h.gate.Cell.Vectors(h.pin)
+	if i == 0 && firstVecs != nil {
+		vecs = firstVecs
+	}
+	fi := len(s.frames)
+	s.frames = append(s.frames, donFrame{hop: i, arcDepth: len(s.arcs), vec: vec0})
+	for vi := vec0; vi < len(vecs); vi++ {
+		if s.stopped {
+			break
+		}
+		fr := &s.frames[fi]
+		if fr.donated {
+			break
+		}
+		fr.vec = vi
+		s.tryArc(h.gate, h.pin, vecs[vi], func(*netlist.Node) { s.walkHops(firstVecs, i+1, 0) })
+	}
+	s.frames = s.frames[:fi]
 }
 
 // searchFrom runs the DFS for one launching primary input, exploring
@@ -224,11 +277,63 @@ func (s *searcher) searchFrom(in *netlist.Node) {
 	f := s.save()
 	if s.assign(in.ID, logic.DualTransition) {
 		s.pathNodes = append(s.pathNodes[:0], in.Name)
+		s.pathSig = sig128{}.absorb(uint64(in.ID))
 		s.extend(in)
 		s.pathNodes = s.pathNodes[:0]
 		s.arcs = s.arcs[:0]
 	}
 	s.restore(f)
+}
+
+// resumeUnit runs one stolen subtree: the launch assignment and the
+// donated decision prefix are replayed (rebuilding the constraint
+// store without re-charging the budget), then the DFS continues from
+// the frontier branch the donor never expanded.
+func (s *searcher) resumeUnit(in *netlist.Node, r *resumePoint) {
+	s.start = in
+	s.aliveR, s.aliveF = true, true
+	s.curRising = true
+	s.inputExhausted = false
+	if r.hop >= 0 {
+		s.courseHops = r.hops
+	}
+	s.trace(obs.Event{Kind: "steal", Input: in.Name, Steps: s.steps})
+	f := s.save()
+	if s.assign(in.ID, logic.DualTransition) {
+		s.pathNodes = append(s.pathNodes[:0], in.Name)
+		s.pathSig = sig128{}.absorb(uint64(in.ID))
+		s.replay(r, 0)
+		s.pathNodes = s.pathNodes[:0]
+		s.arcs = s.arcs[:0]
+	}
+	s.restore(f)
+}
+
+// replay re-descends prefix[i:] of a donated subtree with accounting
+// suppressed, then hands control to the frontier frame's remaining
+// branches. A prefix arc that conflicts here would have conflicted for
+// the donor too, so the recursion simply unwinds.
+func (s *searcher) replay(r *resumePoint, i int) {
+	if i == len(r.prefix) {
+		if r.hop >= 0 {
+			s.walkHops(nil, r.hop, r.vec)
+		} else {
+			head := s.start
+			if i > 0 {
+				head = r.prefix[i-1].Gate.Out
+			}
+			s.extendFrom(head, r.ref, r.vec)
+		}
+		return
+	}
+	a := r.prefix[i]
+	s.replaying = true
+	s.tryArc(a.Gate, a.Pin, a.Vec, func(*netlist.Node) {
+		s.replaying = false
+		s.replay(r, i+1)
+		s.replaying = true
+	})
+	s.replaying = false
 }
 
 // assign intersects val into the node's current value (per alive
@@ -251,7 +356,9 @@ func (s *searcher) assign(nid int, val logic.Dual) bool {
 			nv, ok := logic.Intersect(cur.Rise, w.val.Rise)
 			if !ok {
 				s.aliveR = false
-				s.conflicts++
+				if !s.replaying {
+					s.conflicts++
+				}
 			} else if nv != cur.Rise {
 				next.Rise = nv
 				changed = true
@@ -261,7 +368,9 @@ func (s *searcher) assign(nid int, val logic.Dual) bool {
 			nv, ok := logic.Intersect(cur.Fall, w.val.Fall)
 			if !ok {
 				s.aliveF = false
-				s.conflicts++
+				if !s.replaying {
+					s.conflicts++
+				}
 			} else if nv != cur.Fall {
 				next.Fall = nv
 				changed = true
@@ -450,22 +559,50 @@ func (s *searcher) feasibleCubes(ob obligation) []cube {
 // justification obligations queued for path completion, and cont runs if
 // no contradiction surfaced.
 func (s *searcher) withVector(g *netlist.Gate, vec cell.Vector, cont func()) {
-	s.steps++
-	if s.eng.Opts.Progress != nil && s.steps%s.progressEvery == 0 {
-		s.progress(false)
-	}
-	if max := s.eng.Opts.MaxSteps; max > 0 && s.steps > max {
-		s.stopped = true
-		s.truncate(TruncMaxSteps)
-		s.trace(obs.Event{Kind: "truncate", Detail: TruncMaxSteps.String(), Steps: s.steps})
-		return
-	}
-	if s.inputQuota > 0 && s.steps-s.inputStart > s.inputQuota {
-		s.inputExhausted = true
-		s.quotaExhausts++
-		s.truncate(TruncInputQuota)
-		s.trace(obs.Event{Kind: "truncate", Detail: TruncInputQuota.String(), Input: s.start.Name, Steps: s.steps})
-		return
+	switch {
+	case s.replaying:
+		// Re-descending a stolen prefix: the donor already charged
+		// these decisions to the budget and the counters; the thief
+		// only rebuilds the constraint state.
+	case s.sched != nil:
+		// Parallel mode: every decision draws on the shared global
+		// budget, so the pool truncates at exactly the serial step
+		// ceiling no matter how the units were distributed.
+		if !s.budget.take() {
+			s.stopped = true
+			s.truncate(TruncMaxSteps)
+			s.trace(obs.Event{Kind: "truncate", Detail: TruncMaxSteps.String(), Steps: s.steps})
+			return
+		}
+		s.steps++
+		if s.eng.Opts.Progress != nil && s.steps%s.progressEvery == 0 {
+			s.progress(false)
+		}
+		if s.steps%s.stealPoll == 0 {
+			if s.sched.aborted() {
+				s.stopped = true
+				return
+			}
+			s.maybeDonate()
+		}
+	default:
+		s.steps++
+		if s.eng.Opts.Progress != nil && s.steps%s.progressEvery == 0 {
+			s.progress(false)
+		}
+		if max := s.eng.Opts.MaxSteps; max > 0 && s.steps > max {
+			s.stopped = true
+			s.truncate(TruncMaxSteps)
+			s.trace(obs.Event{Kind: "truncate", Detail: TruncMaxSteps.String(), Steps: s.steps})
+			return
+		}
+		if s.inputQuota > 0 && s.steps-s.inputStart > s.inputQuota {
+			s.inputExhausted = true
+			s.quotaExhausts++
+			s.truncate(TruncInputQuota)
+			s.trace(obs.Event{Kind: "truncate", Detail: TruncInputQuota.String(), Input: s.start.Name, Steps: s.steps})
+			return
+		}
 	}
 	f := s.save()
 	// The paper applies steady values to the inputs of complex gates (the
@@ -501,18 +638,41 @@ func (s *searcher) extend(n *netlist.Node) {
 			return
 		}
 	}
-	for _, ref := range n.Fanout {
+	s.extendFrom(n, 0, 0)
+}
+
+// extendFrom iterates the fanout branches of n starting at position
+// (ref0, vec0) — (0, 0) for a normal traversal, the donated frontier
+// when a stolen subtree resumes mid-frame.
+func (s *searcher) extendFrom(n *netlist.Node, ref0, vec0 int) {
+	fi := len(s.frames)
+	s.frames = append(s.frames, donFrame{node: n, hop: -1, arcDepth: len(s.arcs), ref: ref0, vec: vec0})
+	for ri := ref0; ri < len(n.Fanout); ri++ {
+		ref := n.Fanout[ri]
 		g := ref.Gate
 		if s.prune != nil && !s.prune.viable(s, g) {
 			continue
 		}
-		for _, vec := range g.Cell.Vectors(ref.Pin) {
+		vecs := g.Cell.Vectors(ref.Pin)
+		v0 := 0
+		if ri == ref0 {
+			v0 = vec0
+		}
+		for vi := v0; vi < len(vecs); vi++ {
 			if s.stopped || s.inputExhausted {
+				s.frames = s.frames[:fi]
 				return
 			}
-			s.tryArc(g, ref.Pin, vec, func(out *netlist.Node) { s.extend(out) })
+			fr := &s.frames[fi]
+			if fr.donated {
+				s.frames = s.frames[:fi]
+				return
+			}
+			fr.ref, fr.vec = ri, vi
+			s.tryArc(g, ref.Pin, vecs[vi], func(out *netlist.Node) { s.extend(out) })
 		}
 	}
+	s.frames = s.frames[:fi]
 }
 
 // tryArc applies one (gate, pin, vector) sensitization decision: side
@@ -531,15 +691,71 @@ func (s *searcher) tryArc(g *netlist.Gate, pin string, vec cell.Vector, cont fun
 		if !okR && !okF {
 			return
 		}
-		savedR, savedF, savedPol := s.aliveR, s.aliveF, s.curRising
+		savedR, savedF, savedPol, savedSig := s.aliveR, s.aliveF, s.curRising, s.pathSig
 		s.aliveR, s.aliveF, s.curRising = okR, okF, nextRising
+		s.pathSig = s.pathSig.absorb(arcToken(g.ID, pinIndex(g.Cell.Inputs, pin), vec.Case))
 		s.pathNodes = append(s.pathNodes, out.Name)
 		s.arcs = append(s.arcs, Arc{g, pin, vec})
 		cont(out)
 		s.pathNodes = s.pathNodes[:len(s.pathNodes)-1]
 		s.arcs = s.arcs[:len(s.arcs)-1]
-		s.aliveR, s.aliveF, s.curRising = savedR, savedF, savedPol
+		s.aliveR, s.aliveF, s.curRising, s.pathSig = savedR, savedF, savedPol, savedSig
 	})
+}
+
+// nextBranch returns the branch position after (ref, vec) on node n,
+// ok=false when the frame is exhausted.
+func nextBranch(n *netlist.Node, ref, vec int) (int, int, bool) {
+	fo := n.Fanout[ref]
+	if vec+1 < len(fo.Gate.Cell.Vectors(fo.Pin)) {
+		return ref, vec + 1, true
+	}
+	if ref+1 < len(n.Fanout) {
+		return ref + 1, 0, true
+	}
+	return 0, 0, false
+}
+
+// maybeDonate hands the shallowest unexplored branch range of the
+// current DFS to a hungry peer: the thief resumes at the branch after
+// the donor's in-flight position, and the donor stops at that frame
+// once the in-flight branch completes — the two ranges partition the
+// frame exactly, so no subtree is lost or visited twice. Only called
+// from withVector (poll period Options.StealPollSteps), so every live
+// frame has a branch in flight and its position fields are valid.
+func (s *searcher) maybeDonate() {
+	if s.sched == nil || s.sched.static || s.sched.hungry.Load() == 0 {
+		return
+	}
+	for fi := range s.frames {
+		fr := &s.frames[fi]
+		if fr.donated {
+			continue
+		}
+		r := &resumePoint{hop: -1}
+		if fr.hop >= 0 {
+			// Course mode: hop 0 iterates the parallel shard's own
+			// vector slice, never donated (it is the sharding axis).
+			h := s.courseHops[fr.hop]
+			if fr.hop == 0 || fr.vec+1 >= len(h.gate.Cell.Vectors(h.pin)) {
+				continue
+			}
+			r.hop, r.vec, r.hops = fr.hop, fr.vec+1, s.courseHops
+		} else {
+			ref, vec, ok := nextBranch(fr.node, fr.ref, fr.vec)
+			if !ok {
+				continue
+			}
+			r.ref, r.vec = ref, vec
+		}
+		r.prefix = append([]Arc(nil), s.arcs[:fr.arcDepth]...)
+		if !s.sched.offer(s.worker, task{shard: s.curShard, resume: r}) {
+			return // deque full — keep the frame for a later poll
+		}
+		fr.donated = true
+		s.donations++
+		return
+	}
 }
 
 // viable reports whether a path-node trajectory is consistent with the
@@ -621,10 +837,42 @@ func (s *searcher) record() {
 	attempt(s.aliveR, s.aliveF)
 }
 
-// emit captures the (justified) current state as a TruePath.
+// emit captures the (justified) current state as a TruePath. The
+// variant identity is the incremental path signature extended with the
+// settled cube trits and the surviving edge bits — the dedupe check
+// runs before any allocation, so a duplicate variant costs zero
+// allocations and zero string work; a fresh one allocates only the
+// path record itself (its sort keys are built lazily, at compare
+// time).
 func (s *searcher) emit() {
+	vsig := s.pathSig
+	for _, in := range s.c.Inputs {
+		if in == s.start {
+			continue
+		}
+		v := s.values[in.ID]
+		pick := v.Rise
+		if !s.aliveR {
+			pick = v.Fall
+		}
+		vsig = vsig.absorb(uint64(pick.Final()))
+	}
+	var edgeBits uint64
+	if s.aliveR {
+		edgeBits |= 1
+	}
+	if s.aliveF {
+		edgeBits |= 2
+	}
+	vsig = vsig.absorb(edgeBits)
+	if _, dup := s.seen[vsig]; dup {
+		s.deduped++
+		return
+	}
+	s.seen[vsig] = struct{}{}
+	s.recorded++
+
 	cube := sim.InputCube{}
-	var cubeKey strings.Builder
 	for _, in := range s.c.Inputs {
 		if in == s.start {
 			continue
@@ -637,7 +885,6 @@ func (s *searcher) emit() {
 		// Cube entries are the settled (second-vector) levels; floating
 		// mode leaves the pre-event state unconstrained.
 		cube[in.Name] = pick.Final()
-		cubeKey.WriteString(pick.Final().String())
 	}
 	p := &TruePath{
 		Start:  s.start.Name,
@@ -646,30 +893,8 @@ func (s *searcher) emit() {
 		Cube:   cube,
 		RiseOK: s.aliveR,
 		FallOK: s.aliveF,
+		sig:    vsig,
 	}
-	var vk strings.Builder
-	for _, a := range p.Arcs {
-		fmt.Fprintf(&vk, "%d.", a.Vec.Case)
-	}
-	edges := ""
-	if p.RiseOK {
-		edges += "R"
-	}
-	if p.FallOK {
-		edges += "F"
-	}
-	// Memoize the identity keys on the path: the dedup below, the final
-	// sort and the parallel merge all compare them without
-	// re-allocating.
-	p.courseKey = strings.Join(p.Nodes, "→")
-	p.variantKey = vk.String() + "|" + cubeKey.String() + "|" + edges
-	key := p.courseKey + "|" + p.variantKey
-	if s.seen[key] {
-		s.deduped++
-		return
-	}
-	s.seen[key] = true
-	s.recorded++
 
 	if p.RiseOK {
 		if d, buf, err := s.eng.pathDelay(s.dscratch, p.Arcs, true); err == nil {
@@ -682,6 +907,13 @@ func (s *searcher) emit() {
 		}
 	}
 	if s.eng.Opts.Tracer != nil {
+		edges := ""
+		if p.RiseOK {
+			edges += "R"
+		}
+		if p.FallOK {
+			edges += "F"
+		}
 		s.trace(obs.Event{Kind: "path", Path: p.String(), Edges: edges,
 			DelayPs: p.WorstDelay() * 1e12, Steps: s.steps})
 	}
@@ -693,6 +925,12 @@ func (s *searcher) emit() {
 	if max := s.eng.Opts.MaxVariants; max > 0 && len(s.paths) >= max {
 		s.stopped = true
 		s.truncate(TruncMaxVariants)
+		if s.sched != nil {
+			// Tell the other workers to stop at their next poll; the
+			// merge keeps the best MaxVariants of whatever the pool
+			// recorded before the cap landed.
+			s.sched.aborting.Store(true)
+		}
 		s.trace(obs.Event{Kind: "truncate", Detail: TruncMaxVariants.String(), Steps: s.steps})
 	}
 }
@@ -721,6 +959,7 @@ func (s *searcher) result() *Result {
 	courses, multi := countCourses(s.paths)
 	stats := s.statsSnapshot()
 	s.eng.lastStats = stats
+	s.eng.pathHint = int(s.recorded)
 	s.progress(true)
 	s.trace(obs.Event{Kind: "done", Steps: s.steps, N: s.recorded})
 	return &Result{

@@ -1,0 +1,72 @@
+package core
+
+// 128-bit path signatures. The record-path dedupe used to key a
+// map[string]bool with "course|vectors|cube|edges" strings rebuilt for
+// every justified variant — two string builders and a join per visit.
+// The searcher now maintains an incremental 128-bit signature over the
+// integer identity of each decision (launch node ID, gate ID, entry-pin
+// index, vector case) as arcs are pushed and popped, and emit() only
+// folds in the cube trits and true-edge bits, so the steady-state
+// record path performs no string work at all.
+//
+// The signature doubles as the cross-worker identity in the parallel
+// merge: with work stealing, two searchers can justify the same
+// (course, vectors, cube, edges) variant from different donated
+// subtrees, and the merge collapses them by signature exactly like the
+// serial searcher's seen-set would have. Duplicate variants are
+// value-identical (the delays are deterministic functions of the arcs
+// and edges), so collapsing keeps the merge byte-identical to serial.
+//
+// 128 bits make an accidental collision — which would silently drop a
+// distinct variant — vanishingly unlikely (~2^-64 at a billion recorded
+// paths); the mixing below is not cryptographic, only well-distributed.
+
+// sig128 is an order-sensitive 128-bit accumulator. The zero value is
+// the empty signature.
+type sig128 struct {
+	hi, lo uint64
+}
+
+// mix64 is the splitmix64 finalizer — a cheap full-avalanche 64-bit
+// permutation.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// absorb folds one token into the signature. The two halves use
+// independent multipliers and cross-feed, so the pair behaves as a
+// single 128-bit state: absorb order matters and single-token
+// differences diffuse into both words. The +1 offset keeps the zero
+// token (node ID 0, all-zero arc fields) from being a fixed point of
+// the empty signature — mix64(0) == 0.
+func (s sig128) absorb(x uint64) sig128 {
+	h := mix64(s.hi ^ ((x + 1) * 0x9e3779b97f4a7c15))
+	l := mix64(s.lo ^ ((x + 1) * 0xc2b2ae3d27d4eb4f) ^ h)
+	return sig128{hi: h, lo: l}
+}
+
+// arcToken encodes one sensitization decision: the traversed gate, the
+// entry pin's position in the cell's input list and the vector's
+// 1-based case. Gate IDs are dense per circuit and pin/case values are
+// tiny, so the packing is collision-free by construction.
+func arcToken(gateID, pinIdx, vecCase int) uint64 {
+	return uint64(gateID)<<20 | uint64(pinIdx)<<12 | uint64(vecCase)
+}
+
+// pinIndex returns the position of pin in the cell input list backing
+// the arc's gate (cells have at most a handful of inputs, so the scan
+// beats any map). Returns 0 for an unknown pin — the node sequence
+// disambiguates such paths anyway.
+func pinIndex(inputs []string, pin string) int {
+	for i, p := range inputs {
+		if p == pin {
+			return i
+		}
+	}
+	return 0
+}

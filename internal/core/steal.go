@@ -1,0 +1,328 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tpsta/internal/obs"
+)
+
+// Work-stealing scheduler for the parallel true-path search.
+//
+// PR 2's static mode sharded by launch point and split the MaxSteps
+// budget evenly per shard. On real topologies a few deep launch cones
+// dominate, so one worker ground through its cone while the rest sat
+// idle, and the even quota split truncated shards that still had budget
+// globally. The scheduler replaces both mechanisms:
+//
+//   - every worker owns a bounded deque of work units (tasks); the
+//     shards are seeded round-robin, a worker drains its own deque
+//     LIFO, and an idle worker steals from its peers — whole untouched
+//     shards first (the biggest units), donated subtrees otherwise;
+//   - when no queued unit is left anywhere, busy searchers donate
+//     unexplored DFS subtrees: a snapshot of the decision prefix plus
+//     the first unexpanded branch position, replayable because the
+//     prefix deterministically reconstructs the constraint store (see
+//     searcher.resumeUnit). A single hot launch cone thereby spreads
+//     across the whole pool;
+//   - the per-shard inputQuota is replaced by a single atomic global
+//     step budget (stepBudget) drawn one decision at a time, so a
+//     parallel run truncates at exactly the same total step count as
+//     the serial search, with no rounding remainder lost.
+//
+// The merge stays deterministic for untruncated runs (see
+// finishParallel); DESIGN.md §11 documents the donation/replay
+// protocol and what a truncated run still guarantees.
+
+// task is one schedulable unit: a whole shard (resume == nil) or a
+// donated DFS subtree of a shard.
+type task struct {
+	shard  int
+	resume *resumePoint
+}
+
+// resumePoint pins a donated subtree: the decision prefix from the
+// launch point to the frontier frame and the first branch the thief
+// explores there. hop distinguishes the two search modes.
+type resumePoint struct {
+	prefix []Arc
+	// ref, vec locate the resume branch at the frontier: the fanout
+	// index and vector index for the free search, the vector index
+	// alone (hop names the frame) for a fixed course.
+	ref, vec int
+	// hop is the frontier hop index in course mode, -1 in the free
+	// search.
+	hop  int
+	hops []courseHop // course mode: the resolved course, shared read-only
+}
+
+// stepBudget is the shared global sensitization-step budget of a
+// parallel run. Workers draw one step per decision, so the pool as a
+// whole performs exactly MaxSteps attempts before truncating — the
+// same ceiling the serial search observes — no matter how the work is
+// distributed. A nil *stepBudget is valid and unlimited.
+type stepBudget struct {
+	rem atomic.Int64
+}
+
+func newStepBudget(maxSteps int64) *stepBudget {
+	if maxSteps <= 0 {
+		return nil
+	}
+	b := &stepBudget{}
+	b.rem.Store(maxSteps)
+	return b
+}
+
+// take draws one step; false means the budget is exhausted.
+func (b *stepBudget) take() bool {
+	if b == nil {
+		return true
+	}
+	return b.rem.Add(-1) >= 0
+}
+
+// exhausted reports whether the budget ran out.
+func (b *stepBudget) exhausted() bool {
+	return b != nil && b.rem.Load() <= 0
+}
+
+// maxDeque bounds each worker's deque: a donor whose queue is full
+// keeps the subtree instead (the frame stays undonated and can be
+// offered again at a later poll).
+const maxDeque = 64
+
+// defaultStealPoll is the donation-poll period in sensitization
+// attempts (Options.StealPollSteps overrides it).
+const defaultStealPoll = 128
+
+// sched is the shared scheduler state of one parallel run.
+//
+// stalint:shared — deques, pending, idle and done are guarded by mu
+// (every access below locks); hungry, aborting and the steal counters
+// are atomics; eng, agg, gauges, budget and static are set before the
+// workers start and read-only afterwards. The sharedstate analyzer
+// flags any unguarded mutation added later.
+type sched struct {
+	eng     *Engine
+	workers int
+	static  bool // StaticSharding: no stealing, no donation
+	budget  *stepBudget
+	agg     *progressAgg
+	gauges  *obs.WorkerGauges
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	deques  [][]task // per-worker; owner pops the back, thieves the front
+	pending int      // tasks queued + running; 0 means the run is over
+	done    bool
+
+	// hungry counts workers currently starved for work; busy searchers
+	// poll it (Options.StealPollSteps) and donate when it is non-zero.
+	hungry atomic.Int32
+	// seedCredits pre-counts the workers whose deques start empty
+	// (pool larger than the shard count): on a small machine their
+	// goroutines may not be scheduled before the first cones finish,
+	// so donors treat them as hungry from the start — each worker
+	// retires one credit after its first next() call, by which point
+	// its own parking keeps the count honest.
+	seedCredits atomic.Int32
+	// aborting is set when a worker hits the MaxVariants cap: the
+	// other workers stop at their next poll instead of finishing their
+	// subtrees.
+	aborting atomic.Bool
+
+	shards        int
+	units         atomic.Int64 // tasks ever scheduled (shards + donations)
+	shardSteals   atomic.Int64 // root tasks taken from another worker
+	subtreeSteals atomic.Int64 // donated tasks taken from another worker
+}
+
+// newSched seeds one root task per shard, round-robin across the
+// worker deques (the same static assignment PR 2 used, so the
+// no-stealing ablation mode reproduces it exactly).
+func newSched(e *Engine, shards, workers int) *sched {
+	d := &sched{
+		eng:     e,
+		workers: workers,
+		static:  e.Opts.StaticSharding,
+		budget:  newStepBudget(e.Opts.MaxSteps),
+		agg:     newProgressAgg(e, workers),
+		gauges:  obs.NewWorkerGauges(workers),
+		deques:  make([][]task, workers),
+		pending: shards,
+		shards:  shards,
+	}
+	d.cond = sync.NewCond(&d.mu)
+	for i := 0; i < shards; i++ {
+		w := i % workers
+		d.deques[w] = append(d.deques[w], task{shard: i})
+	}
+	d.units.Store(int64(shards))
+	if !d.static && workers > shards {
+		n := int32(workers - shards)
+		d.seedCredits.Store(n)
+		d.hungry.Store(n)
+	}
+	return d
+}
+
+func (d *sched) aborted() bool { return d.aborting.Load() }
+
+// offer appends a donated subtree to worker w's deque. It fails when
+// the deque is full — the donor then simply keeps the subtree.
+func (d *sched) offer(w int, t task) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.done || len(d.deques[w]) >= maxDeque {
+		return false
+	}
+	d.deques[w] = append(d.deques[w], t)
+	d.pending++
+	d.units.Add(1)
+	d.gauges.Donation()
+	d.cond.Broadcast()
+	return true
+}
+
+// next blocks until worker w has a unit to run or the run is over.
+// Preference order: own deque back (LIFO keeps donated subtrees hot in
+// cache), then — unless static — a steal: a whole untouched shard from
+// any peer first, a donated subtree otherwise. A worker that finds
+// nothing parks as hungry until a donation or completion wakes it.
+func (d *sched) next(w int) (task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.done {
+			return task{}, false
+		}
+		if n := len(d.deques[w]); n > 0 {
+			t := d.deques[w][n-1]
+			d.deques[w] = d.deques[w][:n-1]
+			return t, true
+		}
+		if d.static {
+			// Static sharding: a worker owns exactly its seeded shards.
+			return task{}, false
+		}
+		if t, ok := d.steal(w); ok {
+			return t, true
+		}
+		if d.pending == 0 {
+			d.done = true
+			d.cond.Broadcast()
+			return task{}, false
+		}
+		d.hungry.Add(1)
+		stop := d.gauges.IdleStart(w)
+		d.cond.Wait()
+		stop()
+		d.hungry.Add(-1)
+	}
+}
+
+// steal scans the peers (round-robin from w+1) for a root task, then
+// for a donated one; both are taken from the victim's front — the
+// oldest, largest units. Caller holds d.mu.
+func (d *sched) steal(w int) (task, bool) {
+	for _, wantRoot := range [2]bool{true, false} {
+		for i := 1; i < d.workers; i++ {
+			v := (w + i) % d.workers
+			for j, t := range d.deques[v] {
+				if (t.resume == nil) != wantRoot {
+					continue
+				}
+				// stalint:ignore sharedstate caller (next) holds d.mu
+				d.deques[v] = append(d.deques[v][:j], d.deques[v][j+1:]...)
+				if wantRoot {
+					d.shardSteals.Add(1)
+				} else {
+					d.subtreeSteals.Add(1)
+				}
+				d.gauges.Steal(w)
+				return t, true
+			}
+		}
+	}
+	return task{}, false
+}
+
+// finish retires one completed unit; the last one ends the run.
+func (d *sched) finish() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pending--
+	if d.pending == 0 {
+		d.done = true
+	}
+	d.cond.Broadcast()
+}
+
+// workerOutcome is one worker's contribution to the merge: every path
+// its searcher (or forked pruner) kept across all the units it ran,
+// plus its counter snapshot.
+type workerOutcome struct {
+	paths     []*TruePath
+	stats     SearchStats
+	truncated bool
+	err       error
+}
+
+// runWorker is the body of one pool goroutine: take units until the
+// scheduler closes, running each through one persistent searcher —
+// reused across units so the constraint store, scratch buffers, seen
+// set and pathNodes backing arrays are allocated once per worker, not
+// once per shard. prune, when non-nil, is the worker's forked K-worst
+// pruner (attached for the searcher's whole life).
+func (d *sched) runWorker(w int, prune *pruner, run func(*searcher, task)) workerOutcome {
+	we := d.eng.workerEngine(d.agg.hook(w), d.workers)
+	s, err := newSearcher(we)
+	if err != nil {
+		// Cannot happen after the pre-fan-out TopoGates, but the
+		// scheduler must still drain this worker's units so the pool
+		// terminates.
+		for {
+			if _, ok := d.next(w); !ok {
+				return workerOutcome{err: err}
+			}
+			d.finish()
+		}
+	}
+	s.sched = d
+	s.worker = w
+	s.budget = d.budget
+	s.prune = prune
+	credit := d.seedCredits.Add(-1) >= 0
+	for {
+		t, ok := d.next(w)
+		if credit {
+			d.hungry.Add(-1)
+			credit = false
+		}
+		if !ok {
+			break
+		}
+		// A stopped searcher (global budget exhausted, or another
+		// worker hit MaxVariants) drains its remaining units unrun.
+		if s.stopped || d.aborted() || d.budget.exhausted() {
+			if d.budget.exhausted() {
+				s.truncate(TruncMaxSteps)
+			}
+			d.finish()
+			continue
+		}
+		stop := d.gauges.Busy(w)
+		s.curShard = t.shard
+		run(s, t)
+		stop()
+		d.finish()
+	}
+	out := workerOutcome{stats: s.statsSnapshot(), truncated: s.truncated}
+	if prune != nil {
+		out.paths = prune.all()
+	} else {
+		out.paths = s.paths
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"tpsta/internal/circuits"
+)
+
+// BenchmarkWorkStealing times the full enumeration of the skewed
+// benchmark topology (circuits.Skewed: three deep launch cones holding
+// almost all the search work, eight trivially shallow ones) under the
+// three scheduling modes: the serial search, static launch-point
+// sharding (PR 2's scheduler, kept as Options.StaticSharding) and the
+// work-stealing scheduler. On a multi-core host stealing recovers the
+// idle time static sharding leaves on the three heavy shards; on a
+// single-CPU host the three modes measure at parity and the benchmark
+// documents exactly that (the scheduler costs nothing when there is no
+// parallelism to recover).
+func BenchmarkWorkStealing(b *testing.B) {
+	c, err := circuits.Get("skew")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc := t130(b)
+	modes := []struct {
+		name string
+		opts Options
+	}{
+		{"serial", Options{}},
+		{"static-4", Options{Workers: 4, StaticSharding: true}},
+		{"stealing-4", Options{Workers: 4}},
+	}
+	wantPaths := -1
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := New(c, tc, nil, m.opts).Enumerate()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if wantPaths < 0 {
+					wantPaths = len(res.Paths)
+				}
+				if len(res.Paths) != wantPaths {
+					b.Fatalf("%s found %d paths, want %d", m.name, len(res.Paths), wantPaths)
+				}
+			}
+		})
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"tpsta/internal/num"
 )
 
 func TestWorkerGauges(t *testing.T) {
@@ -45,6 +47,40 @@ func TestWorkerGauges(t *testing.T) {
 	}
 	if u := g.Utilization(); u <= 0 || u > 1 {
 		t.Errorf("Utilization = %g", u)
+	}
+	if b := g.Balance(); b < 1 || b > 3 {
+		t.Errorf("Balance = %g, want within [1, workers]", b)
+	}
+}
+
+func TestWorkerGaugesStealingCounters(t *testing.T) {
+	g := NewWorkerGauges(2)
+	if !num.IsZero(g.Balance()) {
+		t.Errorf("Balance = %g before any work, want 0", g.Balance())
+	}
+	stop := g.IdleStart(1)
+	time.Sleep(time.Millisecond)
+	stop()
+	g.Steal(1)
+	g.Steal(1)
+	g.Donation()
+	idle := g.IdleSeconds()
+	if len(idle) != 2 || idle[1] <= 0 || !num.IsZero(idle[0]) {
+		t.Errorf("IdleSeconds = %v, want only worker 1 idle", idle)
+	}
+	if steals := g.Steals(); len(steals) != 2 || steals[0] != 0 || steals[1] != 2 {
+		t.Errorf("Steals = %v, want [0 2]", steals)
+	}
+	if g.Donations() != 1 {
+		t.Errorf("Donations = %d, want 1", g.Donations())
+	}
+	// One worker doing all the busy work pushes balance to the pool
+	// size.
+	done := g.Busy(0)
+	time.Sleep(2 * time.Millisecond)
+	done()
+	if b := g.Balance(); b < 1.5 {
+		t.Errorf("Balance = %g with one fully skewed worker of two, want ≈2", b)
 	}
 }
 

@@ -17,9 +17,13 @@
 // but different vectors are distinct results, so the vector-dependent
 // delay of complex gates (the paper's Section II) is never collapsed.
 //
-// Searches parallelize across launch points via EngineOptions.Workers
-// (0 = all CPUs, 1 = serial) with deterministically merged, serial-
-// identical results; Engine.ParallelStats reports pool utilization.
+// Searches parallelize via EngineOptions.Workers (0 = all CPUs, 1 =
+// serial) on a work-stealing pool: launch points seed the workers, idle
+// workers steal unstarted shards and then donated DFS subtrees, and a
+// shared atomic step budget makes truncation hit the serial step
+// ceiling exactly. Untruncated results merge deterministically,
+// byte-identical to serial; Engine.ParallelStats reports utilization,
+// steals, donations and load balance.
 //
 // The package re-exports, under one roof:
 //
@@ -116,8 +120,9 @@ type (
 	EngineProgress = core.ProgressInfo
 	// EngineParallelStats is the worker-pool snapshot of the engine's
 	// most recent parallel run (EngineOptions.Workers != 1): pool size,
-	// shard count, wall/busy seconds and utilization. See
-	// Engine.ParallelStats.
+	// shard and scheduled-unit counts, shard/subtree steals, donations,
+	// wall/busy/idle seconds, utilization and the busy-time balance
+	// ratio. See Engine.ParallelStats.
 	EngineParallelStats = core.ParallelStats
 	// EngineKernelStats describes the engine's run-specialized
 	// delay-kernel layer: arcs specialized at the run's (T, VDD),

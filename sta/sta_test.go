@@ -99,7 +99,7 @@ func TestPublicBenchIO(t *testing.T) {
 	if !strings.Contains(buf.String(), "NAND2") {
 		t.Errorf("round trip: %s", buf.String())
 	}
-	if len(sta.BuiltinCircuits()) != 12 {
+	if len(sta.BuiltinCircuits()) != 13 {
 		t.Errorf("builtin circuits: %v", sta.BuiltinCircuits())
 	}
 }
