@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check race bench bench-smoke clean
+.PHONY: build test lint check race bench bench-smoke bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,7 @@ race:
 # package once.
 KERNEL_BENCH = -run '^$$' -bench 'BenchmarkArcDelays|BenchmarkKWorstDelay' -benchtime 2000x ./internal/core
 STEAL_BENCH = -run '^$$' -bench 'BenchmarkWorkStealing|BenchmarkDedupeEmit' -benchtime 10x -benchmem ./internal/core
+OBS_BENCH = -run '^$$' -bench 'BenchmarkObsOverhead' -benchtime 10x -benchmem ./internal/core
 bench:
 	$(GO) test $(KERNEL_BENCH) | $(GO) run ./cmd/benchjson \
 		-artifact "run-specialized delay kernels" \
@@ -51,7 +52,24 @@ bench:
 		-workload "modes=serial; static-4 (PR 2 static launch-point sharding, Options.StaticSharding); stealing-4 (work-stealing scheduler with subtree donation)" \
 		-note "On a host with >= 4 CPUs, stealing-4 is the headline: static sharding strands the pool on the three deep shards while stealing spreads their donated subtrees across all workers (expected >= 1.5x over static-4). On a single-CPU host (see the host block) the three modes measure at parity: repeated runs land within the +-10-15% run-to-run noise of the machine with no consistent winner — there is no idle time for stealing to recover, and the donation/replay traffic the skew provokes costs nothing measurable. BenchmarkDedupeEmit is the string-free dedupe claim: a duplicate variant reaching emit costs 0 allocs/op (the string-keyed dedupe paid two builders and a join per visited path); the allocs column is the result, ns/op is incidental." \
 		-out BENCH_work_stealing.json
+	$(GO) test $(OBS_BENCH) | $(GO) run ./cmd/benchjson \
+		-artifact "obs v2 instrumentation overhead on the search hot path" \
+		-command "go test $(OBS_BENCH)" \
+		-workload "circuit=skew (circuits.Skewed, structure-only full enumeration)" \
+		-workload "modes=off (nil tracer/metrics, the production default); metrics (four step histograms: two clock reads + two atomic adds per step); sampled (JSONL tracer to io.Discard, every 64th step recorded)" \
+		-note "off is the contract figure: the zero-alloc tests (TestSearchStepDisabledZeroAlloc, TestEmitDedupeZeroAllocs) pin its per-step allocation count at zero, so off-mode ns/op must track the uninstrumented PR 5 baseline. metrics and sampled are the prices of turning the dials on; their allocs/op deltas are the tracer's buffers and sampled step events, never the disabled path." \
+		-out BENCH_obs_overhead.json
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-compare re-measures the recorded benchmark suites and fails on
+# a >15% ns/op regression (or new allocations on a zero-alloc
+# baseline) against the committed BENCH_*.json artifacts. CI runs it
+# non-blocking: shared runners are noisy, a red job is a prompt to
+# re-measure locally, not a merge gate.
+bench-compare:
+	$(GO) test $(KERNEL_BENCH) | $(GO) run ./cmd/benchjson -compare BENCH_delay_kernels.json
+	$(GO) test $(STEAL_BENCH) | $(GO) run ./cmd/benchjson -compare BENCH_work_stealing.json
+	$(GO) test $(OBS_BENCH) | $(GO) run ./cmd/benchjson -compare BENCH_obs_overhead.json
 
 # bench-smoke compiles and runs every benchmark in the repository once —
 # the CI gate that keeps benchmark code from rotting uncompiled.

@@ -12,6 +12,14 @@
 // When the input contains the BenchmarkArcDelays kernel/mapkeyed pair,
 // the before/after comparison is appended to the note automatically so
 // the recorded artifact always carries the measured speedup.
+//
+// With -compare BASELINE.json the fresh results are also checked
+// against a previously recorded artifact: any benchmark present in
+// both that got slower in ns/op by more than -tolerance (default 15%),
+// or that gained allocations over a zero-alloc baseline, fails the run
+// with exit 1 (`make bench-compare`; CI runs it as a non-blocking
+// job because shared runners are noisy). With -compare and no -out the
+// fresh artifact JSON is not printed — the comparison is the output.
 package main
 
 import (
@@ -19,9 +27,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -81,7 +91,9 @@ func main() {
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 		},
 	}
-	out := flag.String("out", "", "output file (default stdout)")
+	out := flag.String("out", "", "output file (default stdout; suppressed when -compare is set)")
+	compare := flag.String("compare", "", "baseline artifact JSON to compare against (exit 1 on regression)")
+	tol := flag.Float64("tolerance", 0.15, "fractional ns/op slowdown tolerated by -compare")
 	flag.StringVar(&r.Artifact, "artifact", "", "what the benchmarks measure")
 	flag.StringVar(&r.Command, "command", "", "the benchmark command, for reproduction")
 	flag.StringVar(&r.Note, "note", "", "free-form interpretation note")
@@ -132,13 +144,71 @@ func main() {
 		os.Exit(1)
 	}
 	buf = append(buf, '\n')
-	if *out == "" {
+	switch {
+	case *out != "":
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *out)
+	case *compare == "":
 		os.Stdout.Write(buf)
-		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if *compare != "" {
+		regressions, err := compareBaseline(os.Stderr, r.Bench, *compare, *tol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%% against %s\n",
+				regressions, *tol*100, *compare)
+			os.Exit(1)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *out)
+}
+
+// compareBaseline checks fresh results against a recorded artifact and
+// prints one verdict line per shared benchmark. A regression is a
+// ns/op slowdown beyond tol, or any allocations where the baseline
+// recorded none (the repository's zero-alloc contracts).
+func compareBaseline(w io.Writer, fresh map[string]metrics, path string, tol float64) (regressions int, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var base report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return 0, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		if _, ok := base.Bench[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return 0, fmt.Errorf("baseline %s shares no benchmarks with the fresh results", path)
+	}
+	for _, name := range names {
+		b, f := base.Bench[name], fresh[name]
+		verdict := "ok"
+		var delta float64
+		if b.NsPerOp > 0 {
+			delta = f.NsPerOp/b.NsPerOp - 1
+		}
+		if delta > tol {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		// stalint:ignore floatcmp recorded artifact values are exact JSON literals
+		if b.AllocsPerOp == 0 && f.AllocsPerOp > 0 {
+			verdict = "REGRESSION (allocs: 0 -> " + strconv.FormatFloat(f.AllocsPerOp, 'f', -1, 64) + ")"
+			regressions++
+		}
+		fmt.Fprintf(w, "benchjson: %-40s %12.0f -> %9.0f ns/op  %+6.1f%%  %s\n",
+			name, b.NsPerOp, f.NsPerOp, delta*100, verdict)
+	}
+	return regressions, nil
 }

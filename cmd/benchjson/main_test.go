@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBaseline records a minimal artifact file for compareBaseline.
+func writeBaseline(t *testing.T, bench map[string]metrics) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	r := report{Artifact: "test", Bench: bench}
+	buf, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareBaseline(t *testing.T) {
+	base := writeBaseline(t, map[string]metrics{
+		"Search/off":     {NsPerOp: 1000},
+		"Search/metrics": {NsPerOp: 1000, AllocsPerOp: 0},
+		"OnlyInBaseline": {NsPerOp: 5},
+	})
+
+	// Within tolerance (+10% on a 15% budget) and an improvement: pass.
+	var out bytes.Buffer
+	n, err := compareBaseline(&out, map[string]metrics{
+		"Search/off":     {NsPerOp: 1100},
+		"Search/metrics": {NsPerOp: 900},
+		"OnlyFresh":      {NsPerOp: 1},
+	}, base, 0.15)
+	if err != nil || n != 0 {
+		t.Fatalf("within-tolerance compare: %d regressions, err %v\n%s", n, err, out.String())
+	}
+	if !strings.Contains(out.String(), "Search/off") || strings.Contains(out.String(), "OnlyFresh") {
+		t.Errorf("verdict lines wrong:\n%s", out.String())
+	}
+
+	// A 30% slowdown regresses.
+	out.Reset()
+	n, err = compareBaseline(&out, map[string]metrics{"Search/off": {NsPerOp: 1300}}, base, 0.15)
+	if err != nil || n != 1 {
+		t.Fatalf("slowdown compare: %d regressions, err %v\n%s", n, err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("no REGRESSION verdict:\n%s", out.String())
+	}
+
+	// New allocations over a zero-alloc baseline regress even when fast.
+	out.Reset()
+	n, err = compareBaseline(&out, map[string]metrics{"Search/metrics": {NsPerOp: 500, AllocsPerOp: 2}}, base, 0.15)
+	if err != nil || n != 1 {
+		t.Fatalf("alloc compare: %d regressions, err %v\n%s", n, err, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs: 0 -> 2") {
+		t.Errorf("alloc verdict missing:\n%s", out.String())
+	}
+
+	// Disjoint benchmark sets are an error, not a silent pass.
+	if _, err := compareBaseline(&out, map[string]metrics{"Other": {NsPerOp: 1}}, base, 0.15); err == nil {
+		t.Error("disjoint compare passed silently")
+	}
+	if _, err := compareBaseline(&out, nil, filepath.Join(t.TempDir(), "missing.json"), 0.15); err == nil {
+		t.Error("missing baseline passed silently")
+	}
+}

@@ -54,10 +54,12 @@ type config struct {
 	quickChar   bool
 	structural  bool
 
-	statsFile string // -stats: machine-readable run report (JSON)
-	traceFile string // -trace: structured search events (JSONL)
-	progress  bool   // -progress: periodic stderr progress line
-	pprofAddr string // -pprof: expvar + pprof HTTP endpoint
+	statsFile   string // -stats: machine-readable run report (JSON)
+	traceFile   string // -trace: structured search events (JSONL)
+	traceSample int64  // -trace-sample: record every Nth search step
+	progress    bool   // -progress: periodic stderr progress line
+	pprofAddr   string // -pprof: expvar + pprof HTTP endpoint
+	metricsAddr string // -metrics-addr: OpenMetrics /metrics endpoint
 }
 
 func main() {
@@ -81,8 +83,10 @@ func main() {
 	flag.BoolVar(&cfg.structural, "structural", false, "skip delay models (order paths by length)")
 	flag.StringVar(&cfg.statsFile, "stats", "", "write a machine-readable run report (JSON) to this file")
 	flag.StringVar(&cfg.traceFile, "trace", "", "write structured search events (JSONL) to this file")
+	flag.Int64Var(&cfg.traceSample, "trace-sample", 0, "with -trace, also record every Nth search step (0 = off)")
 	flag.BoolVar(&cfg.progress, "progress", false, "print a periodic search progress line to stderr")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve expvar and pprof on this address (e.g. :6060)")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve OpenMetrics text on this address at /metrics (e.g. :9090)")
 	list := flag.Bool("list", false, "list built-in circuits and exit")
 	flag.Parse()
 	if *list {
@@ -146,7 +150,30 @@ func run(cfg config, out io.Writer) error {
 		statsOut = f
 	}
 
+	// The tracer opens before any phase runs so load and
+	// characterization get spans under the root "run" span, not just
+	// the search.
+	var tracer *obs.JSONL
+	var tr obs.Tracer // nil interface when tracing is off
+	if cfg.traceFile != "" {
+		f, err := os.Create(cfg.traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tracer = obs.NewJSONL(f)
+		tr = tracer
+	}
+	runSpan := obs.StartSpan(tr, 0, "run")
+
 	var eng *core.Engine
+	if cfg.metricsAddr != "" {
+		addr, err := obs.ServeMetrics(cfg.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "OpenMetrics endpoint on http://%s/metrics\n", addr)
+	}
 	if cfg.pprofAddr != "" {
 		addr, err := obs.ServeDebug(cfg.pprofAddr)
 		if err != nil {
@@ -180,6 +207,7 @@ func run(cfg config, out io.Writer) error {
 		return err
 	}
 	stopLoad := phases.Start("load")
+	loadSpan := obs.StartSpan(tr, runSpan.ID(), "load")
 	var cir *netlist.Circuit
 	if cfg.verilogFile != "" {
 		f, err := os.Open(cfg.verilogFile)
@@ -219,6 +247,7 @@ func run(cfg config, out io.Writer) error {
 		fmt.Fprintf(out, "restricted to the cone of %v: %d of %d gates\n", outs, len(cone.Gates), len(cir.Gates))
 		cir = cone
 	}
+	loadSpan.End()
 	stopLoad()
 
 	st, err := cir.Stats()
@@ -253,10 +282,12 @@ func run(cfg config, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "characterizing %s library...\n", tc.Name)
 		stopChar := phases.Start("characterize")
+		charSpan := obs.StartSpan(tr, runSpan.ID(), "characterize")
 		lib, err = charlib.Characterize(tc, cell.Default(), grid, charlib.Options{})
 		if err != nil {
 			return err
 		}
+		charSpan.End()
 		d := stopChar()
 		charStats = &lib.Stats
 		fmt.Fprintf(out, "characterized %d arcs in %.1fs (%.0f%% worker utilization, %d fit solves)\n",
@@ -279,17 +310,15 @@ func run(cfg config, out io.Writer) error {
 		return nil
 	}
 
-	opts := core.Options{Workers: cfg.workers, ComplexOnly: cfg.complexOnly, MaxSteps: cfg.maxSteps, Robust: cfg.robust}
-
-	var tracer *obs.JSONL
-	if cfg.traceFile != "" {
-		f, err := os.Create(cfg.traceFile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		tracer = obs.NewJSONL(f)
-		opts.Tracer = tracer
+	opts := core.Options{
+		Workers: cfg.workers, ComplexOnly: cfg.complexOnly,
+		MaxSteps: cfg.maxSteps, Robust: cfg.robust,
+		Tracer: tr, TraceParent: runSpan.ID(), TraceSampleEvery: cfg.traceSample,
+	}
+	// Histograms are collected only when an endpoint can serve them:
+	// the step clock reads are not free on an unobserved run.
+	if cfg.metricsAddr != "" || cfg.pprofAddr != "" {
+		opts.Metrics = &core.Metrics{}
 	}
 	if cfg.progress {
 		pp := obs.NewPrinter(os.Stderr)
@@ -304,6 +333,11 @@ func run(cfg config, out io.Writer) error {
 	}
 
 	eng = core.New(cir, tc, lib, opts)
+	if opts.Metrics != nil {
+		// The /metrics (and /debug) servers are already up; the engine's
+		// source snapshots live counters at every scrape from here on.
+		eng.RegisterMetrics("core")
+	}
 	stopSearch := phases.Start("search")
 	res, err := eng.KWorst(cfg.k)
 	if err != nil {
@@ -382,10 +416,11 @@ func run(cfg config, out io.Writer) error {
 	}
 
 	if tracer != nil {
+		runSpan.End()
 		if err := tracer.Flush(); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "wrote search trace to %s\n", cfg.traceFile)
+		fmt.Fprintf(out, "wrote search trace to %s (render it with cmd/obsreport)\n", cfg.traceFile)
 	}
 
 	if statsOut != nil {

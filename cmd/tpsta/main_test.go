@@ -42,14 +42,16 @@ func TestRunEndToEnd(t *testing.T) {
 }
 
 // TestRunStatsAndTrace exercises the observability flags: the -stats
-// report must be valid JSON with nonzero search counters, and the -trace
-// file must hold one valid JSON event per line ending in "done".
+// report must be valid JSON with nonzero search counters, and the
+// -trace file must hold one valid JSON event per line, closing with the
+// root "run" span after the search's "done" event, with sampled step
+// events in between (-trace-sample).
 func TestRunStatsAndTrace(t *testing.T) {
 	dir := t.TempDir()
 	statsPath := filepath.Join(dir, "run.json")
 	tracePath := filepath.Join(dir, "run.jsonl")
 	if err := run(config{circuitName: "c17", techName: "130nm", k: 5, maxSteps: 10000,
-		structural: true, statsFile: statsPath, traceFile: tracePath}, io.Discard); err != nil {
+		structural: true, statsFile: statsPath, traceFile: tracePath, traceSample: 7}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 
@@ -76,26 +78,40 @@ func TestRunStatsAndTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	var last struct {
+	type traceLine struct {
 		Kind  string `json:"kind"`
+		Name  string `json:"name"`
 		Steps int64  `json:"steps"`
 	}
-	lines := 0
+	var last, done traceLine
+	lines, stepEvents := 0, 0
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
 			t.Fatalf("trace line %d is not valid JSON: %v", lines+1, err)
 		}
 		lines++
+		switch last.Kind {
+		case "done":
+			done = last
+		case "step":
+			stepEvents++
+		}
 	}
 	if lines == 0 {
 		t.Fatal("trace file is empty")
 	}
-	if last.Kind != "done" {
-		t.Errorf("last trace event kind = %q, want done", last.Kind)
+	if last.Kind != "span" || last.Name != "run" {
+		t.Errorf("last trace event = %q %q, want the root run span", last.Kind, last.Name)
 	}
-	if last.Steps != sr.Search.SensitizationAttempts {
-		t.Errorf("trace done steps = %d, stats report = %d", last.Steps, sr.Search.SensitizationAttempts)
+	if done.Kind != "done" {
+		t.Error("trace has no done event")
+	}
+	if done.Steps != sr.Search.SensitizationAttempts {
+		t.Errorf("trace done steps = %d, stats report = %d", done.Steps, sr.Search.SensitizationAttempts)
+	}
+	if stepEvents == 0 {
+		t.Error("traceSample set but no step events recorded")
 	}
 }
 

@@ -10,15 +10,23 @@
 //
 // The analyzer flags:
 //
-//   - a Counter/Timer/Gauge name that is not a compile-time string
-//     constant (fmt.Sprintf names produce unbounded snapshot keys);
+//   - a Counter/Timer/Gauge/Histogram name that is not a compile-time
+//     string constant (fmt.Sprintf names produce unbounded snapshot
+//     keys);
 //   - a constant name that is not package-prefixed and dotted, i.e.
 //     does not match ^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$ (for example
 //     "core.paths_recorded", not "pathsRecorded");
 //   - (*obs.Counter).Add with a constant argument <= 0 (counters only
 //     go up — use a Gauge for level-like quantities);
 //   - overwriting a Counter value (`*c = obs.Counter{}` and friends):
-//     counters are never reset.
+//     counters are never reset;
+//   - a discarded (*obs.Timer).Start() or (*obs.Phases).Start()
+//     result: both return the stop function, and dropping it means the
+//     duration is never recorded;
+//   - a discarded obs.Span: an obs.StartSpan(...) statement leaks a
+//     span that can never be ended, and a bare sp.Worker(n) or
+//     sp.Steps(n) statement is a no-op — both return a modified copy
+//     that must be kept (they are chainable value methods).
 package obscheck
 
 import (
@@ -55,11 +63,16 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	nodeFilter := []ast.Node{
 		(*ast.CallExpr)(nil),
 		(*ast.AssignStmt)(nil),
+		(*ast.ExprStmt)(nil),
 	}
 	ins.Preorder(nodeFilter, func(n ast.Node) {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			checkCall(pass, ix, n)
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				checkDiscarded(pass, ix, call)
+			}
 		case *ast.AssignStmt:
 			// Only storing a Counter VALUE is a reset; pointer
 			// assignments (c := set.Counter(...)) are the normal way to
@@ -80,7 +93,7 @@ func checkCall(pass *analysis.Pass, ix *ignore.Index, call *ast.CallExpr) {
 		return
 	}
 	switch sel.Sel.Name {
-	case "Counter", "Timer", "Gauge":
+	case "Counter", "Timer", "Gauge", "Histogram":
 		if !isObsType(pass.TypesInfo.TypeOf(sel.X), "Set") || len(call.Args) != 1 {
 			return
 		}
@@ -104,6 +117,35 @@ func checkCall(pass *analysis.Pass, ix *ignore.Index, call *ast.CallExpr) {
 		}
 		if v, ok := constant.Int64Val(tv.Value); ok && v <= 0 {
 			ix.Reportf(call.Args[0].Pos(), "obs.Counter.Add(%d): counters only increment; use a Gauge for values that can fall", v)
+		}
+	}
+}
+
+// checkDiscarded flags expression statements whose call result must
+// not be dropped: the stop closure of a Timer/Phases Start, and any
+// call returning an obs.Span value (StartSpan leaks the span outright;
+// the Worker/Steps chainers return the modified copy).
+func checkDiscarded(pass *analysis.Pass, ix *ignore.Index, call *ast.CallExpr) {
+	if isObsValue(pass.TypesInfo.TypeOf(call), "Span") {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Worker", "Steps":
+				ix.Reportf(call.Pos(), "obs.Span.%s result discarded; it returns a modified copy — chain it into the span you End()", sel.Sel.Name)
+				return
+			}
+		}
+		ix.Reportf(call.Pos(), "obs.Span discarded; a span that is not kept can never be ended and its frame is lost from the trace")
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Start" {
+		return
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	for _, tn := range [2]string{"Timer", "Phases"} {
+		if isObsType(recv, tn) {
+			ix.Reportf(call.Pos(), "obs.%s.Start stop function discarded; the duration is never recorded", tn)
+			return
 		}
 	}
 }

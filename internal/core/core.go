@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"tpsta/internal/cell"
 	"tpsta/internal/charlib"
@@ -88,9 +89,26 @@ type Options struct {
 	// VDD of 0 selects nominal.
 	VDD float64
 	// Tracer, when non-nil, receives structured search events (input
-	// started, path recorded, truncation, done). Emission happens only
-	// at those coarse points, never per step.
+	// started, path recorded, truncation, done, spans, scheduler
+	// steal/donate/resume). Emission happens only at those coarse
+	// points — never per step unless TraceSampleEvery opts in.
 	Tracer obs.Tracer
+	// TraceSampleEvery, with a Tracer configured, additionally emits one
+	// sampled "step" event every N sensitization decisions, recording
+	// the DFS depth, the frame's 128-bit path signature, the worker and
+	// the replay provenance. 0 (the default) disables step sampling.
+	TraceSampleEvery int64
+	// TraceParent parents the search's spans ("enumerate", "course",
+	// "kworst" → "worker" → "shard"/"subtree") under a caller-owned
+	// span — the CLI passes its "run" span here. 0 makes the search span
+	// a root.
+	TraceParent obs.SpanID
+	// Metrics, when non-nil, streams hot-path latencies into the given
+	// histogram bundle: decision-application cost, donation-to-resume
+	// latency, per-path emit cost and kernel builds. nil (the default)
+	// keeps every instrumented site branch-only — no clock reads, no
+	// allocations on the search hot path.
+	Metrics *Metrics
 	// Progress, when non-nil, is called every ProgressEvery
 	// sensitization attempts and once more (Done=true) when the search
 	// finishes.
@@ -368,6 +386,13 @@ type Engine struct {
 	lastStats SearchStats     // snapshot of the most recent search
 	lastPar   ParallelStats   // pool snapshot of the most recent parallel search
 	fanins    [][]int         // shared gate→fanin-node-ID table (faninTable)
+	// statsMu guards lastStats/lastPar against concurrent reads from the
+	// /metrics exposition while a run publishes its snapshot. A pointer —
+	// not an embedded mutex — because workerEngine shallow-copies the
+	// engine (copylocks); worker copies share the same lock but never
+	// publish. nil (zero-value engines) skips locking: such engines are
+	// single-threaded by construction.
+	statsMu *sync.Mutex
 	// pathHint is the recorded-path count of the previous run; the next
 	// run's searchers pre-size their dedupe sets from it.
 	pathHint int
@@ -391,10 +416,42 @@ func (e *Engine) faninTable() [][]int {
 }
 
 // Stats returns the instrumentation snapshot of the engine's most
-// recent search (Enumerate, EnumerateCourse or KWorst). Engines are
-// single-threaded; read Stats after a run returns. Identical runs yield
-// identical snapshots — the search is deterministic.
-func (e *Engine) Stats() SearchStats { return e.lastStats }
+// recent search (Enumerate, EnumerateCourse or KWorst). Identical runs
+// yield identical snapshots — the search is deterministic.
+func (e *Engine) Stats() SearchStats {
+	st, _ := e.snapStats()
+	return st
+}
+
+// snapStats reads the published run snapshots under the stats lock
+// (no-op on zero-value engines, which are single-threaded).
+func (e *Engine) snapStats() (SearchStats, ParallelStats) {
+	if e.statsMu != nil {
+		e.statsMu.Lock()
+		defer e.statsMu.Unlock()
+	}
+	return e.lastStats, e.lastPar
+}
+
+// publishStats installs a completed run's counter snapshot and the
+// dedupe pre-size hint for the next run.
+func (e *Engine) publishStats(st SearchStats, hint int) {
+	if e.statsMu != nil {
+		e.statsMu.Lock()
+		defer e.statsMu.Unlock()
+	}
+	e.lastStats = st
+	e.pathHint = hint
+}
+
+// publishParStats installs a parallel run's pool snapshot.
+func (e *Engine) publishParStats(ps ParallelStats) {
+	if e.statsMu != nil {
+		e.statsMu.Lock()
+		defer e.statsMu.Unlock()
+	}
+	e.lastPar = ps
+}
 
 // New builds an engine. lib may be nil for structure-only analysis.
 func New(c *netlist.Circuit, tc *tech.Tech, lib *charlib.Library, opts Options) *Engine {
@@ -404,6 +461,7 @@ func New(c *netlist.Circuit, tc *tech.Tech, lib *charlib.Library, opts Options) 
 		Lib:       lib,
 		Opts:      opts.withDefaults(tc),
 		loadCache: make(map[int]float64, len(c.Gates)),
+		statsMu:   &sync.Mutex{},
 	}
 }
 
@@ -422,6 +480,7 @@ func (e *Engine) Enumerate() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan(e.Opts.Tracer, e.Opts.TraceParent, "enumerate")
 	inputs := e.Circuit.Inputs
 	for i, in := range inputs {
 		if e.Opts.MaxSteps > 0 {
@@ -440,6 +499,7 @@ func (e *Engine) Enumerate() (*Result, error) {
 			break
 		}
 	}
+	sp.Steps(s.steps).End()
 	return s.result(), nil
 }
 
@@ -461,7 +521,9 @@ func (e *Engine) EnumerateCourse(nodes []string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan(e.Opts.Tracer, e.Opts.TraceParent, "course")
 	s.walkCourse(start, hops, nil)
+	sp.Steps(s.steps).End()
 	return s.result(), nil
 }
 

@@ -113,6 +113,9 @@ func newKernelTable(e *Engine) (*kernelTable, error) {
 		kt.gates[g.ID] = ck
 	}
 	kt.build = time.Since(t0)
+	if m := e.Opts.Metrics; m != nil {
+		m.KernelBuildNs.Observe(kt.build)
+	}
 	if t := e.Opts.Tracer; t != nil {
 		t.Emit(obs.Event{Kind: "kernels", N: int64(kt.arcs),
 			Detail: fmt.Sprintf("%d terms, %d cells", kt.terms, len(cells))})

@@ -7,6 +7,7 @@ import (
 
 	"tpsta/internal/charlib"
 	"tpsta/internal/netlist"
+	"tpsta/internal/obs"
 )
 
 // KWorst finds the k slowest true paths with branch-and-bound pruning:
@@ -30,12 +31,14 @@ func (e *Engine) KWorst(k int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan(e.Opts.Tracer, e.Opts.TraceParent, "kworst")
 	for _, in := range e.Circuit.Inputs {
 		s.searchFrom(in)
 		if s.stopped {
 			break
 		}
 	}
+	sp.Steps(s.steps).End()
 	return s.result(), nil
 }
 

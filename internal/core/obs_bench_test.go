@@ -1,0 +1,57 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"tpsta/internal/circuits"
+	"tpsta/internal/obs"
+)
+
+// BenchmarkObsOverhead measures what the obs v2 instrumentation costs a
+// full structural enumeration of the skewed topology:
+//
+//   - off: the production default — nil tracer, nil metrics; the hot
+//     path pays nil checks only (this is the figure the zero-alloc
+//     tests pin);
+//   - metrics: the four per-engine histograms collecting (two
+//     monotonic clock reads plus two atomic adds per search step);
+//   - sampled: a JSONL tracer to io.Discard with every 64th step
+//     recorded, the -trace -trace-sample 64 CLI configuration.
+//
+// Recorded as BENCH_obs_overhead.json via `make bench`; `make
+// bench-compare` re-measures and fails on >15% ns/op drift.
+func BenchmarkObsOverhead(b *testing.B) {
+	c, err := circuits.Get("skew")
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		opts func() Options
+	}{
+		{"off", func() Options { return Options{} }},
+		{"metrics", func() Options { return Options{Metrics: &Metrics{}} }},
+		{"sampled", func() Options {
+			return Options{Tracer: obs.NewJSONL(io.Discard), TraceSampleEvery: 64}
+		}},
+	}
+	wantPaths := -1
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := New(c, nil, nil, m.opts()).Enumerate()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if wantPaths < 0 {
+					wantPaths = len(res.Paths)
+				}
+				if len(res.Paths) != wantPaths {
+					b.Fatalf("%s found %d paths, want %d", m.name, len(res.Paths), wantPaths)
+				}
+			}
+		})
+	}
+}

@@ -85,7 +85,10 @@ type ParallelStats struct {
 
 // ParallelStats returns the pool snapshot of the most recent parallel
 // search (zero value when every run so far was serial).
-func (e *Engine) ParallelStats() ParallelStats { return e.lastPar }
+func (e *Engine) ParallelStats() ParallelStats {
+	_, ps := e.snapStats()
+	return ps
+}
 
 // precomputeLoads fills the output-load cache for every gate so the
 // map is read-only while the workers share it. warmKernels (kernels.go)
@@ -212,7 +215,7 @@ func (e *Engine) enumerateParallel(workers int) (*Result, error) {
 	if err := e.warmShared(); err != nil {
 		return nil, err
 	}
-	sd := newSched(e, len(inputs), workers)
+	sd := newSched(e, len(inputs), workers, "enumerate")
 	outs := sd.runPool(nil, func(s *searcher, t task) {
 		if t.resume != nil {
 			s.resumeUnit(inputs[t.shard], t.resume)
@@ -231,7 +234,7 @@ func (e *Engine) enumerateCourseParallel(workers int, start *netlist.Node, hops 
 		return nil, err
 	}
 	vecs := hops[0].gate.Cell.Vectors(hops[0].pin)
-	sd := newSched(e, len(vecs), workers)
+	sd := newSched(e, len(vecs), workers, "course")
 	outs := sd.runPool(nil, func(s *searcher, t task) {
 		if t.resume != nil {
 			s.resumeUnit(start, t.resume)
@@ -260,7 +263,7 @@ func (e *Engine) kworstParallel(workers, k int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sd := newSched(e, len(inputs), workers)
+	sd := newSched(e, len(inputs), workers, "kworst")
 	prunes := make([]*pruner, sd.workers)
 	for w := range prunes {
 		prunes[w] = base.fork()
@@ -338,9 +341,8 @@ func (e *Engine) finishParallel(sd *sched, outs []workerOutcome, k int) (*Result
 		}
 	}
 	courses, multi := countCourses(paths)
-	e.lastStats = stats
-	e.pathHint = int(stats.PathsRecorded)
-	e.lastPar = ParallelStats{
+	e.publishStats(stats, int(stats.PathsRecorded))
+	e.publishParStats(ParallelStats{
 		Workers:        sd.workers,
 		Shards:         sd.shards,
 		Units:          sd.units.Load(),
@@ -353,8 +355,9 @@ func (e *Engine) finishParallel(sd *sched, outs []workerOutcome, k int) (*Result
 		IdleSeconds:    sd.gauges.IdleSeconds(),
 		Utilization:    sd.gauges.Utilization(),
 		Balance:        sd.gauges.Balance(),
-	}
+	})
 	sd.agg.finish(stats.SensitizationAttempts, stats.PathsRecorded)
+	sd.searchSpan.Steps(stats.SensitizationAttempts).End()
 	if t := e.Opts.Tracer; t != nil {
 		t.Emit(obs.Event{Kind: "done", Steps: stats.SensitizationAttempts, N: stats.PathsRecorded})
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"tpsta/internal/cell"
 	"tpsta/internal/logic"
 	"tpsta/internal/netlist"
@@ -85,6 +87,17 @@ type searcher struct {
 	frames     []donFrame
 	courseHops []courseHop
 	donations  int64
+
+	// Opt-in observability (obs v2). metrics mirrors
+	// Options.Metrics — nil keeps withVector/emit branch-only;
+	// sampleEvery mirrors Options.TraceSampleEvery and is forced to 0
+	// when no tracer is configured, so the sampling check costs one
+	// compare on untraced runs. sampleTick counts every withVector
+	// entry (including replays, which s.steps skips) so replayed
+	// decisions are sampled too.
+	metrics     *Metrics
+	sampleEvery int64
+	sampleTick  int64
 }
 
 // donFrame is the donation bookkeeping for one level of the DFS: the
@@ -160,6 +173,10 @@ func newSearcher(e *Engine) (*searcher, error) {
 	if s.stealPoll <= 0 {
 		s.stealPoll = defaultStealPoll
 	}
+	s.metrics = e.Opts.Metrics
+	if e.Opts.Tracer != nil {
+		s.sampleEvery = e.Opts.TraceSampleEvery
+	}
 	s.gateFanins = e.faninTable()
 	return s, nil
 }
@@ -178,6 +195,26 @@ func (s *searcher) trace(ev obs.Event) {
 	if t := s.eng.Opts.Tracer; t != nil {
 		t.Emit(ev)
 	}
+}
+
+// traceStep emits one sampled "step" event (Options.TraceSampleEvery):
+// the DFS depth, the current frame's 128-bit path signature, the worker
+// and — while re-descending a stolen prefix — the replay provenance.
+// The event (and its hex string) is built only when a tracer exists.
+func (s *searcher) traceStep() {
+	t := s.eng.Opts.Tracer
+	if t == nil {
+		return
+	}
+	ev := obs.Event{Kind: "step", Steps: s.steps, Depth: len(s.arcs),
+		Sig: s.pathSig.hex(), Worker: s.worker}
+	if s.start != nil {
+		ev.Input = s.start.Name
+	}
+	if s.replaying {
+		ev.Detail = "replay"
+	}
+	t.Emit(ev)
 }
 
 // progress fires the periodic progress callback.
@@ -273,7 +310,7 @@ func (s *searcher) searchFrom(in *netlist.Node) {
 	s.curRising = true
 	s.inputStart = s.steps
 	s.inputExhausted = false
-	s.trace(obs.Event{Kind: "input", Input: in.Name, Steps: s.steps})
+	s.trace(obs.Event{Kind: "input", Input: in.Name, Steps: s.steps, Worker: s.worker})
 	f := s.save()
 	if s.assign(in.ID, logic.DualTransition) {
 		s.pathNodes = append(s.pathNodes[:0], in.Name)
@@ -297,7 +334,10 @@ func (s *searcher) resumeUnit(in *netlist.Node, r *resumePoint) {
 	if r.hop >= 0 {
 		s.courseHops = r.hops
 	}
-	s.trace(obs.Event{Kind: "steal", Input: in.Name, Steps: s.steps})
+	if s.metrics != nil && !r.donated.IsZero() {
+		s.metrics.StealResumeNs.Observe(time.Since(r.donated))
+	}
+	s.trace(obs.Event{Kind: "resume", Input: in.Name, Steps: s.steps, Worker: s.worker})
 	f := s.save()
 	if s.assign(in.ID, logic.DualTransition) {
 		s.pathNodes = append(s.pathNodes[:0], in.Name)
@@ -559,6 +599,14 @@ func (s *searcher) feasibleCubes(ob obligation) []cube {
 // justification obligations queued for path completion, and cont runs if
 // no contradiction surfaced.
 func (s *searcher) withVector(g *netlist.Gate, vec cell.Vector, cont func()) {
+	// Decision-application latency (accounting, constraint save, side
+	// assertion and forward implication — the subtree under the decision
+	// is excluded). t0 stays zero, with no clock read, when metrics are
+	// off.
+	var t0 time.Time
+	if s.metrics != nil {
+		t0 = time.Now()
+	}
 	switch {
 	case s.replaying:
 		// Re-descending a stolen prefix: the donor already charged
@@ -604,6 +652,12 @@ func (s *searcher) withVector(g *netlist.Gate, vec cell.Vector, cont func()) {
 			return
 		}
 	}
+	if s.sampleEvery > 0 {
+		s.sampleTick++
+		if s.sampleTick%s.sampleEvery == 0 {
+			s.traceStep()
+		}
+	}
 	f := s.save()
 	// The paper applies steady values to the inputs of complex gates (the
 	// vector-dependent delay was characterized that way); simple gates
@@ -619,6 +673,9 @@ func (s *searcher) withVector(g *netlist.Gate, vec cell.Vector, cont func()) {
 			ok = false
 			break
 		}
+	}
+	if s.metrics != nil {
+		s.metrics.StepNs.Observe(time.Since(t0))
 	}
 	if ok {
 		cont()
@@ -749,6 +806,9 @@ func (s *searcher) maybeDonate() {
 			r.ref, r.vec = ref, vec
 		}
 		r.prefix = append([]Arc(nil), s.arcs[:fr.arcDepth]...)
+		if s.metrics != nil {
+			r.donated = time.Now()
+		}
 		if !s.sched.offer(s.worker, task{shard: s.curShard, resume: r}) {
 			return // deque full — keep the frame for a later poll
 		}
@@ -871,6 +931,12 @@ func (s *searcher) emit() {
 	}
 	s.seen[vsig] = struct{}{}
 	s.recorded++
+	// Emit cost is measured only past the dedupe check, so duplicate
+	// variants keep their zero-allocation, zero-clock contract.
+	var t0 time.Time
+	if s.metrics != nil {
+		t0 = time.Now()
+	}
 
 	cube := sim.InputCube{}
 	for _, in := range s.c.Inputs {
@@ -905,6 +971,9 @@ func (s *searcher) emit() {
 		if d, buf, err := s.eng.pathDelay(s.dscratch, p.Arcs, false); err == nil {
 			p.FallDelay, s.dscratch = d, buf
 		}
+	}
+	if s.metrics != nil {
+		s.metrics.EmitNs.Observe(time.Since(t0))
 	}
 	if s.eng.Opts.Tracer != nil {
 		edges := ""
@@ -958,8 +1027,7 @@ func (s *searcher) result() *Result {
 	sortPaths(s.paths)
 	courses, multi := countCourses(s.paths)
 	stats := s.statsSnapshot()
-	s.eng.lastStats = stats
-	s.eng.pathHint = int(s.recorded)
+	s.eng.publishStats(stats, int(s.recorded))
 	s.progress(true)
 	s.trace(obs.Event{Kind: "done", Steps: s.steps, N: s.recorded})
 	return &Result{

@@ -1,5 +1,7 @@
 package core
 
+import "fmt"
+
 // 128-bit path signatures. The record-path dedupe used to key a
 // map[string]bool with "course|vectors|cube|edges" strings rebuilt for
 // every justified variant — two string builders and a join per visit.
@@ -25,6 +27,13 @@ package core
 // the empty signature.
 type sig128 struct {
 	hi, lo uint64
+}
+
+// hex renders the signature as 32 hex digits — the frame identity
+// carried by sampled "step" trace events. Allocates; only called on the
+// sampled trace path, never during plain search.
+func (s sig128) hex() string {
+	return fmt.Sprintf("%016x%016x", s.hi, s.lo)
 }
 
 // mix64 is the splitmix64 finalizer — a cheap full-avalanche 64-bit

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tpsta/internal/obs"
 )
@@ -54,6 +55,10 @@ type resumePoint struct {
 	// search.
 	hop  int
 	hops []courseHop // course mode: the resolved course, shared read-only
+	// donated stamps the moment the subtree was offered — set only when
+	// Options.Metrics is on; resumeUnit observes the donation-to-resume
+	// latency from it.
+	donated time.Time
 }
 
 // stepBudget is the shared global sensitization-step budget of a
@@ -110,6 +115,11 @@ type sched struct {
 	budget  *stepBudget
 	agg     *progressAgg
 	gauges  *obs.WorkerGauges
+	// searchSpan is the enclosing search span ("enumerate"/"course"/
+	// "kworst"); worker spans parent to its ID, and finishParallel ends
+	// it — before the final "done" event, so "done" stays the last
+	// record of a trace. Set by newSched, read-only afterwards.
+	searchSpan obs.Span
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -140,8 +150,9 @@ type sched struct {
 
 // newSched seeds one root task per shard, round-robin across the
 // worker deques (the same static assignment PR 2 used, so the
-// no-stealing ablation mode reproduces it exactly).
-func newSched(e *Engine, shards, workers int) *sched {
+// no-stealing ablation mode reproduces it exactly). spanName names the
+// search span the run's worker spans parent to.
+func newSched(e *Engine, shards, workers int, spanName string) *sched {
 	d := &sched{
 		eng:     e,
 		workers: workers,
@@ -153,6 +164,7 @@ func newSched(e *Engine, shards, workers int) *sched {
 		pending: shards,
 		shards:  shards,
 	}
+	d.searchSpan = obs.StartSpan(e.Opts.Tracer, e.Opts.TraceParent, spanName)
 	d.cond = sync.NewCond(&d.mu)
 	for i := 0; i < shards; i++ {
 		w := i % workers
@@ -181,6 +193,11 @@ func (d *sched) offer(w int, t task) bool {
 	d.pending++
 	d.units.Add(1)
 	d.gauges.Donation()
+	// The "donate" event fires at exactly the gauge site, so an offline
+	// count over the trace reproduces ParallelStats.Donations.
+	if tr := d.eng.Opts.Tracer; tr != nil {
+		tr.Emit(obs.Event{Kind: "donate", Worker: w})
+	}
 	d.cond.Broadcast()
 	return true
 }
@@ -241,6 +258,17 @@ func (d *sched) steal(w int) (task, bool) {
 					d.subtreeSteals.Add(1)
 				}
 				d.gauges.Steal(w)
+				// The "steal" event fires at exactly the counter site:
+				// per-worker counts over the trace reproduce
+				// ParallelStats.StealsByWorker, and Detail splits them
+				// into the shard/subtree totals.
+				if tr := d.eng.Opts.Tracer; tr != nil {
+					detail := "shard"
+					if !wantRoot {
+						detail = "subtree"
+					}
+					tr.Emit(obs.Event{Kind: "steal", Worker: w, Detail: detail})
+				}
 				return t, true
 			}
 		}
@@ -276,6 +304,9 @@ type workerOutcome struct {
 // once per shard. prune, when non-nil, is the worker's forked K-worst
 // pruner (attached for the searcher's whole life).
 func (d *sched) runWorker(w int, prune *pruner, run func(*searcher, task)) workerOutcome {
+	tr := d.eng.Opts.Tracer
+	wsp := obs.StartSpan(tr, d.searchSpan.ID(), "worker").Worker(w)
+	defer wsp.End()
 	we := d.eng.workerEngine(d.agg.hook(w), d.workers)
 	s, err := newSearcher(we)
 	if err != nil {
@@ -314,7 +345,14 @@ func (d *sched) runWorker(w int, prune *pruner, run func(*searcher, task)) worke
 		}
 		stop := d.gauges.Busy(w)
 		s.curShard = t.shard
+		name := "shard"
+		if t.resume != nil {
+			name = "subtree"
+		}
+		usp := obs.StartSpan(tr, wsp.ID(), name).Worker(w)
+		steps0 := s.steps
 		run(s, t)
+		usp.Steps(s.steps - steps0).End()
 		stop()
 		d.finish()
 	}

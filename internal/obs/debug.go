@@ -22,12 +22,14 @@ func Publish(name string, f func() any) {
 }
 
 // ServeDebug starts an HTTP server on addr exposing the process expvars
-// at /debug/vars and the pprof profile family under /debug/pprof/. It
-// returns the bound address (useful with ":0") and never blocks; the
+// at /debug/vars, the pprof profile family under /debug/pprof/, and the
+// OpenMetrics exposition of every RegisterMetrics source at /metrics.
+// It returns the bound address (useful with ":0") and never blocks; the
 // server runs until the process exits.
 func ServeDebug(addr string) (string, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", MetricsHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

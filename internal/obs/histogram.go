@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free fixed-bucket latency histogram. The buckets
+// are log2-spaced nanosecond ranges: bucket i holds observations whose
+// value v satisfies bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i), with
+// bucket 0 holding exact zeros and the last bucket absorbing overflow.
+// Observe is a couple of atomic adds — no locks, no allocation — so
+// hot paths may call it from many goroutines concurrently; Snapshot
+// readers see a consistent-enough view (per-bucket counts are exact,
+// cross-bucket skew is bounded by in-flight observations).
+//
+// The layout trades resolution for speed: ~2x relative error per
+// bucket, which is plenty for the latency distributions the engine
+// records (step latency, steal-to-resume latency, per-path emit cost,
+// kernel rebuilds) and keeps the type a flat value — embeddable in a
+// metrics struct with zero pointers, safe to publish by address.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64 // total observed nanoseconds
+}
+
+// histBuckets covers [0, 2^47) ns ≈ 39 hours before overflow clamping.
+const histBuckets = 48
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
+
+// ObserveNs records one latency in nanoseconds.
+func (h *Histogram) ObserveNs(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(ns)
+}
+
+// Start begins one measurement; the returned stop function records the
+// elapsed time. Pair it with defer (the obscheck analyzer flags a
+// discarded stop function).
+func (h *Histogram) Start() func() time.Duration {
+	t0 := time.Now()
+	return func() time.Duration {
+		d := time.Since(t0)
+		h.Observe(d)
+		return d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	n := int64(0)
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// SumNs returns the total observed nanoseconds.
+func (h *Histogram) SumNs() int64 { return h.sum.Load() }
+
+// bucketUpper returns the exclusive upper bound of bucket i in ns.
+func bucketUpper(i int) float64 {
+	if i == 0 {
+		return 1 // bucket 0 holds exact zeros
+	}
+	return math.Ldexp(1, i) // 2^i
+}
+
+// bucketLower returns the inclusive lower bound of bucket i in ns.
+func bucketLower(i int) float64 {
+	if i == 0 {
+		return 0
+	}
+	return math.Ldexp(1, i-1)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) in nanoseconds,
+// interpolated linearly within the containing bucket. 0 when the
+// histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return quantileFrom(counts[:], total, q)
+}
+
+// quantileFrom computes a quantile over a loaded bucket array.
+func quantileFrom(counts []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	seen := int64(0)
+	for i := range counts {
+		if counts[i] == 0 {
+			continue
+		}
+		if seen+counts[i] >= rank {
+			lo, hi := bucketLower(i), bucketUpper(i)
+			frac := float64(rank-seen) / float64(counts[i])
+			return lo + frac*(hi-lo)
+		}
+		seen += counts[i]
+	}
+	return bucketUpper(len(counts) - 1)
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot: Count
+// observations with values below UpperNs (exclusive).
+type HistogramBucket struct {
+	UpperNs float64 `json:"upperNs"`
+	Count   int64   `json:"count"`
+}
+
+// HistogramStat is the snapshot form of a Histogram: summary
+// statistics plus the non-empty buckets (cumulative counts are derived
+// by consumers — the OpenMetrics exposition and obsreport).
+type HistogramStat struct {
+	Count   int64             `json:"count"`
+	SumNs   int64             `json:"sum_ns"`
+	MeanNs  float64           `json:"mean_ns"`
+	P50Ns   float64           `json:"p50_ns"`
+	P90Ns   float64           `json:"p90_ns"`
+	P99Ns   float64           `json:"p99_ns"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Stat snapshots the histogram: one pass over the buckets, quantiles
+// computed from the same loaded view so they are mutually consistent.
+func (h *Histogram) Stat() HistogramStat {
+	var counts [histBuckets]int64
+	st := HistogramStat{SumNs: h.sum.Load()}
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		st.Count += counts[i]
+	}
+	if st.Count == 0 {
+		return st
+	}
+	st.MeanNs = float64(st.SumNs) / float64(st.Count)
+	st.P50Ns = quantileFrom(counts[:], st.Count, 0.50)
+	st.P90Ns = quantileFrom(counts[:], st.Count, 0.90)
+	st.P99Ns = quantileFrom(counts[:], st.Count, 0.99)
+	for i, c := range counts {
+		if c > 0 {
+			st.Buckets = append(st.Buckets, HistogramBucket{UpperNs: bucketUpper(i), Count: c})
+		}
+	}
+	return st
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.ObserveNs(0)    // bucket 0
+	h.ObserveNs(1)    // bucket 1
+	h.ObserveNs(3)    // bucket 2
+	h.ObserveNs(1024) // bucket 11
+	h.ObserveNs(-5)   // clamps to 0, bucket 0
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.SumNs(); got != 1028 {
+		t.Fatalf("sum = %d, want 1028", got)
+	}
+	st := h.Stat()
+	if st.Count != 5 || st.SumNs != 1028 {
+		t.Fatalf("stat = %+v", st)
+	}
+	// Buckets 0 (two zeros), 1, 2 and 11 are non-empty.
+	if len(st.Buckets) != 4 {
+		t.Fatalf("non-empty buckets = %d (%+v), want 4", len(st.Buckets), st.Buckets)
+	}
+	if st.Buckets[0].Count != 2 {
+		t.Fatalf("zero bucket count = %d, want 2", st.Buckets[0].Count)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 observations near 100ns, 10 near 100µs: p50 must sit in the
+	// low bucket, p99 in the high one.
+	for i := 0; i < 90; i++ {
+		h.ObserveNs(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.ObserveNs(100_000)
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 < 64 || p50 > 128 {
+		t.Errorf("p50 = %g, want within bucket [64,128)", p50)
+	}
+	if p99 < 65536 || p99 > 131072 {
+		t.Errorf("p99 = %g, want within bucket [65536,131072)", p99)
+	}
+	// stalint:ignore floatcmp the empty-histogram quantile is exactly 0 by contract
+	if got := (&Histogram{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	st := h.Stat()
+	// stalint:ignore floatcmp Stat must return the same computed values as Quantile
+	if st.P50Ns != p50 || st.P99Ns != p99 {
+		t.Errorf("Stat quantiles (%g, %g) disagree with Quantile (%g, %g)",
+			st.P50Ns, st.P99Ns, p50, p99)
+	}
+	// stalint:ignore floatcmp exact integer arithmetic: 90*100 + 10*100000
+	if st.MeanNs != float64(h.SumNs())/100 {
+		t.Errorf("mean = %g, want %g", st.MeanNs, float64(h.SumNs())/100)
+	}
+}
+
+func TestHistogramOverflowClamps(t *testing.T) {
+	var h Histogram
+	h.ObserveNs(1 << 60) // far past the last bucket
+	st := h.Stat()
+	if st.Count != 1 || len(st.Buckets) != 1 {
+		t.Fatalf("stat = %+v", st)
+	}
+	// stalint:ignore floatcmp bucket bounds are exact powers of two
+	if got := st.Buckets[0].UpperNs; got != bucketUpper(histBuckets-1) {
+		t.Fatalf("overflow landed in bucket with upper %g", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveNs(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramStart(t *testing.T) {
+	var h Histogram
+	stop := h.Start()
+	time.Sleep(time.Millisecond)
+	d := stop()
+	if d < time.Millisecond {
+		t.Fatalf("elapsed %v, want >= 1ms", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+}

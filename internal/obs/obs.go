@@ -80,36 +80,51 @@ func (t *Timer) Count() int64 { return t.n.Load() }
 // Seconds returns the accumulated duration in seconds.
 func (t *Timer) Seconds() float64 { return t.Total().Seconds() }
 
-// TimerStat is the snapshot form of a Timer.
+// MeanNs returns the mean observation in nanoseconds (0 when nothing
+// was observed — the snapshot path guards the division the same way).
+func (t *Timer) MeanNs() float64 {
+	n := t.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(t.ns.Load()) / float64(n)
+}
+
+// TimerStat is the snapshot form of a Timer. MeanNs is derived at
+// snapshot time (total ns / count, 0 when the timer never fired).
 type TimerStat struct {
 	Seconds float64 `json:"seconds"`
 	Count   int64   `json:"count"`
+	MeanNs  float64 `json:"mean_ns"`
 }
 
 // Snapshot is a point-in-time copy of a Set, JSON-serializable with
 // deterministic (sorted) key order.
 type Snapshot struct {
-	Counters map[string]int64     `json:"counters,omitempty"`
-	Timers   map[string]TimerStat `json:"timers,omitempty"`
-	Gauges   map[string]int64     `json:"gauges,omitempty"`
+	Counters   map[string]int64         `json:"counters,omitempty"`
+	Timers     map[string]TimerStat     `json:"timers,omitempty"`
+	Gauges     map[string]int64         `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStat `json:"histograms,omitempty"`
 }
 
 // Set is a named collection of instruments. Instruments are created on
 // first use and live for the Set's lifetime, so hot paths can hold the
 // returned pointers and never touch the map again.
 type Set struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	timers   map[string]*Timer
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	timers     map[string]*Timer
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewSet returns an empty Set.
 func NewSet() *Set {
 	return &Set{
-		counters: map[string]*Counter{},
-		timers:   map[string]*Timer{},
-		gauges:   map[string]*Gauge{},
+		counters:   map[string]*Counter{},
+		timers:     map[string]*Timer{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
 	}
 }
 
@@ -149,6 +164,18 @@ func (s *Set) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the named histogram, creating it if needed.
+func (s *Set) Histogram(name string) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		s.histograms[name] = h
+	}
+	return h
+}
+
 // Snapshot copies the current values.
 func (s *Set) Snapshot() Snapshot {
 	s.mu.Lock()
@@ -163,13 +190,19 @@ func (s *Set) Snapshot() Snapshot {
 	if len(s.timers) > 0 {
 		snap.Timers = make(map[string]TimerStat, len(s.timers))
 		for k, t := range s.timers {
-			snap.Timers[k] = TimerStat{Seconds: t.Seconds(), Count: t.Count()}
+			snap.Timers[k] = TimerStat{Seconds: t.Seconds(), Count: t.Count(), MeanNs: t.MeanNs()}
 		}
 	}
 	if len(s.gauges) > 0 {
 		snap.Gauges = make(map[string]int64, len(s.gauges))
 		for k, g := range s.gauges {
 			snap.Gauges[k] = g.Load()
+		}
+	}
+	if len(s.histograms) > 0 {
+		snap.Histograms = make(map[string]HistogramStat, len(s.histograms))
+		for k, h := range s.histograms {
+			snap.Histograms[k] = h.Stat()
 		}
 	}
 	return snap

@@ -61,6 +61,39 @@ func TestTimer(t *testing.T) {
 	}
 }
 
+func TestTimerMeanNs(t *testing.T) {
+	var tm Timer
+	// Zero observations must not divide: mean is defined as 0.
+	// stalint:ignore floatcmp the empty-timer mean is exactly 0 by contract
+	if got := tm.MeanNs(); got != 0 {
+		t.Fatalf("empty timer mean = %g, want 0", got)
+	}
+	tm.Observe(100 * time.Nanosecond)
+	tm.Observe(300 * time.Nanosecond)
+	// stalint:ignore floatcmp exact integer arithmetic: (100+300)/2
+	if got := tm.MeanNs(); got != 200 {
+		t.Fatalf("mean = %g, want 200", got)
+	}
+
+	s := NewSet()
+	const testIdle = "test.idle"
+	s.Timer(testIdle) // registered but never observed
+	s.Timer(testFit).Observe(4 * time.Nanosecond)
+	snap := s.Snapshot()
+	// stalint:ignore floatcmp exact integer nanosecond counts
+	if snap.Timers[testIdle].MeanNs != 0 || snap.Timers[testFit].MeanNs != 4 {
+		t.Fatalf("snapshot means = %+v", snap.Timers)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"mean_ns"`) {
+		t.Fatalf("JSON snapshot lacks mean_ns: %s", buf.String())
+	}
+}
+
 func TestTimerConcurrent(t *testing.T) {
 	var tm Timer
 	var wg sync.WaitGroup

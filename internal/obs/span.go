@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Hierarchical spans. A Span is one timed frame of a run — the whole
+// run, one phase, one worker's lifetime, one scheduled shard or donated
+// subtree — emitted to a Tracer as a structured "span" event when it
+// ends. Parent IDs link the frames into a tree, so a JSONL trace
+// becomes navigable: run → enumerate → worker[i] → shard/subtree
+// (cmd/obsreport renders the timeline and the critical chain offline).
+//
+// Spans replace the flat Phases stopwatch for tracing: Phases only
+// accumulated name → seconds, spans keep identity, nesting and worker
+// attribution. Span is a small value type, Start/End never allocate on
+// the heap, and a nil Tracer makes both no-ops, so span points may sit
+// on paths that are hot when tracing is off.
+
+// SpanID identifies one span within a process. 0 is "no span" — the
+// root parent and the ID of a disabled span.
+type SpanID uint64
+
+// spanIDs allocates process-unique span IDs (shared across tracers; a
+// trace file never sees a duplicate even if two engines interleave).
+var spanIDs atomic.Uint64
+
+// Span is one in-flight timed frame. The zero value is disabled: End
+// is a no-op and ID returns 0.
+type Span struct {
+	t      Tracer
+	id     SpanID
+	parent SpanID
+	name   string
+	worker int
+	steps  int64
+	start  time.Time
+}
+
+// StartSpan opens a span under parent (0 for a root) and starts its
+// clock. With a nil tracer it returns the disabled zero Span without
+// reading the clock — zero cost on untraced runs.
+func StartSpan(t Tracer, parent SpanID, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{
+		t:      t,
+		id:     SpanID(spanIDs.Add(1)),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// Worker returns a copy of the span attributed to worker w (0-based).
+// Call it before End; the attribution rides on the emitted event.
+func (s Span) Worker(w int) Span {
+	s.worker = w
+	return s
+}
+
+// Steps returns a copy of the span carrying a work count (sensitization
+// attempts) on its completion event — shard and subtree spans report the
+// steps they consumed so obsreport can rank hot subtrees. Call it before
+// End.
+func (s Span) Steps(n int64) Span {
+	s.steps = n
+	return s
+}
+
+// ID returns the span's identity for use as a child's parent (0 when
+// the span is disabled).
+func (s Span) ID() SpanID { return s.id }
+
+// End stops the clock and emits the span event. The event's T stamp is
+// the span's end; its start is T − DurNs. No-op on a disabled span.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.Emit(Event{
+		Kind:   "span",
+		Name:   s.name,
+		Span:   uint64(s.id),
+		Parent: uint64(s.parent),
+		DurNs:  int64(time.Since(s.start)),
+		Worker: s.worker,
+		Steps:  s.steps,
+	})
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// collectTracer buffers events for inspection.
+type collectTracer struct{ events []Event }
+
+func (c *collectTracer) Emit(ev Event) { c.events = append(c.events, ev) }
+
+func TestSpanTree(t *testing.T) {
+	tr := &collectTracer{}
+	run := StartSpan(tr, 0, "run")
+	child := StartSpan(tr, run.ID(), "search").Worker(3)
+	grand := StartSpan(tr, child.ID(), "shard")
+	grand.End()
+	child.End()
+	run.End()
+
+	if len(tr.events) != 3 {
+		t.Fatalf("emitted %d events, want 3", len(tr.events))
+	}
+	// Spans emit at End, so the order is leaf-first.
+	g, c, r := tr.events[0], tr.events[1], tr.events[2]
+	if g.Name != "shard" || c.Name != "search" || r.Name != "run" {
+		t.Fatalf("span names = %s, %s, %s", g.Name, c.Name, r.Name)
+	}
+	if g.Parent != c.Span || c.Parent != r.Span || r.Parent != 0 {
+		t.Fatalf("broken parent chain: %+v", tr.events)
+	}
+	if g.Span == c.Span || c.Span == r.Span {
+		t.Fatal("span IDs are not unique")
+	}
+	if c.Worker != 3 {
+		t.Fatalf("worker attribution = %d, want 3", c.Worker)
+	}
+	for _, ev := range tr.events {
+		if ev.Kind != "span" || ev.DurNs < 0 {
+			t.Fatalf("bad span event %+v", ev)
+		}
+	}
+}
+
+func TestSpanDisabledZeroCost(t *testing.T) {
+	s := StartSpan(nil, 0, "off")
+	if s.ID() != 0 {
+		t.Fatal("disabled span has a non-zero ID")
+	}
+	s.End() // must not panic
+	child := StartSpan(nil, s.ID(), "child")
+	child.End()
+
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := StartSpan(nil, 0, "hot")
+		sp.End()
+	})
+	if allocs > 0 {
+		t.Errorf("disabled span start/end allocates %.1f objects, want 0", allocs)
+	}
+}
+
+func TestSpanJSONLRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONL(&buf)
+	sp := StartSpan(tr, 0, "run")
+	StartSpan(tr, sp.ID(), "load").End()
+	sp.End()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	var load Event
+	if err := json.Unmarshal([]byte(lines[0]), &load); err != nil {
+		t.Fatal(err)
+	}
+	if load.Kind != "span" || load.Name != "load" || load.Parent != uint64(sp.ID()) {
+		t.Fatalf("load span = %+v", load)
+	}
+}

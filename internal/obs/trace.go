@@ -18,6 +18,23 @@ import (
 //	"kernels"  — the run-specialized delay-kernel table was built
 //	             (N = arcs specialized, Detail = terms and cells)
 //	"done"     — the search finished (Steps, N = paths recorded)
+//	"span"     — a hierarchical span ended (Name, Span, Parent, DurNs,
+//	             Worker; see StartSpan). T is the span's end; start is
+//	             T − DurNs seconds.
+//	"donate"   — a busy worker donated a DFS subtree (Worker = donor,
+//	             Input, Steps)
+//	"steal"    — an idle worker took a unit from a peer's deque
+//	             (Worker = thief, Detail = "shard" or "subtree")
+//	"resume"   — a worker began replaying a donated subtree (Input,
+//	             Worker, Steps)
+//	"step"     — sampled search step (Options.TraceSampleEvery): Depth
+//	             is the DFS arc depth, Sig the frame's 128-bit path
+//	             signature (hex), Input the launch point, Worker the
+//	             searcher, Detail "replay" while re-descending a stolen
+//	             prefix
+//
+// Worker is 0-based and omitted when zero: a missing worker field
+// means worker 0 (or the serial searcher).
 type Event struct {
 	// T is seconds since the tracer was created (stamped by the sink,
 	// not the engine).
@@ -30,6 +47,22 @@ type Event struct {
 	Steps   int64   `json:"steps,omitempty"`
 	N       int64   `json:"n,omitempty"`
 	Detail  string  `json:"detail,omitempty"`
+
+	// Span fields (Kind "span"): identity, tree link, duration and the
+	// span's name (e.g. "run", "enumerate", "worker", "shard",
+	// "subtree").
+	Name   string `json:"name,omitempty"`
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	DurNs  int64  `json:"durNs,omitempty"`
+
+	// Worker attributes the event to one pool worker (0-based,
+	// omitted when 0).
+	Worker int `json:"worker,omitempty"`
+
+	// Sampled-step fields (Kind "step").
+	Depth int    `json:"depth,omitempty"`
+	Sig   string `json:"sig,omitempty"`
 }
 
 // Tracer consumes structured search events. Engines call Emit only at

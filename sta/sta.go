@@ -144,6 +144,22 @@ type (
 	Tracer = obs.Tracer
 	// TraceEvent is one structured search event.
 	TraceEvent = obs.Event
+	// Span is one hierarchical timed frame of a traced run; see
+	// StartSpan. Link engine searches under a root span via
+	// EngineOptions.TraceParent.
+	Span = obs.Span
+	// SpanID identifies a span within a process (0 = no parent).
+	SpanID = obs.SpanID
+	// Histogram is a lock-free fixed-bucket latency histogram
+	// (log2-spaced nanosecond buckets, atomic counters).
+	Histogram = obs.Histogram
+	// HistogramStat is a histogram snapshot with count, sum and
+	// interpolated p50/p90/p99.
+	HistogramStat = obs.HistogramStat
+	// EngineMetrics is the optional histogram bundle of a search run
+	// (EngineOptions.Metrics): step latency, steal-to-resume latency,
+	// per-path emit cost and kernel build time.
+	EngineMetrics = core.Metrics
 )
 
 // Truncation causes (see TruncReason).
@@ -159,9 +175,20 @@ const (
 func NewJSONLTracer(w io.Writer) *obs.JSONL { return obs.NewJSONL(w) }
 
 // ServeDebug starts an HTTP server on addr exposing expvar at
-// /debug/vars and pprof under /debug/pprof/, returning the bound
-// address (useful with ":0").
+// /debug/vars, pprof under /debug/pprof/ and OpenMetrics text at
+// /metrics, returning the bound address (useful with ":0").
 func ServeDebug(addr string) (string, error) { return obs.ServeDebug(addr) }
+
+// ServeMetrics starts an HTTP server on addr exposing only the
+// OpenMetrics text endpoint at /metrics, returning the bound address.
+// Register an engine's counters and histograms with
+// Engine.RegisterMetrics before or after starting it.
+func ServeMetrics(addr string) (string, error) { return obs.ServeMetrics(addr) }
+
+// StartSpan opens a hierarchical span under parent (0 for a root) on
+// tracer t; call End on the returned span. With a nil tracer every
+// span operation is a free no-op.
+func StartSpan(t Tracer, parent SpanID, name string) Span { return obs.StartSpan(t, parent, name) }
 
 // Technologies returns the three built-in technology cards.
 func Technologies() []*Tech { return tech.All() }

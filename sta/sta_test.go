@@ -2,6 +2,8 @@ package sta_test
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 
@@ -219,5 +221,65 @@ func TestPublicExtensions(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "digraph") {
 		t.Error("dot header missing")
+	}
+}
+
+// TestPublicObservability exercises the obs v2 facade surface: spans
+// parenting an engine search, the metrics histogram bundle, and the
+// OpenMetrics endpoint serving the engine's registered source.
+func TestPublicObservability(t *testing.T) {
+	cir, err := sta.BuiltinCircuit("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr := sta.NewJSONLTracer(&buf)
+	root := sta.StartSpan(tr, 0, "run")
+	metrics := &sta.EngineMetrics{}
+	eng := sta.NewEngine(cir, nil, nil, sta.EngineOptions{
+		Tracer:      tr,
+		TraceParent: root.ID(),
+		Metrics:     metrics,
+	})
+	if _, err := eng.Enumerate(); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.StepNs.Count() == 0 {
+		t.Error("step histogram collected nothing")
+	}
+	if st := metrics.StepNs.Stat(); st.Count != metrics.StepNs.Count() {
+		t.Errorf("histogram stat count %d != live count %d", st.Count, metrics.StepNs.Count())
+	}
+	if !strings.Contains(buf.String(), `"name":"enumerate"`) {
+		t.Error("trace lacks the enumerate span")
+	}
+
+	eng.RegisterMetrics("sta.test")
+	addr, err := sta.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Header.Get("Content-Type"), "openmetrics-text") {
+		t.Errorf("content type = %q", resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(string(body), "tpsta_core_step_ns_seconds_bucket") &&
+		!strings.Contains(string(body), "tpsta_core_step_ns_bucket") {
+		t.Errorf("exposition lacks the step histogram:\n%s", body)
+	}
+	if !strings.HasSuffix(string(body), "# EOF\n") {
+		t.Error("exposition does not end with # EOF")
 	}
 }
