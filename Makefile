@@ -18,25 +18,29 @@ lint:
 
 # check is the pre-commit gate: static analysis, the race-sensitive
 # packages (the instrumentation layer, the parallel search engine and
-# the shared cell/library caches it touches) under the race detector,
-# and a short fuzz smoke of the Verilog parser.
+# the shared cell/library caches it touches) under the race detector —
+# which includes the learning differential suite and its lock-free
+# nogood exchange — and short fuzz smokes of the Verilog parser and the
+# nogood soundness property.
 check: lint
 	$(GO) test -race ./internal/obs ./internal/core ./internal/cell ./internal/charlib
 	$(GO) test -run '^$$' -fuzz '^FuzzVerilog$$' -fuzztime 10s ./internal/netlist
+	$(GO) test -run '^$$' -fuzz '^FuzzNogood$$' -fuzztime 10s ./internal/core
 
 race:
 	$(GO) test -race ./...
 
 # bench measures the delay-kernel hot path (ArcDelays before/after the
-# run-specialized kernels, plus the delay-mode K-worst search) and the
+# run-specialized kernels, plus the delay-mode K-worst search), the
 # work-stealing scheduler (serial vs static sharding vs stealing on the
-# skewed topology, plus the string-free dedupe record path), records the
-# numbers as BENCH_delay_kernels.json and BENCH_work_stealing.json via
-# cmd/benchjson, then runs the paper-table benchmarks of the root
-# package once.
+# skewed topology, plus the string-free dedupe record path), the obs
+# instrumentation overhead and the nogood-learning step reduction,
+# records the numbers as BENCH_*.json artifacts via cmd/benchjson, then
+# runs the paper-table benchmarks of the root package once.
 KERNEL_BENCH = -run '^$$' -bench 'BenchmarkArcDelays|BenchmarkKWorstDelay' -benchtime 2000x ./internal/core
 STEAL_BENCH = -run '^$$' -bench 'BenchmarkWorkStealing|BenchmarkDedupeEmit' -benchtime 10x -benchmem ./internal/core
 OBS_BENCH = -run '^$$' -bench 'BenchmarkObsOverhead' -benchtime 10x -benchmem ./internal/core
+LEARN_BENCH = -run '^$$' -bench 'BenchmarkNogoodLearning' -benchtime 5x ./internal/core
 bench:
 	$(GO) test $(KERNEL_BENCH) | $(GO) run ./cmd/benchjson \
 		-artifact "run-specialized delay kernels" \
@@ -59,6 +63,13 @@ bench:
 		-workload "modes=off (nil tracer/metrics, the production default); metrics (four step histograms: two clock reads + two atomic adds per step); sampled (JSONL tracer to io.Discard, every 64th step recorded)" \
 		-note "off is the contract figure: the zero-alloc tests (TestSearchStepDisabledZeroAlloc, TestEmitDedupeZeroAllocs) pin its per-step allocation count at zero, so off-mode ns/op must track the uninstrumented PR 5 baseline. metrics and sampled are the prices of turning the dials on; their allocs/op deltas are the tracer's buffers and sampled step events, never the disabled path." \
 		-out BENCH_obs_overhead.json
+	$(GO) test $(LEARN_BENCH) | $(GO) run ./cmd/benchjson \
+		-artifact "conflict-driven nogood learning step reduction" \
+		-command "go test $(LEARN_BENCH)" \
+		-workload "circuits=mult (circuits.Multiplier width 4, the reconvergent c6288-class array); skew (circuits.Skewed: 3 deep launch cones + 8 shallow inputs)" \
+		-workload "modes=off (Options.Learning false); learn (conflict-driven nogood learning, serial search so steps/op is deterministic)" \
+		-note "steps/op is the contract figure: the exact number of charged sensitization attempts per full enumeration, deterministic at Workers=1, with the emitted paths byte-identical between the modes (the learning differential suite pins this). The off->learn drop is the subtree volume the learned clauses prune before it is charged; the multiplier must stay >= 20% fewer. ns/op is recorded honestly but is not the headline: the pruned subtrees are the cheap fail-fast ones, so on circuits this size the recording re-runs roughly offset the pruned work in wall time — the step reduction is what scales with circuit depth." \
+		-out BENCH_nogood_learning.json
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # bench-compare re-measures the recorded benchmark suites and fails on
@@ -70,6 +81,7 @@ bench-compare:
 	$(GO) test $(KERNEL_BENCH) | $(GO) run ./cmd/benchjson -compare BENCH_delay_kernels.json
 	$(GO) test $(STEAL_BENCH) | $(GO) run ./cmd/benchjson -compare BENCH_work_stealing.json
 	$(GO) test $(OBS_BENCH) | $(GO) run ./cmd/benchjson -compare BENCH_obs_overhead.json
+	$(GO) test $(LEARN_BENCH) | $(GO) run ./cmd/benchjson -compare BENCH_nogood_learning.json
 
 # bench-smoke compiles and runs every benchmark in the repository once —
 # the CI gate that keeps benchmark code from rotting uncompiled.

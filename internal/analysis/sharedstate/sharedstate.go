@@ -37,6 +37,14 @@
 // helpers whose caller holds the lock are suppressed with
 // `// stalint:ignore sharedstate <why>`.
 //
+// A stricter marker, `stalint:frozen`, declares a type immutable after
+// construction — the shape the conflict-learning exchange publishes
+// through atomic snapshot pointers (core's nogoodExport/nogoodSnap):
+// readers are lock-free, so there is no lock that could make a later
+// write safe. For frozen types every write outside a constructor
+// (new*/New*/init) is a diagnostic; the sync.Once and mutex-guard
+// exemptions do not apply.
+//
 // The check is intra-package by design: shared fields are unexported,
 // so all writes live in the declaring package.
 package sharedstate
@@ -56,12 +64,24 @@ import (
 // Marker is the doc-comment word that opts a type into the check.
 const Marker = "stalint:shared"
 
+// FrozenMarker opts a type into the strict immutable-after-construction
+// variant: no mutex or sync.Once exemption.
+const FrozenMarker = "stalint:frozen"
+
+// writeMode distinguishes the two annotation strengths.
+type writeMode int
+
+const (
+	modeShared writeMode = iota // guarded mutation allowed
+	modeFrozen                  // constructor-only, no exemptions
+)
+
 // Analyzer is the sharedstate pass.
 const name = "sharedstate"
 
 var Analyzer = &analysis.Analyzer{
 	Name:     name,
-	Doc:      "writes to stalint:shared types must stay inside constructors or sync.Once",
+	Doc:      "writes to stalint:shared types must stay inside constructors or sync.Once; stalint:frozen types are constructor-only",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      run,
 }
@@ -102,9 +122,10 @@ func run(pass *analysis.Pass) (interface{}, error) {
 }
 
 // sharedTypes collects the named struct types in this package whose
-// declaration carries the stalint:shared marker.
-func sharedTypes(pass *analysis.Pass) map[types.Object]bool {
-	shared := map[types.Object]bool{}
+// declaration carries the stalint:shared or stalint:frozen marker,
+// mapped to the annotation strength.
+func sharedTypes(pass *analysis.Pass) map[types.Object]writeMode {
+	shared := map[types.Object]writeMode{}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			gd, ok := decl.(*ast.GenDecl)
@@ -116,12 +137,19 @@ func sharedTypes(pass *analysis.Pass) map[types.Object]bool {
 				if !ok {
 					continue
 				}
-				if ignore.DocHasMarker(gd.Doc, Marker) ||
+				obj := pass.TypesInfo.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				switch {
+				case ignore.DocHasMarker(gd.Doc, FrozenMarker) ||
+					ignore.DocHasMarker(ts.Doc, FrozenMarker) ||
+					ignore.DocHasMarker(ts.Comment, FrozenMarker):
+					shared[obj] = modeFrozen
+				case ignore.DocHasMarker(gd.Doc, Marker) ||
 					ignore.DocHasMarker(ts.Doc, Marker) ||
-					ignore.DocHasMarker(ts.Comment, Marker) {
-					if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
-						shared[obj] = true
-					}
+					ignore.DocHasMarker(ts.Comment, Marker):
+					shared[obj] = modeShared
 				}
 			}
 		}
@@ -129,29 +157,34 @@ func sharedTypes(pass *analysis.Pass) map[types.Object]bool {
 	return shared
 }
 
-// checkWrite reports lhs when it stores into a field of a shared type
-// from a disallowed context.
-func checkWrite(pass *analysis.Pass, ix *ignore.Index, shared map[types.Object]bool, lhs ast.Expr, stack []ast.Node) {
-	sel, field := sharedField(pass, shared, lhs)
+// checkWrite reports lhs when it stores into a field of a shared or
+// frozen type from a disallowed context.
+func checkWrite(pass *analysis.Pass, ix *ignore.Index, shared map[types.Object]writeMode, lhs ast.Expr, stack []ast.Node) {
+	sel, field, mode := sharedField(pass, shared, lhs)
 	if sel == nil {
 		return
 	}
-	if allowedContext(pass, stack) {
+	if allowedContext(pass, stack, mode) {
 		return
 	}
-	if mutexGuarded(pass, sel, lhs, stack) {
+	if mode == modeShared && mutexGuarded(pass, sel, lhs, stack) {
 		return
 	}
 	owner := ownerName(pass, sel)
+	if mode == modeFrozen {
+		ix.Reportf(lhs.Pos(), "write to %s of frozen type %s outside its constructor (see stalint:frozen)",
+			field, owner)
+		return
+	}
 	ix.Reportf(lhs.Pos(), "write to %s of shared type %s outside a constructor or sync.Once (see stalint:shared)",
 		field, owner)
 }
 
 // sharedField unwraps index/slice/star/paren layers off lhs and
-// reports the selector that targets a field of an annotated type, plus
-// the field name. It returns (nil, "") when lhs does not touch shared
-// state.
-func sharedField(pass *analysis.Pass, shared map[types.Object]bool, lhs ast.Expr) (*ast.SelectorExpr, string) {
+// reports the selector that targets a field of an annotated type, the
+// field name and the annotation strength. It returns (nil, "", 0) when
+// lhs does not touch annotated state.
+func sharedField(pass *analysis.Pass, shared map[types.Object]writeMode, lhs ast.Expr) (*ast.SelectorExpr, string, writeMode) {
 	for {
 		switch e := lhs.(type) {
 		case *ast.ParenExpr:
@@ -163,21 +196,21 @@ func sharedField(pass *analysis.Pass, shared map[types.Object]bool, lhs ast.Expr
 		case *ast.StarExpr:
 			lhs = e.X
 		case *ast.SelectorExpr:
-			if ownedByShared(pass, shared, e.X) {
-				return e, e.Sel.Name
+			if mode, ok := ownedByShared(pass, shared, e.X); ok {
+				return e, e.Sel.Name, mode
 			}
 			// x.a.b: the outer selector's base may itself be a shared
 			// field chain.
 			lhs = e.X
 		default:
-			return nil, ""
+			return nil, "", modeShared
 		}
 	}
 }
 
 // ownedByShared reports whether expr's type (through pointers and
-// aliases) is one of the annotated named types.
-func ownedByShared(pass *analysis.Pass, shared map[types.Object]bool, expr ast.Expr) bool {
+// aliases) is one of the annotated named types, and at which strength.
+func ownedByShared(pass *analysis.Pass, shared map[types.Object]writeMode, expr ast.Expr) (writeMode, bool) {
 	t := pass.TypesInfo.TypeOf(expr)
 	for t != nil {
 		if p, ok := t.Underlying().(*types.Pointer); ok {
@@ -188,18 +221,20 @@ func ownedByShared(pass *analysis.Pass, shared map[types.Object]bool, expr ast.E
 	}
 	named, ok := types.Unalias(t).(*types.Named)
 	if !ok {
-		return false
+		return modeShared, false
 	}
-	return shared[named.Obj()]
+	mode, ok := shared[named.Obj()]
+	return mode, ok
 }
 
 // allowedContext walks the enclosing nodes innermost-first and reports
-// whether the write sits in constructor scope or under sync.Once.
-func allowedContext(pass *analysis.Pass, stack []ast.Node) bool {
+// whether the write sits in constructor scope — or, for merely shared
+// (not frozen) types, under sync.Once.
+func allowedContext(pass *analysis.Pass, stack []ast.Node, mode writeMode) bool {
 	for i := len(stack) - 1; i >= 0; i-- {
 		switch n := stack[i].(type) {
 		case *ast.FuncLit:
-			if i > 0 && isOnceDoArg(pass, stack[i-1], n) {
+			if mode == modeShared && i > 0 && isOnceDoArg(pass, stack[i-1], n) {
 				return true
 			}
 			// Other literals inherit their enclosing function's verdict:

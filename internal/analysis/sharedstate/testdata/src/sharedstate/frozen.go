@@ -1,0 +1,66 @@
+// Fixture for the stalint:frozen marker: immutable after construction,
+// published through atomic snapshot pointers and read lock-free — no
+// mutex or sync.Once can make a later write safe.
+package sharedstate
+
+import "sync"
+
+// export is one published clause: constructor-only writes.
+//
+// stalint:frozen
+type export struct {
+	key   uint64
+	conds []int
+}
+
+// snap is a published board state.
+//
+// stalint:frozen
+type snap struct {
+	list []export
+	mu   sync.Mutex
+}
+
+// newExport is constructor scope: writes allowed.
+func newExport(key uint64, n int) *export {
+	e := &export{}
+	e.key = key
+	e.conds = make([]int, n)
+	e.conds[0] = 1
+	return e
+}
+
+// retune mutates a frozen value after construction: every write is a
+// diagnostic, including element stores through the field.
+func retune(e *export) {
+	e.key = 7      // want `write to key of frozen type export outside its constructor`
+	e.conds[0] = 2 // want `write to conds of frozen type export`
+	e.conds = nil  // want `write to conds of frozen type export`
+}
+
+// lockedMutation shows the mutex exemption does NOT apply to frozen
+// types: readers never take the lock, so holding it proves nothing.
+func lockedMutation(s *snap) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.list = append(s.list, export{}) // want `write to list of frozen type snap`
+}
+
+// onceMutation shows the sync.Once exemption does not apply either.
+func onceMutation(s *snap, once *sync.Once) {
+	once.Do(func() {
+		s.list = nil // want `write to list of frozen type snap`
+	})
+}
+
+// deepFrozen: writes through a frozen element reached by indexing are
+// still writes to the frozen struct's field.
+func deepFrozen(s *snap) {
+	s.list[0].key = 9 // want `write to key of frozen type export`
+}
+
+// suppress documents a deliberate pre-publication fill.
+func suppress(e *export) {
+	// stalint:ignore sharedstate filled before the snapshot is published
+	e.key = 3
+}

@@ -54,6 +54,17 @@ type Options struct {
 	// a busy parallel worker checks for starving peers and donates a
 	// subtree (default 128; the steal-storm stress test sets 1).
 	StealPollSteps int64
+	// Learning turns on conflict-driven nogood learning (nogood.go):
+	// every dead sensitization decision is recorded together with the
+	// exact store state that killed it, and later re-attempts under the
+	// same state are pruned before they are charged a step. Learning
+	// only ever skips provably-dead subtrees, so the recorded path set
+	// is byte-identical with learning on or off at every worker count;
+	// only the step/conflict counts change. In parallel runs the
+	// per-worker stores exchange clauses through a lock-free board on
+	// the donation-poll cadence, and donated subtrees carry the donor's
+	// clauses to the thief. See Engine.LearnStats / LearnStats.
+	Learning bool
 	// ComplexOnly records only paths traversing at least one multi-vector
 	// arc (the paths of interest in the paper's evaluation). Traversal is
 	// unchanged; only recording is filtered.
@@ -385,7 +396,12 @@ type Engine struct {
 	scratch   []float64       // serial-context arc-delay buffer (reports, bounds)
 	lastStats SearchStats     // snapshot of the most recent search
 	lastPar   ParallelStats   // pool snapshot of the most recent parallel search
+	lastLearn LearnStats      // learning snapshot of the most recent search
 	fanins    [][]int         // shared gate→fanin-node-ID table (faninTable)
+	// learnVerify, when non-nil, is handed to every searcher's nogood
+	// store: the soundness property tests re-derive the deadness of each
+	// pruned subtree through it (never set in production).
+	learnVerify func(s *searcher, g *netlist.Gate, vec cell.Vector, kind uint8)
 	// statsMu guards lastStats/lastPar against concurrent reads from the
 	// /metrics exposition while a run publishes its snapshot. A pointer —
 	// not an embedded mutex — because workerEngine shallow-copies the
@@ -451,6 +467,27 @@ func (e *Engine) publishParStats(ps ParallelStats) {
 		defer e.statsMu.Unlock()
 	}
 	e.lastPar = ps
+}
+
+// LearnStats returns the conflict-learning snapshot of the engine's
+// most recent search (zero when Options.Learning is off). Serial and
+// static-sharding snapshots are deterministic; with stealing enabled
+// the hit/exchange counts depend on the steal schedule.
+func (e *Engine) LearnStats() LearnStats {
+	if e.statsMu != nil {
+		e.statsMu.Lock()
+		defer e.statsMu.Unlock()
+	}
+	return e.lastLearn
+}
+
+// publishLearnStats installs a completed run's learning snapshot.
+func (e *Engine) publishLearnStats(ls LearnStats) {
+	if e.statsMu != nil {
+		e.statsMu.Lock()
+		defer e.statsMu.Unlock()
+	}
+	e.lastLearn = ls
 }
 
 // New builds an engine. lib may be nil for structure-only analysis.

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"tpsta/internal/circuits"
+	"tpsta/internal/netlist"
+)
+
+// BenchmarkNogoodLearning measures conflict-driven nogood learning on
+// the two topologies it targets: the reconvergent array multiplier
+// (the c6288 class, where the same side-input conflicts recur across
+// exponentially many subtrees) and the skewed deep-cone circuit. Each
+// subject runs learning-off and learning-on through the serial search
+// (Workers: 1), so the steps/op column is deterministic: it is the
+// exact number of charged sensitization attempts per enumeration, and
+// the off→learn drop is the step-count reduction the learned clauses
+// buy. ns/op tracks whether the pruning pays for the recording cost in
+// wall time; steps/op is the headline contract (>= 20% fewer on the
+// multiplier, recorded in BENCH_nogood_learning.json).
+func BenchmarkNogoodLearning(b *testing.B) {
+	tc := t130(b)
+	mult, err := circuits.Multiplier("m", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	skew, err := circuits.Get("skew")
+	if err != nil {
+		b.Fatal(err)
+	}
+	subjects := []struct {
+		name string
+		c    *netlist.Circuit
+	}{
+		{"mult", mult},
+		{"skew", skew},
+	}
+	modes := []struct {
+		name  string
+		learn bool
+	}{
+		{"off", false},
+		{"learn", true},
+	}
+	for _, sub := range subjects {
+		for _, m := range modes {
+			b.Run(sub.name+"/"+m.name, func(b *testing.B) {
+				wantPaths := -1
+				var steps int64
+				for i := 0; i < b.N; i++ {
+					res, err := New(sub.c, tc, nil, Options{Workers: 1, Learning: m.learn}).Enumerate()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if wantPaths < 0 {
+						wantPaths = len(res.Paths)
+					}
+					if len(res.Paths) != wantPaths {
+						b.Fatalf("%d paths, want %d", len(res.Paths), wantPaths)
+					}
+					steps = res.Steps
+				}
+				b.ReportMetric(float64(steps), "steps/op")
+			})
+		}
+	}
+}

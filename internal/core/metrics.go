@@ -32,6 +32,10 @@ type Metrics struct {
 	// KernelBuildNs is the one-time cost of each run-specialized
 	// delay-kernel table build (kernels.go).
 	KernelBuildNs obs.Histogram
+	// NogoodStoreNs is the cost of recording one learned nogood: the
+	// rewind, the recording re-run of the dead assertion, and the store
+	// insert (nogood.go, learnDecision).
+	NogoodStoreNs obs.Histogram
 }
 
 // Instrument names of the engine's OpenMetrics exposition: dotted,
@@ -55,6 +59,9 @@ const (
 	metStealResume   = "core.steal_resume_ns"
 	metEmitNs        = "core.emit_ns"
 	metKernelBuild   = "core.kernel_build_ns"
+	metNogoodLearned = "core.nogood_learned"
+	metNogoodHits    = "core.nogood_hits"
+	metNogoodStoreNs = "core.nogood_store_ns"
 )
 
 // metricsHelpText documents each instrument for the exposition's
@@ -77,6 +84,9 @@ var metricsHelpText = map[string]string{
 	metStealResume:   "latency from subtree donation to resume on the thief",
 	metEmitNs:        "cost of materializing one recorded path (cube, delays)",
 	metKernelBuild:   "run-specialized delay-kernel table build time",
+	metNogoodLearned: "nogoods learned from dead sensitization decisions",
+	metNogoodHits:    "decisions pruned by a learned nogood before being charged a step",
+	metNogoodStoreNs: "cost of recording one learned nogood (rewind, re-run, insert)",
 }
 
 // MetricsSnapshot maps the engine's instrumentation onto an
@@ -109,12 +119,18 @@ func (e *Engine) MetricsSnapshot() obs.Snapshot {
 		snap.Counters[metSubtreeSteals] = par.SubtreeSteals
 		snap.Counters[metDonations] = par.Donations
 	}
+	if e.Opts.Learning {
+		ls := e.LearnStats()
+		snap.Counters[metNogoodLearned] = ls.Learned
+		snap.Counters[metNogoodHits] = ls.Hits
+	}
 	if m := e.Opts.Metrics; m != nil {
 		snap.Histograms = map[string]obs.HistogramStat{
-			metStepNs:      m.StepNs.Stat(),
-			metStealResume: m.StealResumeNs.Stat(),
-			metEmitNs:      m.EmitNs.Stat(),
-			metKernelBuild: m.KernelBuildNs.Stat(),
+			metStepNs:        m.StepNs.Stat(),
+			metStealResume:   m.StealResumeNs.Stat(),
+			metEmitNs:        m.EmitNs.Stat(),
+			metKernelBuild:   m.KernelBuildNs.Stat(),
+			metNogoodStoreNs: m.NogoodStoreNs.Stat(),
 		}
 	}
 	return snap

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/circuits"
+	"tpsta/internal/netlist"
+	"tpsta/internal/tech"
+)
+
+// Soundness property layer for nogood learning. Every decision a
+// learned nogood prunes is replayed with learning disabled through the
+// store's verify hook: the deadness the nogood claims must re-derive
+// from the live constraint store — the assertion must fail for a
+// conflict nogood, and succeed into a non-viable arc for a dead-arc
+// one. A prune that cannot be re-derived is a genuine soundness bug
+// (the pruned subtree might have emitted a true path), so the hook
+// fails the test rather than logging.
+
+// installSoundnessCheck hooks the engine so every nogood hit re-proves
+// its own deadness against the live store, learning disabled.
+func installSoundnessCheck(t *testing.T, e *Engine) *int {
+	t.Helper()
+	hits := new(int)
+	e.learnVerify = func(s *searcher, g *netlist.Gate, vec cell.Vector, kind uint8) {
+		*hits++
+		f := s.save()
+		saved := s.replaying
+		s.replaying = true // the re-proof must not touch the conflict counters
+		ok := s.assertVector(g, vec)
+		dead := !ok
+		reason := "assertion failed"
+		if ok {
+			if kind == kindConflict {
+				t.Errorf("unsound conflict nogood: pruned (%s, pin %s, case %d) but the assertion succeeds",
+					g.Name, vec.Pin, vec.Case)
+			}
+			nextRising, edgeOK := g.Cell.OutputEdge(vec, s.curRising)
+			if !edgeOK {
+				dead, reason = true, "no propagated edge"
+			} else {
+				v := s.values[g.Out.ID]
+				okR := s.aliveR && viable(v.Rise, nextRising)
+				okF := s.aliveF && viable(v.Fall, !nextRising)
+				dead, reason = !okR && !okF, "no viable scenario"
+			}
+		}
+		s.replaying = saved
+		s.restore(f)
+		if !dead {
+			t.Errorf("unsound nogood (kind %d): pruned (%s, pin %s, case %d) but the subtree is alive",
+				kind, g.Name, vec.Pin, vec.Case)
+		}
+		_ = reason
+	}
+	return hits
+}
+
+func clampFuzz(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// FuzzNogood generates a random circuit per input, runs the serial
+// search with learning on and the soundness hook installed, and checks
+// the reported paths against the unlearned run byte for byte. The seed
+// corpus (testdata/fuzz/FuzzNogood) pins the shapes that exercise both
+// nogood kinds, robust mode and reconvergent fan-out.
+func FuzzNogood(f *testing.F) {
+	tc, err := tech.ByName("130nm")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint64(7), 6, 25, 5, false)
+	f.Add(uint64(42), 10, 60, 6, false)
+	f.Add(uint64(99), 8, 40, 6, true)
+	f.Add(uint64(23), 6, 50, 7, false)
+	f.Add(uint64(5), 4, 12, 3, true)
+	f.Fuzz(func(t *testing.T, seed uint64, inputs, gates, depth int, robust bool) {
+		inputs = clampFuzz(inputs, 2, 10)
+		depth = clampFuzz(depth, 2, 7)
+		gates = clampFuzz(gates, depth+1, 60)
+		c, err := circuits.Generate(circuits.Profile{
+			Name:   fmt.Sprintf("fz%d", seed),
+			Inputs: inputs, Outputs: clampFuzz(inputs/2, 1, 4),
+			Gates: gates, Depth: depth, Seed: int64(seed),
+		})
+		if err != nil {
+			t.Skip(err) // unbuildable shape, not a learning failure
+		}
+		off, err := New(c, tc, nil, Options{Workers: 1, Robust: robust}).Enumerate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := New(c, tc, nil, Options{Workers: 1, Robust: robust, Learning: true})
+		installSoundnessCheck(t, e)
+		on, err := e.Enumerate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, "fuzz", off, on, false)
+		assertLearnInvariantStats(t, "fuzz", off, on)
+	})
+}
+
+// The soundness hook must actually fire on a circuit known to learn:
+// a silent hook would turn FuzzNogood into a no-op.
+func TestNogoodSoundnessHookFires(t *testing.T) {
+	c, err := circuits.Multiplier("m", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(c, t130(t), nil, Options{Workers: 1, Learning: true})
+	hits := installSoundnessCheck(t, e)
+	if _, err := e.Enumerate(); err != nil {
+		t.Fatal(err)
+	}
+	if *hits == 0 {
+		t.Fatal("no nogood hits on the multiplier — the soundness hook never ran")
+	}
+	if got := e.LearnStats().Hits; int64(*hits) != got {
+		t.Errorf("hook fired %d times, LearnStats.Hits = %d", *hits, got)
+	}
+}
+
+// Unit coverage for the store internals the search path cannot reach
+// deterministically: watch movement, signature dedupe, the caps and the
+// prefix-extension adoption protocol.
+func TestNogoodStoreUnit(t *testing.T) {
+	// Wide enough that the node count exceeds the condition cap, so the
+	// overflow branch is reachable.
+	c := genCircuit(t, circuits.Profile{
+		Name: "rwide", Inputs: 10, Outputs: 5, Gates: 60, Depth: 6, Seed: 42})
+	e := New(c, t130(t), nil, Options{Learning: true})
+	if err := e.warmShared(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := newSearcher(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.aliveR, s.aliveF = true, true
+	in := c.Inputs[0]
+	g := in.Fanout[0].Gate
+	vec := g.Cell.Vectors(in.Fanout[0].Pin)[0]
+	st := s.ng
+
+	record := func(nids ...int) {
+		st.beginRecord()
+		for _, nid := range nids {
+			st.noteRead(nid, s.values[nid])
+		}
+	}
+
+	// Dedupe: the same recording learned twice lands once.
+	record(in.ID)
+	st.learn(g, vec, true, true, kindConflict, false)
+	record(in.ID)
+	st.learn(g, vec, true, true, kindConflict, false)
+	if st.stats.Learned != 1 {
+		t.Fatalf("duplicate recording learned twice: %+v", st.stats)
+	}
+
+	// Same conditions under a different alive-bit key is a new nogood.
+	record(in.ID)
+	st.learn(g, vec, true, false, kindConflict, false)
+	if st.stats.Learned != 2 {
+		t.Fatalf("alive bits not part of the identity: %+v", st.stats)
+	}
+
+	// A match moves through the watch scheme and counts a hit; a store
+	// mismatch on the watched net rejects without a hit.
+	if !st.match(s, g, vec) {
+		t.Fatal("planted nogood did not match the pristine store")
+	}
+	if st.stats.Hits != 1 {
+		t.Fatalf("Hits = %d, want 1", st.stats.Hits)
+	}
+
+	// Exchange: publish, then adopt into a fresh store; the adopter
+	// dedupes its own re-import and matches identically.
+	board := &nogoodBoard{}
+	st.exportTo(board)
+	if st.stats.Exported != 2 {
+		t.Fatalf("Exported = %d, want 2", st.stats.Exported)
+	}
+	other := newNogoodStore(len(c.Nodes))
+	other.adopt(board.snap.Load())
+	if other.stats.Imported != 2 {
+		t.Fatalf("Imported = %d, want 2", other.stats.Imported)
+	}
+	if !other.match(s, g, vec) {
+		t.Fatal("adopted nogood did not match")
+	}
+	// Re-adoption of the same snapshot is a no-op (prefix already seen).
+	other.adopt(board.snap.Load())
+	if other.stats.Imported != 2 {
+		t.Fatalf("re-adoption imported again: %+v", other.stats)
+	}
+	// The donor adopting the board skips its own signatures.
+	st.adopt(board.snap.Load())
+	if st.stats.Imported != 0 {
+		t.Fatalf("donor re-imported its own nogoods: %+v", st.stats)
+	}
+
+	// Oversized recordings are dropped and counted.
+	st.beginRecord()
+	for nid := range c.Nodes[:minInt(len(c.Nodes), maxNogoodConds+2)] {
+		st.noteRead(nid, s.values[nid])
+	}
+	if !st.overflow && len(c.Nodes) > maxNogoodConds {
+		t.Fatal("recorder did not overflow past the condition cap")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -81,6 +81,11 @@ type ParallelStats struct {
 	// shows up as Balance ≈ Workers.
 	Utilization float64 `json:"utilization"`
 	Balance     float64 `json:"balance"`
+	// Learn is the pool-summed conflict-learning snapshot (nil unless
+	// Options.Learning was on). With stealing enabled the hit and
+	// exchange counts depend on the steal schedule; under static
+	// sharding they are deterministic.
+	Learn *LearnStats `json:"learn,omitempty"`
 }
 
 // ParallelStats returns the pool snapshot of the most recent parallel
@@ -292,9 +297,11 @@ func (e *Engine) finishParallel(sd *sched, outs []workerOutcome, k int) (*Result
 		}
 	}
 	stats := SearchStats{}
+	learn := LearnStats{}
 	truncated := false
 	for i := range outs {
 		o := &outs[i]
+		learn.add(o.learn)
 		stats.SensitizationAttempts += o.stats.SensitizationAttempts
 		stats.Conflicts += o.stats.Conflicts
 		stats.Backtracks += o.stats.Backtracks
@@ -342,6 +349,12 @@ func (e *Engine) finishParallel(sd *sched, outs []workerOutcome, k int) (*Result
 	}
 	courses, multi := countCourses(paths)
 	e.publishStats(stats, int(stats.PathsRecorded))
+	e.publishLearnStats(learn)
+	var learnPtr *LearnStats
+	if e.Opts.Learning {
+		lcopy := learn
+		learnPtr = &lcopy
+	}
 	e.publishParStats(ParallelStats{
 		Workers:        sd.workers,
 		Shards:         sd.shards,
@@ -355,6 +368,7 @@ func (e *Engine) finishParallel(sd *sched, outs []workerOutcome, k int) (*Result
 		IdleSeconds:    sd.gauges.IdleSeconds(),
 		Utilization:    sd.gauges.Utilization(),
 		Balance:        sd.gauges.Balance(),
+		Learn:          learnPtr,
 	})
 	sd.agg.finish(stats.SensitizationAttempts, stats.PathsRecorded)
 	sd.searchSpan.Steps(stats.SensitizationAttempts).End()

@@ -88,6 +88,17 @@ type searcher struct {
 	courseHops []courseHop
 	donations  int64
 
+	// Conflict-driven nogood learning (Options.Learning; all nil/false
+	// otherwise — see nogood.go). ng is this searcher's private store;
+	// ngBoard the parallel run's lock-free exchange board; rec aliases
+	// ng only while a dead decision is re-run under the read recorder;
+	// contDead is tryArc's signal back to withVector that the decision
+	// just applied has no viable continuation (learned as kindDeadArc).
+	ng       *nogoodStore
+	ngBoard  *nogoodBoard
+	rec      *nogoodStore
+	contDead bool
+
 	// Opt-in observability (obs v2). metrics mirrors
 	// Options.Metrics — nil keeps withVector/emit branch-only;
 	// sampleEvery mirrors Options.TraceSampleEvery and is forced to 0
@@ -126,23 +137,6 @@ type frame struct {
 	aliveR, aliveF bool
 }
 
-// obligation is a side value awaiting justification through its driver.
-// strict obligations demand a steady value (both ends of the trajectory);
-// non-strict ones only the final level (floating-mode sensitization).
-type obligation struct {
-	node   *netlist.Node
-	val    bool
-	strict bool
-}
-
-// required builds the trajectory requirement of a side value.
-func required(val, strict bool) logic.Value {
-	if strict {
-		return logic.StableOf(boolTrit(val))
-	}
-	return logic.FinalOf(boolTrit(val))
-}
-
 func newSearcher(e *Engine) (*searcher, error) {
 	if _, err := e.Circuit.TopoGates(); err != nil {
 		return nil, err
@@ -178,6 +172,10 @@ func newSearcher(e *Engine) (*searcher, error) {
 		s.sampleEvery = e.Opts.TraceSampleEvery
 	}
 	s.gateFanins = e.faninTable()
+	if e.Opts.Learning {
+		s.ng = newNogoodStore(len(e.Circuit.Nodes))
+		s.ng.verify = e.learnVerify
+	}
 	return s, nil
 }
 
@@ -337,6 +335,12 @@ func (s *searcher) resumeUnit(in *netlist.Node, r *resumePoint) {
 	if s.metrics != nil && !r.donated.IsZero() {
 		s.metrics.StealResumeNs.Observe(time.Since(r.donated))
 	}
+	if s.ng != nil {
+		// Inherit the donor's learned clauses: the snapshot stamped onto
+		// the resume point includes everything the donor had published
+		// when it offered the subtree.
+		s.ng.adopt(r.ngs)
+	}
 	s.trace(obs.Event{Kind: "resume", Input: in.Name, Steps: s.steps, Worker: s.worker})
 	f := s.save()
 	if s.assign(in.ID, logic.DualTransition) {
@@ -390,6 +394,11 @@ func (s *searcher) assign(nid int, val logic.Dual) bool {
 		w := queue[0]
 		queue = queue[1:]
 		cur := s.values[w.nid]
+		if s.rec != nil {
+			// Learning recorder: the intersection below depends on the
+			// pre-existing value, so it is a read of this net.
+			s.rec.noteRead(w.nid, cur)
+		}
 		next := cur
 		changed := false
 		if s.aliveR {
@@ -424,6 +433,9 @@ func (s *searcher) assign(nid int, val logic.Dual) bool {
 		}
 		s.trail = append(s.trail, trailEntry{w.nid, cur})
 		s.values[w.nid] = next
+		if s.rec != nil {
+			s.rec.noteWrite(w.nid)
+		}
 		// Forward implication: re-evaluate every fanout gate.
 		for _, ref := range s.c.Nodes[w.nid].Fanout {
 			g := ref.Gate
@@ -439,6 +451,9 @@ func (s *searcher) evalGate(g *netlist.Gate) logic.Dual {
 	ids := s.gateFanins[g.ID]
 	for i, nid := range ids {
 		d := s.values[nid]
+		if s.rec != nil {
+			s.rec.noteRead(nid, d)
+		}
 		s.scratchR[i] = d.Rise
 		s.scratchF[i] = d.Fall
 	}
@@ -448,157 +463,24 @@ func (s *searcher) evalGate(g *netlist.Gate) logic.Dual {
 	}
 }
 
-// implied reports whether node's required value already follows from its
-// driver's current input values in every alive scenario (or the node is
-// a primary input).
-func (s *searcher) implied(n *netlist.Node, val, strict bool) bool {
-	if n.IsInput {
-		return true
-	}
-	want := required(val, strict)
-	out := s.evalGate(n.Driver)
-	if s.aliveR && !logic.Refines(out.Rise, want) {
-		return false
-	}
-	if s.aliveF && !logic.Refines(out.Fall, want) {
-		return false
-	}
-	return true
-}
-
-func boolTrit(b bool) logic.Trit {
-	if b {
-		return logic.T1
-	}
-	return logic.T0
-}
-
-// assignSide asserts a side value on a node — steady when strict (the
-// paper applies only steady values to complex-gate inputs), final-level
-// otherwise (floating mode, the semi-undetermined X0/X1 states). A value
-// whose driver has exactly one supporting cube is not a decision at all:
-// the cube is applied immediately (backward implication), cascading
-// toward the inputs. Only genuinely ambiguous values are queued as
-// justification obligations.
-func (s *searcher) assignSide(n *netlist.Node, val, strict bool, pending *[]obligation) bool {
-	req := required(val, strict)
-	if !s.assign(n.ID, logic.Dual{Rise: req, Fall: req}) {
-		return false
-	}
-	if s.implied(n, val, strict) {
-		return true
-	}
-	if !s.eng.Opts.NoBackwardImplication {
-		cubes := justifyChoices(n.Driver.Cell, val)
-		if len(cubes) == 1 {
-			for _, l := range cubes[0] {
-				if !s.assignSide(n.Driver.Fanin[l.Pin], l.Val, strict, pending) {
-					return false
-				}
-			}
-			return true
-		}
-	}
-	*pending = append(*pending, obligation{n, val, strict})
-	return true
-}
-
-// justifyFirst resolves the pending obligations with the first consistent
-// combination of justification cubes (backtracking over the prime
-// implicants of each driving cell). On success the assignments are left
-// applied and true is returned; on failure the state is restored.
-//
-// Justification runs when a path completes, not at every gate: during
-// traversal the engine relies on forward propagation of the
-// semi-undetermined values for early conflict detection — "less complex
-// than a justification process" per the paper — and deciding support
-// assignments only once the whole path's constraints are visible avoids
-// committing to a support choice that a later gate's side requirement
-// contradicts. Any one solution proves the path true (justification is
-// existential); the reported cube is that solution with every
-// unconstrained input left undetermined.
-func (s *searcher) justifyFirst(pending []obligation, budget *int) bool {
-	// Most-constrained-first: scan the open obligations, dropping the
-	// implied ones, and branch on the one with the fewest feasible cubes
-	// (a zero-choice obligation fails immediately, a one-choice
-	// obligation is an implication).
-	var open []obligation
-	best := -1
-	bestCount := 1 << 30
-	var bestCubes []cube
-	for _, ob := range pending {
-		if s.implied(ob.node, ob.val, ob.strict) {
-			continue
-		}
-		feas := s.feasibleCubes(ob)
-		if len(feas) == 0 {
-			return false
-		}
-		open = append(open, ob)
-		if len(feas) < bestCount {
-			best, bestCount, bestCubes = len(open)-1, len(feas), feas
-		}
-	}
-	if len(open) == 0 {
-		return true
-	}
-	ob := open[best]
-	rest := append(append([]obligation(nil), open[:best]...), open[best+1:]...)
-	for _, cb := range bestCubes {
-		if *budget <= 0 {
-			return false
-		}
-		f := s.save()
-		next := append([]obligation(nil), rest...)
-		ok := true
-		for _, l := range cb {
-			child := ob.node.Driver.Fanin[l.Pin]
-			if !s.assignSide(child, l.Val, ob.strict, &next) {
-				ok = false
-				break
-			}
-		}
-		if ok && s.justifyFirst(next, budget) {
-			return true
-		}
-		s.restore(f)
-		*budget--
-		s.backtracks++
-	}
-	return false
-}
-
-// feasibleCubes filters the driver's cubes of an obligation down to those
-// whose every literal is compatible with the current constraint store.
-func (s *searcher) feasibleCubes(ob obligation) []cube {
-	all := justifyChoices(ob.node.Driver.Cell, ob.val)
-	out := make([]cube, 0, len(all))
-	for _, cb := range all {
-		feasible := true
-		for _, l := range cb {
-			v := s.values[ob.node.Driver.Fanin[l.Pin].ID]
-			want := required(l.Val, ob.strict)
-			if s.aliveR && !logic.Compatible(v.Rise, want) {
-				feasible = false
-				break
-			}
-			if s.aliveF && !logic.Compatible(v.Fall, want) {
-				feasible = false
-				break
-			}
-		}
-		if feasible {
-			out = append(out, cb)
-		}
-	}
-	return out
-}
-
 // withVector applies one sensitization decision: the side values of vec
 // are asserted and forward-propagated (early conflict detection), their
 // justification obligations queued for path completion, and cont runs if
-// no contradiction surfaced.
+// no contradiction surfaced. A decision a learned nogood proves dead is
+// pruned up front; a decision that dies here (or whose arc tryArc finds
+// unviable) is recorded as a new nogood.
 func (s *searcher) withVector(g *netlist.Gate, vec cell.Vector, cont func()) {
+	// The nogood lookup runs before any accounting: a pruned decision is
+	// rejected before stepBudget.take(), so learning strictly reduces
+	// the step count and cannot perturb the truncation contract
+	// (truncated results stay a subset of the serial untruncated set).
+	// Replayed prefix decisions succeeded for the donor under the very
+	// store state the replay rebuilds, so a sound nogood can never match
+	// one — skipping the lookup makes that structural and keeps replayed
+	// frames out of LearnStats, matching their step/conflict suppression.
+	if s.ng != nil && !s.replaying && s.ng.match(s, g, vec) {
+		return
+	}
 	// Decision-application latency (accounting, constraint save, side
 	// assertion and forward implication — the subtree under the decision
 	// is excluded). t0 stays zero, with no clock read, when metrics are
@@ -632,6 +514,11 @@ func (s *searcher) withVector(g *netlist.Gate, vec cell.Vector, cont func()) {
 				return
 			}
 			s.maybeDonate()
+			if s.ng != nil {
+				// Periodic lock-free nogood exchange, on the same
+				// cadence as the donation poll.
+				s.ng.exchange(s.ngBoard)
+			}
 		}
 	default:
 		s.steps++
@@ -659,26 +546,21 @@ func (s *searcher) withVector(g *netlist.Gate, vec cell.Vector, cont func()) {
 		}
 	}
 	f := s.save()
-	// The paper applies steady values to the inputs of complex gates (the
-	// vector-dependent delay was characterized that way); simple gates
-	// need only the non-controlling final level (floating mode). Robust
-	// mode demands steadiness everywhere.
-	strict := s.eng.Opts.Robust || len(g.Cell.Vectors(vec.Pin)) > 1
-	ok := true
-	for _, pin := range g.Cell.Inputs {
-		if pin == vec.Pin {
-			continue
-		}
-		if !s.assignSide(g.Fanin[pin], vec.Side[pin], strict, &s.pending) {
-			ok = false
-			break
-		}
-	}
+	ok := s.assertVector(g, vec)
 	if s.metrics != nil {
 		s.metrics.StepNs.Observe(time.Since(t0))
 	}
 	if ok {
+		s.contDead = false
 		cont()
+		if s.contDead {
+			s.contDead = false
+			if s.ng != nil && !s.replaying {
+				s.learnDecision(g, vec, f, kindDeadArc, s.curRising)
+			}
+		}
+	} else if s.ng != nil && !s.replaying {
+		s.learnDecision(g, vec, f, kindConflict, false)
 	}
 	s.restore(f)
 }
@@ -739,6 +621,7 @@ func (s *searcher) tryArc(g *netlist.Gate, pin string, vec cell.Vector, cont fun
 	s.withVector(g, vec, func() {
 		nextRising, ok := g.Cell.OutputEdge(vec, s.curRising)
 		if !ok {
+			s.contDead = true
 			return
 		}
 		out := g.Out
@@ -746,6 +629,7 @@ func (s *searcher) tryArc(g *netlist.Gate, pin string, vec cell.Vector, cont fun
 		okR := s.aliveR && viable(v.Rise, nextRising)
 		okF := s.aliveF && viable(v.Fall, !nextRising)
 		if !okR && !okF {
+			s.contDead = true
 			return
 		}
 		savedR, savedF, savedPol, savedSig := s.aliveR, s.aliveF, s.curRising, s.pathSig
@@ -806,6 +690,13 @@ func (s *searcher) maybeDonate() {
 			r.ref, r.vec = ref, vec
 		}
 		r.prefix = append([]Arc(nil), s.arcs[:fr.arcDepth]...)
+		if s.ng != nil && s.ngBoard != nil {
+			// Donate the learned clauses with the subtree: publish this
+			// worker's fresh nogoods and stamp the resulting snapshot so
+			// the thief starts with everything the donor knows.
+			s.ng.exportTo(s.ngBoard)
+			r.ngs = s.ngBoard.snap.Load()
+		}
 		if s.metrics != nil {
 			r.donated = time.Now()
 		}
@@ -1018,6 +909,15 @@ func (s *searcher) statsSnapshot() SearchStats {
 	}
 }
 
+// learnSnapshot copies the conflict-learning counters (zero when
+// learning is off).
+func (s *searcher) learnSnapshot() LearnStats {
+	if s.ng == nil {
+		return LearnStats{}
+	}
+	return s.ng.stats
+}
+
 // result packages the recorded paths and publishes the instrumentation
 // snapshot on the engine.
 func (s *searcher) result() *Result {
@@ -1028,6 +928,7 @@ func (s *searcher) result() *Result {
 	courses, multi := countCourses(s.paths)
 	stats := s.statsSnapshot()
 	s.eng.publishStats(stats, int(s.recorded))
+	s.eng.publishLearnStats(s.learnSnapshot())
 	s.progress(true)
 	s.trace(obs.Event{Kind: "done", Steps: s.steps, N: s.recorded})
 	return &Result{

@@ -59,6 +59,10 @@ type resumePoint struct {
 	// Options.Metrics is on; resumeUnit observes the donation-to-resume
 	// latency from it.
 	donated time.Time
+	// ngs is the donor's published nogood snapshot at donation time
+	// (nil unless learning is on): the thief adopts it before replaying,
+	// so a stolen subtree inherits the clauses its donor learned.
+	ngs *nogoodSnap
 }
 
 // stepBudget is the shared global sensitization-step budget of a
@@ -120,6 +124,11 @@ type sched struct {
 	// it — before the final "done" event, so "done" stays the last
 	// record of a trace. Set by newSched, read-only afterwards.
 	searchSpan obs.Span
+	// learn is the shared nogood exchange board (nil unless learning is
+	// on and stealing enabled — static shards never exchange, keeping
+	// their LearnStats deterministic). Set by newSched, read-only
+	// afterwards; all mutation goes through its internal CAS.
+	learn *nogoodBoard
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -165,6 +174,9 @@ func newSched(e *Engine, shards, workers int, spanName string) *sched {
 		shards:  shards,
 	}
 	d.searchSpan = obs.StartSpan(e.Opts.Tracer, e.Opts.TraceParent, spanName)
+	if e.Opts.Learning && !d.static {
+		d.learn = &nogoodBoard{}
+	}
 	d.cond = sync.NewCond(&d.mu)
 	for i := 0; i < shards; i++ {
 		w := i % workers
@@ -293,6 +305,7 @@ func (d *sched) finish() {
 type workerOutcome struct {
 	paths     []*TruePath
 	stats     SearchStats
+	learn     LearnStats
 	truncated bool
 	err       error
 }
@@ -323,6 +336,7 @@ func (d *sched) runWorker(w int, prune *pruner, run func(*searcher, task)) worke
 	s.sched = d
 	s.worker = w
 	s.budget = d.budget
+	s.ngBoard = d.learn
 	s.prune = prune
 	credit := d.seedCredits.Add(-1) >= 0
 	for {
@@ -356,7 +370,7 @@ func (d *sched) runWorker(w int, prune *pruner, run func(*searcher, task)) worke
 		stop()
 		d.finish()
 	}
-	out := workerOutcome{stats: s.statsSnapshot(), truncated: s.truncated}
+	out := workerOutcome{stats: s.statsSnapshot(), learn: s.learnSnapshot(), truncated: s.truncated}
 	if prune != nil {
 		out.paths = prune.all()
 	} else {
