@@ -1,0 +1,95 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"tpsta/internal/analysis/stalint"
+)
+
+// The ratchet baseline is a sorted text file of accepted lint state:
+//
+//	finding <analyzer> <relfile> <message...>
+//	ignore <relfile> <names> <justification...>
+//
+// Lines are compared verbatim (line numbers are deliberately absent,
+// so moving code never churns the file). A run fails when it produces
+// a line the baseline does not contain — a new finding or a new
+// suppression; entries the run no longer produces are reported as
+// stale so the baseline can be re-tightened, but do not fail the run.
+
+const baselineHeader = `# stalint ratchet baseline — accepted findings and suppression inventory.
+# Regenerate with: make lint-baseline (stalint -write-baseline -baseline lint.baseline ./...)
+# New lines fail CI; stale lines are reported so the file can be re-tightened.`
+
+// baselineLines renders the current lint state as sorted baseline lines.
+func baselineLines(fs []finding, igs []stalint.Ignore) []string {
+	set := map[string]bool{}
+	for _, f := range fs {
+		set[f.key()] = true
+	}
+	for _, ig := range igs {
+		set["ignore "+ig.File+" "+ig.Names+" "+ig.Why] = true
+	}
+	lines := make([]string, 0, len(set))
+	for l := range set {
+		lines = append(lines, l)
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// writeBaseline persists the current state to path.
+func writeBaseline(path string, lines []string) error {
+	var b strings.Builder
+	b.WriteString(baselineHeader)
+	b.WriteString("\n")
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteString("\n")
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// readBaseline loads the accepted-line set from path.
+func readBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	for _, l := range strings.Split(string(data), "\n") {
+		l = strings.TrimSpace(l)
+		if l == "" || strings.HasPrefix(l, "#") {
+			continue
+		}
+		set[l] = true
+	}
+	return set, nil
+}
+
+// ratchet compares the current lines against the baseline. New lines
+// (not accepted) are returned for failing the run; stale baseline
+// entries are reported to stderr as informational.
+func ratchet(current []string, accepted map[string]bool) (fresh []string) {
+	seen := map[string]bool{}
+	for _, l := range current {
+		seen[l] = true
+		if !accepted[l] {
+			fresh = append(fresh, l)
+		}
+	}
+	var stale []string
+	for l := range accepted {
+		if !seen[l] {
+			stale = append(stale, l)
+		}
+	}
+	sort.Strings(stale)
+	for _, l := range stale {
+		fmt.Fprintf(os.Stderr, "stalint: stale baseline entry (fixed? tighten the baseline): %s\n", l)
+	}
+	return fresh
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// finding is one diagnostic from the vet run, normalized to a
+// module-root-relative path.
+type finding struct {
+	Analyzer string
+	File     string // root-relative, forward slashes
+	Line     int
+	Col      int
+	Message  string
+}
+
+// key is the ratchet identity of a finding. It deliberately omits the
+// line number: moving code around must not churn the baseline, only
+// introducing a genuinely new finding (new analyzer, file or message)
+// should.
+func (f finding) key() string {
+	return "finding " + f.Analyzer + " " + f.File + " " + f.Message
+}
+
+// parseVetJSON extracts diagnostics from `go vet -json` output. The
+// stream interleaves `# package` comment lines with one JSON object per
+// package, shaped {"pkg": {"analyzer": [{"posn": ..., "message": ...}]}};
+// compile errors and other driver noise arrive as plain text. The
+// parser is tolerant: it splits the stream at `#` lines, decodes every
+// chunk that looks like JSON, and returns whatever text did not parse
+// so the caller can surface operational failures.
+func parseVetJSON(out []byte, root string) (fs []finding, leftover string) {
+	var chunk strings.Builder
+	var noise []string
+	flush := func() {
+		s := strings.TrimSpace(chunk.String())
+		chunk.Reset()
+		if s == "" {
+			return
+		}
+		if !strings.HasPrefix(s, "{") {
+			noise = append(noise, s)
+			return
+		}
+		var pkgs map[string]map[string][]struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(s), &pkgs); err != nil {
+			noise = append(noise, s)
+			return
+		}
+		for _, byAnalyzer := range pkgs {
+			for analyzer, diags := range byAnalyzer {
+				for _, d := range diags {
+					f := finding{Analyzer: analyzer, Message: d.Message}
+					f.File, f.Line, f.Col = splitPosn(d.Posn, root)
+					fs = append(fs, f)
+				}
+			}
+		}
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			flush()
+			continue
+		}
+		chunk.WriteString(line)
+		chunk.WriteString("\n")
+	}
+	flush()
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return fs, strings.Join(noise, "\n")
+}
+
+// splitPosn decomposes "path:line:col" (col optional) and relativizes
+// the path against the module root.
+func splitPosn(posn, root string) (file string, line, col int) {
+	file = posn
+	if i := strings.LastIndexByte(file, ':'); i >= 0 {
+		if n, err := strconv.Atoi(file[i+1:]); err == nil {
+			col = n
+			file = file[:i]
+		}
+	}
+	if i := strings.LastIndexByte(file, ':'); i >= 0 {
+		if n, err := strconv.Atoi(file[i+1:]); err == nil {
+			line = n
+			file = file[:i]
+		}
+	}
+	if line == 0 && col != 0 {
+		// Only one numeric suffix: it was the line, not the column.
+		line, col = col, 0
+	}
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = rel
+	}
+	return filepath.ToSlash(file), line, col
+}

@@ -1,6 +1,7 @@
 // Command stalint runs the repository's custom static-analysis suite
-// (internal/analysis): sharedstate, exhaustive, floatcmp, obscheck and
-// errwrap.
+// (internal/analysis): sharedstate, exhaustive, floatcmp, obscheck,
+// errwrap, and the interprocedural contract analyzers noalloc and
+// determinism.
 //
 // It speaks the go vet -vettool protocol (unitchecker), so the same
 // binary works two ways:
@@ -9,9 +10,22 @@
 //	stalint ./...                            # standalone: re-execs go vet
 //
 // In standalone mode stalint locates its own executable and re-invokes
-// `go vet -vettool=<self> <patterns>`, which gives the full driver —
-// package loading, facts, caching — without depending on
-// golang.org/x/tools/go/packages.
+// `go vet -json -vettool=<self> <patterns>`, which gives the full
+// driver — package loading, facts, caching — without depending on
+// golang.org/x/tools/go/packages. On top of the analyzer findings the
+// standalone driver:
+//
+//   - sweeps every stalint directive in the module and rejects
+//     malformed ones (a bare `stalint:ignore`, a suppression without a
+//     justification, an unknown directive) — these fail the run
+//     unconditionally and can never be baselined away;
+//   - ratchets findings and suppressions against a committed baseline
+//     (-baseline lint.baseline): new lines fail, stale lines are
+//     reported for re-tightening; -write-baseline regenerates it;
+//   - renders SARIF 2.1.0 (-sarif out.sarif) for CI artifact upload.
+//
+// Exit codes: 0 clean (or ratchet satisfied), 1 findings / new ratchet
+// lines / directive violations, 2 operational failure.
 //
 // Analyzer flags pass through in both modes, e.g.
 // `stalint -exhaustive.enums=logic.Trit ./...`.
@@ -21,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 
 	"golang.org/x/tools/go/analysis/unitchecker"
@@ -48,37 +63,176 @@ func vetProtocol(args []string) bool {
 	return false
 }
 
-// standalone re-executes the suite through `go vet -vettool=<self>`,
-// forwarding flags and defaulting to ./... when no package pattern is
-// given. Returns the exit code.
+// driverFlags are the standalone-only options, consumed before the
+// remaining flags are forwarded to go vet.
+type driverFlags struct {
+	baseline      string // ratchet file to compare against
+	writeBaseline bool   // regenerate the ratchet file instead of comparing
+	sarif         string // SARIF 2.1.0 output path
+}
+
+// splitArgs separates driver flags, pass-through vet/analyzer flags and
+// package patterns.
+func splitArgs(args []string) (df driverFlags, flags, pats []string, err error) {
+	take := func(i int, name string) (string, int, error) {
+		a := args[i]
+		if eq := strings.IndexByte(a, '='); eq >= 0 {
+			return a[eq+1:], i, nil
+		}
+		if i+1 >= len(args) {
+			return "", i, fmt.Errorf("%s requires a value", name)
+		}
+		return args[i+1], i + 1, nil
+	}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-write-baseline" || a == "--write-baseline":
+			df.writeBaseline = true
+		case a == "-baseline" || a == "--baseline" || strings.HasPrefix(a, "-baseline=") || strings.HasPrefix(a, "--baseline="):
+			df.baseline, i, err = take(i, "-baseline")
+			if err != nil {
+				return df, nil, nil, err
+			}
+		case a == "-sarif" || a == "--sarif" || strings.HasPrefix(a, "-sarif=") || strings.HasPrefix(a, "--sarif="):
+			df.sarif, i, err = take(i, "-sarif")
+			if err != nil {
+				return df, nil, nil, err
+			}
+		case strings.HasPrefix(a, "-"):
+			flags = append(flags, a)
+		default:
+			pats = append(pats, a)
+		}
+	}
+	return df, flags, pats, nil
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod.
+func moduleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// standalone runs the suite through `go vet -json -vettool=<self>`,
+// applies the directive sweep and the ratchet, and returns the exit
+// code.
 func standalone(args []string) int {
+	df, flags, pats, err := splitArgs(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stalint: %v\n", err)
+		return 2
+	}
+	if len(pats) == 0 {
+		pats = []string{"./..."}
+	}
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stalint: cannot locate own executable: %v\n", err)
 		return 2
 	}
-	var flags, pats []string
-	for _, a := range args {
-		if strings.HasPrefix(a, "-") {
-			flags = append(flags, a)
-		} else {
-			pats = append(pats, a)
-		}
-	}
-	if len(pats) == 0 {
-		pats = []string{"./..."}
-	}
-	vetArgs := append([]string{"vet", "-vettool=" + exe}, append(flags, pats...)...)
-	cmd := exec.Command("go", vetArgs...)
-	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
-	cmd.Stdin = os.Stdin
-	if err := cmd.Run(); err != nil {
-		if ee, ok := err.(*exec.ExitError); ok {
-			return ee.ExitCode()
-		}
+	cwd, err := os.Getwd()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "stalint: %v\n", err)
 		return 2
 	}
+	root, err := moduleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stalint: %v\n", err)
+		return 2
+	}
+
+	// Directive sweep first: malformed suppressions fail the run before
+	// any analysis, and are never subject to the baseline.
+	violations, ignores, err := stalint.SweepDirectives(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stalint: directive sweep: %v\n", err)
+		return 2
+	}
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "%s:%d: %s\n", v.File, v.Line, v.Msg)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "stalint: %d malformed directive(s) — fix them; they cannot be baselined\n", len(violations))
+		return 1
+	}
+
+	vetArgs := append([]string{"vet", "-json", "-vettool=" + exe}, append(flags, pats...)...)
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Dir = cwd
+	out, runErr := cmd.CombinedOutput()
+	findings, leftover := parseVetJSON(out, root)
+	if runErr != nil && len(findings) == 0 && leftover != "" {
+		// The vet run died before producing diagnostics (compile error,
+		// bad pattern, ...): surface its output verbatim.
+		fmt.Fprintln(os.Stderr, leftover)
+		fmt.Fprintf(os.Stderr, "stalint: go vet: %v\n", runErr)
+		return 2
+	}
+
+	if df.sarif != "" {
+		if err := writeSARIF(df.sarif, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "stalint: writing SARIF: %v\n", err)
+			return 2
+		}
+	}
+
+	lines := baselineLines(findings, ignores)
+	if df.writeBaseline {
+		path := df.baseline
+		if path == "" {
+			path = "lint.baseline"
+		}
+		if err := writeBaseline(path, lines); err != nil {
+			fmt.Fprintf(os.Stderr, "stalint: writing baseline: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "stalint: wrote %s (%d findings, %d suppressions)\n",
+			path, len(findings), len(ignores))
+		return 0
+	}
+
+	if df.baseline != "" {
+		accepted, err := readBaseline(df.baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stalint: reading baseline: %v\n", err)
+			return 2
+		}
+		fresh := ratchet(lines, accepted)
+		if len(fresh) == 0 {
+			return 0
+		}
+		for _, l := range fresh {
+			fmt.Fprintf(os.Stderr, "stalint: new (not in %s): %s\n", df.baseline, l)
+		}
+		printFindings(findings, accepted)
+		fmt.Fprintf(os.Stderr, "stalint: %d new line(s) beyond the baseline — fix, or regenerate with -write-baseline\n", len(fresh))
+		return 1
+	}
+
+	printFindings(findings, nil)
+	if len(findings) > 0 {
+		return 1
+	}
 	return 0
+}
+
+// printFindings renders findings in the familiar file:line:col form.
+// With a baseline, only findings whose ratchet key is new are printed
+// (accepted ones are part of the agreed debt).
+func printFindings(fs []finding, accepted map[string]bool) {
+	for _, f := range fs {
+		if accepted != nil && accepted[f.key()] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+	}
 }

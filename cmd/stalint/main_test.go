@@ -1,0 +1,176 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildSelf compiles the stalint binary once per test run.
+func buildSelf(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "stalint")
+	cmd := exec.Command("go", "build", "-o", exe, ".")
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building stalint: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// fixtureModule writes a tiny module with one floatcmp violation and
+// returns its root.
+func fixtureModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module smoke\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+const dirtySrc = `package p
+
+// Delay compares delays exactly — the floatcmp analyzer flags this.
+func Delay(a, b float64) bool { return a == b }
+`
+
+const cleanSrc = `package p
+
+// Delay is fine.
+func Delay(a, b float64) float64 { return a + b }
+`
+
+// run executes the binary in dir and returns exit code and combined
+// output.
+func run(t *testing.T, dir, exe string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(exe, args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %s: %v\n%s", exe, err, out)
+		}
+		code = ee.ExitCode()
+	}
+	return code, string(out)
+}
+
+func TestStandaloneFindsAndExits(t *testing.T) {
+	exe := buildSelf(t)
+
+	dirty := fixtureModule(t, dirtySrc)
+	code, out := run(t, dirty, exe, "./...")
+	if code != 1 {
+		t.Fatalf("dirty module: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "floatcmp") || !strings.Contains(out, "p.go") {
+		t.Errorf("finding output missing analyzer or file:\n%s", out)
+	}
+
+	clean := fixtureModule(t, cleanSrc)
+	code, out = run(t, clean, exe, "./...")
+	if code != 0 {
+		t.Fatalf("clean module: exit %d, want 0\n%s", code, out)
+	}
+}
+
+func TestVettoolMode(t *testing.T) {
+	exe := buildSelf(t)
+	dirty := fixtureModule(t, dirtySrc)
+	cmd := exec.Command("go", "vet", "-vettool="+exe, "./...")
+	cmd.Dir = dirty
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on dirty module succeeded; want failure\n%s", out)
+	}
+	if !strings.Contains(string(out), "==") && !strings.Contains(string(out), "float") {
+		t.Errorf("vet output missing the floatcmp diagnostic:\n%s", out)
+	}
+}
+
+func TestBareIgnoreRejected(t *testing.T) {
+	exe := buildSelf(t)
+	dir := fixtureModule(t, `package p
+
+// stalint:ignore
+func F() {}
+`)
+	code, out := run(t, dir, exe, "./...")
+	if code != 1 {
+		t.Fatalf("bare ignore: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "bare stalint:ignore") {
+		t.Errorf("missing bare-ignore rejection:\n%s", out)
+	}
+	// Directive violations cannot be baselined away.
+	code, out = run(t, dir, exe, "-write-baseline", "./...")
+	if code != 1 {
+		t.Errorf("-write-baseline with a malformed directive: exit %d, want 1\n%s", code, out)
+	}
+}
+
+func TestBaselineRatchet(t *testing.T) {
+	exe := buildSelf(t)
+	dir := fixtureModule(t, dirtySrc)
+
+	// Fresh findings without a baseline fail…
+	if code, out := run(t, dir, exe, "./..."); code != 1 {
+		t.Fatalf("pre-baseline: exit %d, want 1\n%s", code, out)
+	}
+	// …writing a baseline accepts them…
+	if code, out := run(t, dir, exe, "-write-baseline", "-baseline", "lint.baseline", "./..."); code != 0 {
+		t.Fatalf("-write-baseline: exit %d, want 0\n%s", code, out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "lint.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "finding floatcmp p.go") {
+		t.Errorf("baseline missing the finding line:\n%s", data)
+	}
+	// …and the ratchet then passes.
+	if code, out := run(t, dir, exe, "-baseline", "lint.baseline", "./..."); code != 0 {
+		t.Fatalf("ratchet on accepted state: exit %d, want 0\n%s", code, out)
+	}
+	// A new finding beyond the baseline fails again.
+	extra := dirtySrc + "\n// Slew compares exactly too.\nfunc Slew(a, b float64) bool { return a != b }\n"
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(extra), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out := run(t, dir, exe, "-baseline", "lint.baseline", "./...")
+	if code != 1 {
+		t.Fatalf("new finding past baseline: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "new (not in lint.baseline)") {
+		t.Errorf("missing new-finding report:\n%s", out)
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	exe := buildSelf(t)
+	dir := fixtureModule(t, dirtySrc)
+	code, out := run(t, dir, exe, "-sarif", "out.sarif", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "out.sarif"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"version": "2.1.0"`, `"ruleId": "floatcmp"`, `"uri": "p.go"`} {
+		if !strings.Contains(string(data), frag) {
+			t.Errorf("SARIF missing %s:\n%s", frag, data)
+		}
+	}
+}

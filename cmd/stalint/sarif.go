@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	"tpsta/internal/analysis/stalint"
+)
+
+// Minimal SARIF 2.1.0 output: one run, one rule per analyzer, one
+// result per finding. Enough for code-scanning UIs and CI artifact
+// viewers without dragging in a SARIF dependency.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID        string          `json:"id"`
+	ShortDesc sarifMultilnMsg `json:"shortDescription"`
+}
+
+type sarifMultilnMsg struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMultilnMsg `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF renders the findings to path.
+func writeSARIF(path string, fs []finding) error {
+	var rules []sarifRule
+	for _, a := range stalint.Analyzers() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDesc: sarifMultilnMsg{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(fs))
+	for _, f := range fs {
+		line := f.Line
+		if line <= 0 {
+			line = 1 // SARIF requires a positive startLine
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMultilnMsg{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: f.File},
+				Region:           sarifRegion{StartLine: line, StartColumn: f.Col},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "stalint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

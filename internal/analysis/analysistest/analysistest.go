@@ -31,6 +31,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"runtime"
 	"sort"
@@ -56,19 +57,48 @@ func TestData() string {
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
 	l := newLoader(filepath.Join(testdata, "src"))
+	facts := newFactStore()
 	for _, path := range pkgpaths {
 		pkg, err := l.load(path)
 		if err != nil {
 			t.Errorf("loading fixture %s: %v", path, err)
 			continue
 		}
-		diags, err := runAnalyzer(a, l, pkg)
+		diags, err := runAnalyzer(a, l, pkg, facts)
 		if err != nil {
 			t.Errorf("running %s on %s: %v", a.Name, path, err)
 			continue
 		}
 		checkWants(t, l.fset, pkg, diags)
 	}
+}
+
+// factStore holds object and package facts exported while analyzing
+// fixture packages, so interprocedural analyzers (callgraph summaries)
+// see dependency facts exactly as under the go vet driver.
+type factStore struct {
+	obj      map[types.Object][]analysis.Fact
+	pkg      map[*types.Package][]analysis.Fact
+	analyzed map[string]bool // fixture package paths already analyzed for facts
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		obj:      map[types.Object][]analysis.Fact{},
+		pkg:      map[*types.Package][]analysis.Fact{},
+		analyzed: map[string]bool{},
+	}
+}
+
+// importFact copies a stored fact of dst's concrete type into dst.
+func importFact(stored []analysis.Fact, dst analysis.Fact) bool {
+	for _, f := range stored {
+		if reflect.TypeOf(f) == reflect.TypeOf(dst) {
+			reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
 }
 
 // pkgInfo is one loaded fixture package.
@@ -155,8 +185,20 @@ func (l *loader) load(path string) (*pkgInfo, error) {
 }
 
 // runAnalyzer executes a (and, depth-first, its Requires) over pkg,
-// returning a's diagnostics.
-func runAnalyzer(a *analysis.Analyzer, l *loader, pkg *pkgInfo) ([]analysis.Diagnostic, error) {
+// returning a's diagnostics. Fixture dependency packages are analyzed
+// first (diagnostics discarded) so their exported facts are available,
+// mirroring the go vet driver's bottom-up package order.
+func runAnalyzer(a *analysis.Analyzer, l *loader, pkg *pkgInfo, facts *factStore) ([]analysis.Diagnostic, error) {
+	for _, imp := range pkg.pkg.Imports() {
+		dep, ok := l.pkgs[imp.Path()]
+		if !ok || facts.analyzed[imp.Path()] {
+			continue
+		}
+		facts.analyzed[imp.Path()] = true
+		if _, err := runAnalyzer(a, l, dep, facts); err != nil {
+			return nil, fmt.Errorf("analyzing dependency %s: %w", imp.Path(), err)
+		}
+	}
 	var diags []analysis.Diagnostic
 	results := map[*analysis.Analyzer]interface{}{}
 	var run func(an *analysis.Analyzer) error
@@ -182,11 +224,19 @@ func runAnalyzer(a *analysis.Analyzer, l *loader, pkg *pkgInfo) ([]analysis.Diag
 					diags = append(diags, d)
 				}
 			},
-			ReadFile:          os.ReadFile,
-			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
-			ExportObjectFact:  func(types.Object, analysis.Fact) {},
-			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
-			ExportPackageFact: func(analysis.Fact) {},
+			ReadFile: os.ReadFile,
+			ImportObjectFact: func(obj types.Object, f analysis.Fact) bool {
+				return importFact(facts.obj[obj], f)
+			},
+			ExportObjectFact: func(obj types.Object, f analysis.Fact) {
+				facts.obj[obj] = append(facts.obj[obj], f)
+			},
+			ImportPackageFact: func(p *types.Package, f analysis.Fact) bool {
+				return importFact(facts.pkg[p], f)
+			},
+			ExportPackageFact: func(f analysis.Fact) {
+				facts.pkg[pkg.pkg] = append(facts.pkg[pkg.pkg], f)
+			},
 			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
 			AllPackageFacts:   func() []analysis.PackageFact { return nil },
 		}

@@ -1,0 +1,98 @@
+// Package determinism verifies the engine's reproducibility contract
+// statically: every result the search emits must be byte-identical
+// across runs and worker counts. A function whose doc comment carries
+//
+//	// stalint:deterministic <why>
+//
+// roots a transitive walk (through the callgraph summary engine,
+// across packages via facts) that flags order- and
+// environment-sensitive operations on the way to the result:
+//
+//   - iteration over a map that feeds emitted or ordered output —
+//     order-insensitive aggregations (only ++/op= updates) and the
+//     collect-then-sort idiom are recognized and exempt;
+//   - wall-clock reads (time.Now/Since) whose value can reach anything
+//     beyond the observability layer — timestamps feeding only obs
+//     metrics/spans are exempt via data-flow analysis in the summary
+//     engine, not via ignores;
+//   - math/rand and crypto/rand calls, unconditionally;
+//   - select statements with multiple cases (ready channels resolve in
+//     random order).
+//
+// Calls into internal/obs are sinks by policy; dynamic calls are
+// assumed deterministic (the continuations the repo passes around are
+// scanned inside their enclosing functions, so nothing is lost).
+// `stalint:ignore determinism <why>` cuts a line or edge and
+// `stalint:coldpath <why>` excludes a function, both justified and
+// swept by cmd/stalint.
+package determinism
+
+import (
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+
+	"tpsta/internal/analysis/internal/callgraph"
+)
+
+// Analyzer is the determinism contract checker.
+var Analyzer = &analysis.Analyzer{
+	Name:     "determinism",
+	Doc:      "verify stalint:deterministic result paths free of map-order, wall-clock and rand dependence",
+	Requires: []*analysis.Analyzer{callgraph.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	info := pass.ResultOf[callgraph.Analyzer].(*callgraph.Info)
+
+	var roots []*callgraph.FuncSummary
+	for _, s := range info.Funcs {
+		if s.DetRoot {
+			roots = append(roots, s)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Decl.Pos() < roots[j].Decl.Pos() })
+
+	visited := map[*callgraph.FuncSummary]bool{}
+	var root *callgraph.FuncSummary
+	// via names the contract being broken when the finding lands
+	// outside the annotated root itself.
+	via := func(s *callgraph.FuncSummary) string {
+		if s == root {
+			return ""
+		}
+		return " (reached from " + root.Obj.Name() + ")"
+	}
+	var visit func(s *callgraph.FuncSummary)
+	visit = func(s *callgraph.FuncSummary) {
+		if visited[s] {
+			return
+		}
+		visited[s] = true
+		for _, site := range s.NondetSites {
+			pass.Reportf(site.Pos, "deterministic result path: %s%s", site.Reason, via(s))
+		}
+		for i := range s.Calls {
+			e := &s.Calls[i]
+			if e.DetCut || e.Callee == nil {
+				continue
+			}
+			if local, ok := info.Funcs[e.Callee]; ok {
+				if local.Coldpath {
+					continue
+				}
+				visit(local)
+				continue
+			}
+			if bad, why := info.EdgeNondet(e); bad {
+				pass.Reportf(e.Pos, "deterministic result path: %s%s", why, via(s))
+			}
+		}
+	}
+	for _, r := range roots {
+		root = r
+		visit(r)
+	}
+	return nil, nil
+}

@@ -1,0 +1,182 @@
+// Package a exercises the determinism contract analyzer.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"tpsta/dep"
+	"tpsta/internal/obs"
+)
+
+// mergeRegression is the seeded regression: a map-range introduced
+// into the merge feeds ordered output.
+//
+// stalint:deterministic merge must be byte-identical across worker counts
+func mergeRegression(byKey map[string]int) []int {
+	var out []int
+	for _, v := range byKey { // want `iteration over a map is order-nondeterministic`
+		out = append(out, v)
+	}
+	return out
+}
+
+// countAgg: order-insensitive aggregation bodies are exempt.
+//
+// stalint:deterministic fixture root
+func countAgg(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// keys: the collect-then-sort idiom is exempt.
+//
+// stalint:deterministic fixture root
+func keys(m map[string]bool) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// keysManual: a hand-rolled insertion sort is sort evidence too.
+//
+// stalint:deterministic fixture root
+func keysManual(m map[string]bool) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// reindex: map writes keyed by the range key hit a distinct key every
+// iteration — order-insensitive, exempt.
+//
+// stalint:deterministic fixture root
+func reindex(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// invert: a write keyed by the range VALUE is not exempt — duplicate
+// values make last-write-wins order-dependent.
+//
+// stalint:deterministic fixture root
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m { // want `iteration over a map is order-nondeterministic`
+		out[v] = k
+	}
+	return out
+}
+
+// timed: timestamps feeding only the obs layer are exempt by data
+// flow, not by ignore.
+//
+// stalint:deterministic fixture root
+func timed(h *obs.Histogram) int {
+	t0 := time.Now()
+	r := compute()
+	h.Observe(time.Since(t0).Nanoseconds())
+	return r
+}
+
+// timedBad: a wall-clock value reaching the result is flagged at the
+// source.
+//
+// stalint:deterministic fixture root
+func timedBad() int64 {
+	t0 := time.Now() // want `wall-clock value reaches non-observability state`
+	return t0.UnixNano()
+}
+
+// frame mimics the scheduler's resume point: a donation timestamp.
+type frame struct{ stamp time.Time }
+
+// stampOK: field-borne timestamps that feed only metrics gates and
+// histograms are exempt (package-wide field flow).
+//
+// stalint:deterministic fixture root
+func stampOK(f *frame, h *obs.Histogram) {
+	f.stamp = time.Now()
+	if !f.stamp.IsZero() {
+		h.Observe(time.Since(f.stamp).Nanoseconds())
+	}
+}
+
+// badFrame is a separate type: field flows are tracked package-wide,
+// so a field shared with stampOK would taint it too.
+type badFrame struct{ when time.Time }
+
+// stampBad: a field-borne timestamp reaching a result is flagged.
+//
+// stalint:deterministic fixture root
+func stampBad(f *badFrame) int64 {
+	f.when = time.Now() // want `wall-clock value reaches non-observability state`
+	return f.when.UnixNano()
+}
+
+// shuffled: rand is a source, no exemption.
+//
+// stalint:deterministic fixture root
+func shuffled() int {
+	return rand.Intn(4) // want `math/rand is a nondeterminism source`
+}
+
+// sel: ready channels resolve in random order.
+//
+// stalint:deterministic fixture root
+func sel(a, b chan int) int {
+	select { // want `select with multiple cases`
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+
+// cross: nondeterminism arrives through a dependency's fact.
+//
+// stalint:deterministic fixture root
+func cross(m map[int]int) []int {
+	_ = dep.Sum(m)
+	return dep.Merge(m) // want `calls dep.Merge`
+}
+
+// ignored: a justified ignore suppresses the site.
+//
+// stalint:deterministic fixture root
+func ignored(m map[string]int) int {
+	// stalint:ignore determinism order is observably irrelevant here by construction
+	for range m {
+		return 1
+	}
+	return 0
+}
+
+// unrooted functions may range maps freely.
+func unrooted(m map[string]int) int {
+	for k := range m {
+		if k == "x" {
+			return 1
+		}
+	}
+	return 0
+}
+
+func compute() int { return 42 }

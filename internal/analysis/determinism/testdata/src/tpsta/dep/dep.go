@@ -1,0 +1,22 @@
+// Package dep is a same-module fixture dependency: its nondeterminism
+// verdicts cross the package boundary as facts.
+package dep
+
+// Merge ranges a map into ordered output — nondeterministic, visible
+// to callers through the exported fact.
+func Merge(m map[int]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Sum is an order-insensitive aggregation: clean.
+func Sum(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

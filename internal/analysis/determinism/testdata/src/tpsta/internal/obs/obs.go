@@ -1,0 +1,9 @@
+// Package obs is a fixture stand-in for tpsta/internal/obs: calls into
+// the observability layer are determinism sinks by policy.
+package obs
+
+// Histogram mimics the atomic latency histogram.
+type Histogram struct{ n int64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(ns int64) { h.n += ns }

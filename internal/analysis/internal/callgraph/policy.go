@@ -1,0 +1,134 @@
+package callgraph
+
+import (
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Policy tables for call edges that leave the package.
+//
+// Allocation is verified pessimistically: an external callee allocates
+// unless it is on the intrinsic allowlist, because "I couldn't see the
+// body" must never read as "proved alloc-free". Determinism is the
+// mirror image: the standard library is assumed deterministic except
+// for an explicit source denylist, because almost all of it is.
+
+// allocCleanPkgs are packages whose exported API is alloc-free in its
+// entirety.
+var allocCleanPkgs = map[string]bool{
+	"sync/atomic": true,
+	"math/bits":   true,
+	"math":        true,
+	"runtime":     true,
+	"unsafe":      true,
+}
+
+// allocCleanFuncs are individually vetted alloc-free functions and
+// methods, keyed by package path then name. Method entries match any
+// receiver type in that package (precise enough for sync and time).
+var allocCleanFuncs = map[string]map[string]bool{
+	"sync": {
+		"Lock": true, "Unlock": true, "TryLock": true,
+		"RLock": true, "RUnlock": true, "TryRLock": true,
+		"Do": true, "Wait": true, "Signal": true, "Broadcast": true,
+		"Add": true, "Done": true,
+	},
+	"time": {
+		"Now": true, "Since": true, "Until": true,
+		"Sub": true, "Before": true, "After": true, "Equal": true, "Compare": true,
+		"IsZero": true, "Unix": true, "UnixNano": true, "UnixMicro": true, "UnixMilli": true,
+		"Nanoseconds": true, "Microseconds": true, "Milliseconds": true,
+		"Seconds": true, "Minutes": true, "Hours": true,
+		"Truncate": true, "Round": true,
+	},
+}
+
+// nondetPkgs are packages whose calls are nondeterminism sources
+// outright — no flow exemption.
+var nondetPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// externMayAlloc resolves an out-of-package static callee for the
+// allocation verdict: same-module functions through their exported
+// summary facts, everything else through the intrinsic tables.
+func externMayAlloc(pass *analysis.Pass, e *CallEdge) (bool, string) {
+	f := e.Callee
+	pkg := f.Pkg()
+	if pkg == nil {
+		return false, "" // universe-scope (error.Error et al. arrive as dynamic edges)
+	}
+	path := pkg.Path()
+	if strings.HasPrefix(path, modulePrefix) {
+		if fact, ok := factFor(pass, f); ok {
+			if fact.Coldpath {
+				return false, ""
+			}
+			if fact.MayAlloc {
+				return true, "calls " + qualName(f) + " at " + posOf(pass, e.Pos) + ", which " + clip(fact.AllocReason)
+			}
+			return false, ""
+		}
+		return true, "calls " + qualName(f) + " at " + posOf(pass, e.Pos) + " (no summary available, assumed to allocate)"
+	}
+	if allocCleanPkgs[path] {
+		return false, ""
+	}
+	if fns, ok := allocCleanFuncs[path]; ok && fns[f.Name()] {
+		return false, ""
+	}
+	return true, "calls " + qualName(f) + " at " + posOf(pass, e.Pos) + " (external, assumed to allocate)"
+}
+
+// externNondet resolves an out-of-package static callee for the
+// determinism verdict. Calls into the obs layer are sinks; the
+// denylist packages are sources; other external code is assumed
+// deterministic; same-module callees use their facts.
+func externNondet(pass *analysis.Pass, e *CallEdge) (bool, string) {
+	f := e.Callee
+	pkg := f.Pkg()
+	if pkg == nil {
+		return false, ""
+	}
+	path := pkg.Path()
+	if nondetPkgs[path] {
+		return true, "calls " + qualName(f) + " at " + posOf(pass, e.Pos) + " (" + path + " is a nondeterminism source)"
+	}
+	if isObsPath(path) {
+		return false, "" // observability sink by policy
+	}
+	if strings.HasPrefix(path, modulePrefix) {
+		if fact, ok := factFor(pass, f); ok {
+			if fact.Coldpath {
+				return false, ""
+			}
+			if fact.Nondet {
+				return true, "calls " + qualName(f) + " at " + posOf(pass, e.Pos) + ", which " + clip(fact.NondetReason)
+			}
+		}
+		return false, ""
+	}
+	return false, ""
+}
+
+// qualName renders pkg.Func or pkg.Type.Method for messages.
+func qualName(f *types.Func) string {
+	name := f.Name()
+	if recv := f.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Name() + "." + name
+	}
+	return name
+}

@@ -1,0 +1,608 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"tpsta/internal/analysis/internal/ignore"
+)
+
+// scanner walks one function body collecting direct allocation sites,
+// direct nondeterminism sources and outgoing call edges, applying the
+// allowances that encode the repository's steady-state-zero contract:
+// self-appends into a reused backing array, function literals passed
+// directly as call arguments, and sync.Once bodies.
+type scanner struct {
+	pass     *analysis.Pass
+	sum      *FuncSummary
+	ignAlloc *ignore.Index
+	ignDet   *ignore.Index
+	allocOK  token.Pos // end of the zero-alloc checked region, or NoPos
+
+	// per-walk allowances, populated by parents before children visit
+	allowedAppend map[*ast.CallExpr]bool // self-append: x = append(x, ...)
+	calledFuns    map[ast.Expr]bool      // exprs in Fun position (not method values)
+	argLits       map[*ast.FuncLit]bool  // literals passed directly as call args
+	skipLits      map[*ast.FuncLit]bool  // literals whose body is exempt (Once.Do)
+
+	// timeCalls are time.Now/Since/Until sources deferred to the
+	// package-level flow analysis (timeflow.go).
+	timeCalls []*ast.CallExpr
+}
+
+func (sc *scanner) scanBody(body *ast.BlockStmt) {
+	sc.allowedAppend = map[*ast.CallExpr]bool{}
+	sc.calledFuns = map[ast.Expr]bool{}
+	sc.argLits = map[*ast.FuncLit]bool{}
+	sc.skipLits = map[*ast.FuncLit]bool{}
+	sc.walk(body)
+}
+
+// inAllocRegion reports whether pos is inside the zero-alloc checked
+// region (before any stalint:alloc-ok marker).
+func (sc *scanner) inAllocRegion(pos token.Pos) bool {
+	return sc.allocOK == token.NoPos || pos < sc.allocOK
+}
+
+func (sc *scanner) allocSite(pos token.Pos, reason string) {
+	if !sc.inAllocRegion(pos) || sc.ignAlloc.Suppressed(pos) {
+		return
+	}
+	sc.sum.AllocSites = append(sc.sum.AllocSites, Site{Pos: pos, Reason: reason})
+}
+
+func (sc *scanner) nondetSite(pos token.Pos, reason string) {
+	if sc.ignDet.Suppressed(pos) {
+		return
+	}
+	sc.sum.NondetSites = append(sc.sum.NondetSites, Site{Pos: pos, Reason: reason})
+}
+
+func (sc *scanner) edge(pos token.Pos, callee *types.Func, dynamic string) {
+	sc.sum.Calls = append(sc.sum.Calls, CallEdge{
+		Pos:        pos,
+		Callee:     callee,
+		Dynamic:    dynamic,
+		NoallocCut: !sc.inAllocRegion(pos) || sc.ignAlloc.Suppressed(pos),
+		DetCut:     sc.ignDet.Suppressed(pos),
+	})
+}
+
+// walk is a pre-order traversal; parents annotate the allowance maps
+// before their children are visited.
+func (sc *scanner) walk(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, sc.visit)
+}
+
+func (sc *scanner) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		if sc.skipLits[n] {
+			return false // sync.Once body: amortized to once, exempt
+		}
+		if !sc.argLits[n] {
+			sc.allocSite(n.Pos(), "function literal escapes (assigned or returned) and allocates a closure")
+		}
+		return true // body is scanned as part of the enclosing function
+
+	case *ast.GoStmt:
+		sc.allocSite(n.Pos(), "go statement allocates a goroutine")
+		return true
+
+	case *ast.AssignStmt:
+		sc.assign(n)
+		return true
+
+	case *ast.IncDecStmt:
+		if ix, ok := n.X.(*ast.IndexExpr); ok && sc.isMapIndex(ix) {
+			sc.allocSite(n.Pos(), "map element update may grow the map")
+		}
+		return true
+
+	case *ast.CallExpr:
+		sc.call(n)
+		return true
+
+	case *ast.CompositeLit:
+		sc.composite(n)
+		return true
+
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				sc.allocSite(cl.Pos(), "address of composite literal escapes to the heap")
+			}
+		}
+		return true
+
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && sc.isString(n.X) {
+			sc.allocSite(n.Pos(), "string concatenation allocates")
+		}
+		return true
+
+	case *ast.RangeStmt:
+		sc.mapRange(n)
+		return true
+
+	case *ast.SelectStmt:
+		if n.Body != nil && len(n.Body.List) > 1 {
+			sc.nondetSite(n.Pos(), "select with multiple cases resolves ready channels in random order")
+		}
+		return true
+
+	case *ast.SelectorExpr:
+		// A method used as a value (not in Fun position) materializes
+		// a bound-method closure.
+		if !sc.calledFuns[n] {
+			if f, ok := sc.pass.TypesInfo.Uses[n.Sel].(*types.Func); ok && f.Type().(*types.Signature).Recv() != nil {
+				if sel, ok := sc.pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.MethodVal {
+					sc.allocSite(n.Pos(), "method value allocates a bound-method closure")
+				}
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// assign handles map writes, self-append allowances, interface boxing
+// on assignment, and string +=.
+func (sc *scanner) assign(n *ast.AssignStmt) {
+	switch n.Tok {
+	case token.ADD_ASSIGN:
+		if sc.isString(n.Lhs[0]) {
+			sc.allocSite(n.Pos(), "string concatenation allocates")
+		}
+	}
+	for _, lhs := range n.Lhs {
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && sc.isMapIndex(ix) {
+			sc.allocSite(n.Pos(), "map assignment may grow the map")
+		}
+	}
+	if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+		// Pair up x_i = rhs_i when arities match (not a multi-value call).
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, rhs := range n.Rhs {
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && sc.isAppend(call) && sc.selfAppend(n.Lhs[i], call) {
+					sc.allowedAppend[call] = true
+				}
+				sc.boxingCheck(n.Lhs[i], rhs)
+			}
+		}
+	}
+}
+
+// selfAppend recognizes the amortized steady-state-zero idiom:
+//
+//	x = append(x, ...)        // grow a reused buffer
+//	x = append(x[:0], ...)    // rewrite a reused buffer
+//	*p = append(*p, ...)      // same through a pointer
+//
+// which reallocates only until the backing array reaches its high-water
+// mark, matching the AllocsPerRun contracts the runtime tests assert.
+func (sc *scanner) selfAppend(lhs ast.Expr, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	dst := types.ExprString(ast.Unparen(lhs))
+	src := ast.Unparen(call.Args[0])
+	if se, ok := src.(*ast.SliceExpr); ok {
+		src = ast.Unparen(se.X)
+	}
+	return types.ExprString(src) == dst
+}
+
+func (sc *scanner) isAppend(call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := sc.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			return b.Name() == "append"
+		}
+	}
+	return false
+}
+
+// boxingCheck flags a concrete value assigned into an interface-typed
+// location (the assignment boxes).
+func (sc *scanner) boxingCheck(lhs, rhs ast.Expr) {
+	lt := sc.pass.TypesInfo.TypeOf(lhs)
+	rt := sc.pass.TypesInfo.TypeOf(rhs)
+	if lt == nil || rt == nil {
+		return
+	}
+	if !types.IsInterface(lt) || types.IsInterface(rt) {
+		return
+	}
+	if b, ok := rt.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if p := rt.Underlying(); func() bool { _, ok := p.(*types.Pointer); return ok }() {
+		return // pointers box without allocating the pointee
+	}
+	sc.allocSite(rhs.Pos(), "assignment into interface boxes a concrete value")
+}
+
+// composite flags literals whose underlying storage is heap-bound.
+// Struct and array value literals are stack values and stay clean.
+func (sc *scanner) composite(n *ast.CompositeLit) {
+	t := sc.pass.TypesInfo.TypeOf(n)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		sc.allocSite(n.Pos(), "slice literal allocates a backing array")
+	case *types.Map:
+		sc.allocSite(n.Pos(), "map literal allocates")
+	}
+}
+
+// call classifies one call expression: builtin, conversion, static
+// edge, or dynamic edge — plus the Once.Do and direct-argument
+// function-literal allowances and the time-source bookkeeping.
+func (sc *scanner) call(n *ast.CallExpr) {
+	fun := ast.Unparen(n.Fun)
+	sc.calledFuns[fun] = true
+
+	// A directly-invoked literal runs inline: no closure escapes and
+	// the body is scanned as part of this function.
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		sc.argLits[lit] = true
+		return
+	}
+
+	// Conversion, not a call.
+	if tv, ok := sc.pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		sc.conversion(n, tv.Type)
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := sc.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			sc.builtin(n, b.Name())
+			return
+		}
+	}
+
+	// Function literals passed directly as arguments are assumed
+	// non-escaping (the repo's continuation style); their bodies are
+	// still scanned as part of this function.
+	for _, arg := range n.Args {
+		if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			sc.argLits[lit] = true
+		}
+	}
+
+	if callee := typeutil.StaticCallee(sc.pass.TypesInfo, n); callee != nil {
+		if isOnceDo(callee) {
+			// sync.Once.Do: the guarded body runs once per process —
+			// amortized out of the zero-alloc contract, like the
+			// repo's memoized justify-cube and kernel builds.
+			for _, arg := range n.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					sc.skipLits[lit] = true
+				}
+			}
+			return
+		}
+		if isTimeSource(callee) {
+			sc.timeCalls = append(sc.timeCalls, n)
+			return // alloc-intrinsic and det-deferred; no edge
+		}
+		sc.edge(n.Lparen, callee, "")
+		return
+	}
+
+	// Dynamic: interface method or func value.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s, ok := sc.pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if m, ok := s.Obj().(*types.Func); ok {
+				// Interface method with a known declared object: keep
+				// the object so the obs-sink policy can recognize it.
+				sc.edge(n.Lparen, m, "interface method "+m.Name())
+				return
+			}
+		}
+	}
+	sc.edge(n.Lparen, nil, "call through a function value")
+}
+
+func (sc *scanner) builtin(n *ast.CallExpr, name string) {
+	switch name {
+	case "append":
+		if !sc.allowedAppend[n] {
+			sc.allocSite(n.Pos(), "append into a fresh or escaping slice allocates")
+		}
+		// Arguments still scanned by the traversal.
+	case "make":
+		sc.allocSite(n.Pos(), "make allocates")
+	case "new":
+		sc.allocSite(n.Pos(), "new allocates")
+	case "print", "println":
+		sc.allocSite(n.Pos(), "print builtin may allocate")
+	}
+	// len, cap, copy, delete, panic, recover, min, max, clear: clean.
+}
+
+// conversion flags the conversions that copy their operand to fresh
+// storage: string <-> []byte/[]rune, anything-to-string, and
+// concrete-to-interface boxing.
+func (sc *scanner) conversion(n *ast.CallExpr, to types.Type) {
+	if len(n.Args) != 1 {
+		return
+	}
+	from := sc.pass.TypesInfo.TypeOf(n.Args[0])
+	if from == nil {
+		return
+	}
+	if types.IsInterface(to) && !types.IsInterface(from) {
+		sc.allocSite(n.Pos(), "conversion to interface boxes a concrete value")
+		return
+	}
+	toStr := isStringType(to)
+	fromStr := isStringType(from)
+	switch {
+	case toStr && !fromStr:
+		sc.allocSite(n.Pos(), "conversion to string allocates")
+	case !toStr && fromStr && isByteOrRuneSlice(to):
+		sc.allocSite(n.Pos(), "conversion from string to byte/rune slice allocates")
+	}
+}
+
+// mapRange flags iteration over a map unless the body is an
+// order-insensitive aggregation (++ / op= updates and map writes keyed
+// by the range key, possibly under ifs) or the collect-then-sort idiom
+// (the body only appends keys or values into slices that the same
+// function later sorts).
+func (sc *scanner) mapRange(n *ast.RangeStmt) {
+	t := sc.pass.TypesInfo.TypeOf(n.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	var key types.Object
+	if id, ok := n.Key.(*ast.Ident); ok && id.Name != "_" {
+		key = sc.pass.TypesInfo.Defs[id]
+		if key == nil {
+			key = sc.pass.TypesInfo.Uses[id]
+		}
+	}
+	if aggregationBody(sc.pass, key, n.Body) {
+		return
+	}
+	if targets, ok := collectBody(sc.pass, n.Body); ok && sc.sortedLater(targets) {
+		return
+	}
+	sc.nondetSite(n.Pos(), "iteration over a map is order-nondeterministic")
+}
+
+// aggregationBody reports whether every statement is an
+// order-insensitive update: x++, x--, x op= y for a commutative op, or
+// a map write keyed by the range key (each iteration writes a distinct
+// key, so write order cannot matter), possibly wrapped in if statements
+// of the same shape.
+func aggregationBody(pass *analysis.Pass, key types.Object, b *ast.BlockStmt) bool {
+	for _, st := range b.List {
+		if !aggregationStmt(pass, key, st) {
+			return false
+		}
+	}
+	return len(b.List) > 0
+}
+
+func aggregationStmt(pass *analysis.Pass, key types.Object, st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.IncDecStmt:
+		return true
+	case *ast.AssignStmt:
+		switch st.Tok {
+		case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+			return true
+		case token.ASSIGN:
+			return keyedMapWrite(pass, key, st)
+		}
+		return false
+	case *ast.IfStmt:
+		if st.Else != nil {
+			if eb, ok := st.Else.(*ast.BlockStmt); !ok || !aggregationBody(pass, key, eb) {
+				return false
+			}
+		}
+		return aggregationBody(pass, key, st.Body)
+	case *ast.BranchStmt:
+		return st.Tok == token.CONTINUE
+	case *ast.EmptyStmt:
+		return true
+	}
+	return false
+}
+
+// keyedMapWrite reports whether st is `m[k] = v` with k exactly the
+// range key variable. Such writes hit a distinct key every iteration,
+// so the loop's effect is independent of iteration order. A write
+// keyed by anything else (the range value, say) is NOT exempt:
+// duplicate keys would make last-write-wins order-dependent.
+func keyedMapWrite(pass *analysis.Pass, key types.Object, st *ast.AssignStmt) bool {
+	if key == nil || len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return false
+	}
+	ix, ok := ast.Unparen(st.Lhs[0]).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(ix.X)
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return false
+	}
+	kid, ok := ast.Unparen(ix.Index).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[kid] == key
+}
+
+// collectBody recognizes a body whose only effect is appending into
+// local slices (`names = append(names, k)`), returning the target
+// objects.
+func collectBody(pass *analysis.Pass, b *ast.BlockStmt) ([]types.Object, bool) {
+	var targets []types.Object
+	for _, st := range b.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return nil, false
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return nil, false
+		}
+		fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		if bi, ok := pass.TypesInfo.Uses[fid].(*types.Builtin); !ok || bi.Name() != "append" {
+			return nil, false
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if obj == nil {
+			return nil, false
+		}
+		targets = append(targets, obj)
+	}
+	return targets, len(targets) > 0
+}
+
+// sortedLater reports whether every target slice shows sort evidence
+// elsewhere in the function: a call into sort/slices with the target as
+// an argument, or a manual swap `s[i], s[j] = s[j], s[i]`.
+func (sc *scanner) sortedLater(targets []types.Object) bool {
+	for _, obj := range targets {
+		if !sc.sortEvidence(obj) {
+			return false
+		}
+	}
+	return true
+}
+
+func (sc *scanner) sortEvidence(obj types.Object) bool {
+	found := false
+	ast.Inspect(sc.sum.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if callee := typeutil.StaticCallee(sc.pass.TypesInfo, n); callee != nil && callee.Pkg() != nil {
+				p := callee.Pkg().Path()
+				if p == "sort" || p == "slices" {
+					for _, arg := range n.Args {
+						if id, ok := ast.Unparen(arg).(*ast.Ident); ok && sc.pass.TypesInfo.Uses[id] == obj {
+							found = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 2 && len(n.Rhs) == 2 && isSwapOn(sc.pass, n, obj) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSwapOn matches s[i], s[j] = s[j], s[i] on the given slice object —
+// the shape of a hand-rolled insertion sort.
+func isSwapOn(pass *analysis.Pass, n *ast.AssignStmt, obj types.Object) bool {
+	ix := func(e ast.Expr) (string, bool) {
+		x, ok := ast.Unparen(e).(*ast.IndexExpr)
+		if !ok {
+			return "", false
+		}
+		id, ok := ast.Unparen(x.X).(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != obj {
+			return "", false
+		}
+		return types.ExprString(x.Index), true
+	}
+	l0, ok0 := ix(n.Lhs[0])
+	l1, ok1 := ix(n.Lhs[1])
+	r0, ok2 := ix(n.Rhs[0])
+	r1, ok3 := ix(n.Rhs[1])
+	return ok0 && ok1 && ok2 && ok3 && l0 == r1 && l1 == r0
+}
+
+func (sc *scanner) isMapIndex(ix *ast.IndexExpr) bool {
+	t := sc.pass.TypesInfo.TypeOf(ix.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func (sc *scanner) isString(e ast.Expr) bool {
+	t := sc.pass.TypesInfo.TypeOf(e)
+	return t != nil && isStringType(t)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isOnceDo matches (*sync.Once).Do.
+func isOnceDo(f *types.Func) bool {
+	if f.Name() != "Do" || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := f.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Once"
+}
+
+// isTimeSource matches the wall-clock reads subject to the
+// determinism time-flow analysis.
+func isTimeSource(f *types.Func) bool {
+	if f.Pkg() == nil || f.Pkg().Path() != "time" {
+		return false
+	}
+	switch f.Name() {
+	case "Now", "Since", "Until":
+		return f.Type().(*types.Signature).Recv() == nil
+	}
+	return false
+}

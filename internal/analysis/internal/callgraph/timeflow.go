@@ -1,0 +1,263 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"tpsta/internal/analysis/internal/ignore"
+)
+
+// Time-flow analysis: a wall-clock read (time.Now/Since/Until) is a
+// nondeterminism source only when its value can reach anything other
+// than the observability layer. The exemption the issue demands —
+// "timestamps feeding only obs metrics are exempt via the summary
+// engine, not via ignores" — is a data-flow check:
+//
+//   - the value may flow through time arithmetic (Sub, Since, Seconds,
+//     Nanoseconds, ...), local variables, and struct fields declared in
+//     the same package;
+//   - it may terminate in a call into the obs package (histograms,
+//     spans, tracers), in an IsZero gate, or be discarded;
+//   - any other use — returned, compared, stored into external state,
+//     passed to a non-obs callee — marks the source as nondeterministic.
+//
+// Var flows are tracked across the whole package (fields too), with a
+// bounded number of propagation rounds.
+
+// timePending is one wall-clock read awaiting classification.
+type timePending struct {
+	sum  *FuncSummary
+	call *ast.CallExpr
+}
+
+// timeMethodOK are methods whose result is still "time-derived data":
+// following them keeps the flow analysis going instead of flagging.
+var timeMethodOK = map[string]bool{
+	"Sub": true, "Add": true, "AddDate": true, "Truncate": true, "Round": true,
+	"Unix": true, "UnixNano": true, "UnixMicro": true, "UnixMilli": true,
+	"Nanoseconds": true, "Microseconds": true, "Milliseconds": true,
+	"Seconds": true, "Minutes": true, "Hours": true,
+}
+
+// resolveTimeFlow classifies every pending wall-clock read and records
+// a nondet site on its function when the value escapes the obs layer.
+func resolveTimeFlow(pass *analysis.Pass, ins *inspector.Inspector, pending []timePending, ign *ignore.Index) {
+	if len(pending) == 0 {
+		return
+	}
+	want := map[ast.Node]bool{}
+	for _, p := range pending {
+		want[p.call] = true
+	}
+	stacks := map[ast.Node][]ast.Node{}
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if push && want[n] {
+			stacks[n] = append([]ast.Node(nil), stack...)
+		}
+		return true
+	})
+	for _, p := range pending {
+		if ign.Suppressed(p.call.Pos()) {
+			continue
+		}
+		fl := &flow{pass: pass, ins: ins, tracked: map[types.Object]bool{}}
+		if bad, at := fl.classify(stacks[p.call]); bad {
+			if ign.Suppressed(p.call.Pos()) {
+				continue
+			}
+			reason := "wall-clock value reaches non-observability state (use at " + posOf(pass, at) + ")"
+			p.sum.NondetSites = append(p.sum.NondetSites, Site{Pos: p.call.Pos(), Reason: reason})
+		}
+	}
+}
+
+// flow is the per-source propagation state.
+type flow struct {
+	pass    *analysis.Pass
+	ins     *inspector.Inspector
+	tracked map[types.Object]bool
+}
+
+// classify runs the initial context walk plus up to five rounds of
+// tracked-object propagation. Returns (escaped, firstBadPos).
+func (fl *flow) classify(stack []ast.Node) (bool, token.Pos) {
+	if stack == nil {
+		return false, token.NoPos
+	}
+	bad, at, fresh := fl.useContext(stack)
+	if bad {
+		return true, at
+	}
+	queue := fresh
+	for round := 0; round < 5 && len(queue) > 0; round++ {
+		var next []types.Object
+		for _, obj := range queue {
+			if fl.tracked[obj] {
+				continue
+			}
+			fl.tracked[obj] = true
+			b, a, more := fl.objectUses(obj)
+			if b {
+				return true, a
+			}
+			next = append(next, more...)
+		}
+		queue = next
+	}
+	if len(queue) > 0 {
+		// Propagation budget exhausted: assume escape.
+		return true, stack[len(stack)-1].Pos()
+	}
+	return false, token.NoPos
+}
+
+// objectUses classifies every read of a tracked var/field across the
+// package.
+func (fl *flow) objectUses(obj types.Object) (bool, token.Pos, []types.Object) {
+	var stacks [][]ast.Node
+	fl.ins.WithStack([]ast.Node{(*ast.Ident)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if push && fl.pass.TypesInfo.Uses[n.(*ast.Ident)] == obj {
+			stacks = append(stacks, append([]ast.Node(nil), stack...))
+		}
+		return true
+	})
+	var fresh []types.Object
+	for _, st := range stacks {
+		bad, at, more := fl.useContext(st)
+		if bad {
+			return true, at, nil
+		}
+		fresh = append(fresh, more...)
+	}
+	return false, token.NoPos, fresh
+}
+
+// useContext walks outward from the value node at the top of the stack
+// and decides whether this single use escapes, is exempt, or assigns
+// the value onward into fresh tracked objects.
+func (fl *flow) useContext(stack []ast.Node) (bad bool, at token.Pos, fresh []types.Object) {
+	info := fl.pass.TypesInfo
+	for i := len(stack) - 1; i > 0; i-- {
+		child := stack[i]
+		node := stack[i-1]
+		switch node := node.(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.SelectorExpr:
+			if child == node.Sel {
+				continue // we are the selected member; the selector is the value
+			}
+			name := node.Sel.Name
+			if name == "IsZero" {
+				return false, token.NoPos, nil // bool gate, exempt by policy
+			}
+			if timeMethodOK[name] {
+				continue
+			}
+			return true, node.Sel.Pos(), nil
+		case *ast.CallExpr:
+			if child == node.Fun {
+				continue // result of a time-derived method call
+			}
+			callee := typeutil.Callee(info, node)
+			if f, ok := callee.(*types.Func); ok {
+				if isTimeSource(f) {
+					continue // time.Since(t0): result still time-derived
+				}
+				if isObsSink(f) {
+					return false, token.NoPos, nil
+				}
+			}
+			return true, node.Lparen, nil
+		case *ast.AssignStmt:
+			for _, l := range node.Lhs {
+				if l == child {
+					return false, token.NoPos, nil // write to the tracked location, not a read
+				}
+			}
+			if node.Tok != token.ASSIGN && node.Tok != token.DEFINE {
+				return true, node.Pos(), nil // time op= arithmetic feeding state: track target instead
+			}
+			targets := node.Lhs
+			if len(node.Lhs) == len(node.Rhs) {
+				for j, r := range node.Rhs {
+					if r == child {
+						targets = node.Lhs[j : j+1]
+					}
+				}
+			}
+			for _, t := range targets {
+				obj, ok := fl.target(t)
+				if !ok {
+					return true, t.Pos(), nil
+				}
+				fresh = append(fresh, obj)
+			}
+			return false, token.NoPos, fresh
+		case *ast.ValueSpec:
+			for _, name := range node.Names {
+				if o := info.Defs[name]; o != nil {
+					fresh = append(fresh, o)
+				}
+			}
+			return false, token.NoPos, fresh
+		case *ast.KeyValueExpr:
+			if key, ok := node.Key.(*ast.Ident); ok && child == node.Value {
+				if o := info.Uses[key]; o != nil && o.Pkg() == fl.pass.Pkg {
+					fresh = append(fresh, o)
+					return false, token.NoPos, fresh
+				}
+			}
+			return true, node.Pos(), nil
+		case *ast.ExprStmt:
+			return false, token.NoPos, nil // result discarded
+		case *ast.DeferStmt, *ast.GoStmt:
+			continue
+		default:
+			return true, child.Pos(), nil
+		}
+	}
+	return false, token.NoPos, nil
+}
+
+// target resolves an assignment LHS to a trackable object: a local or
+// package var, or a struct field declared in this package.
+func (fl *flow) target(e ast.Expr) (types.Object, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return nil, false
+		}
+		if o := fl.pass.TypesInfo.Defs[e]; o != nil {
+			return o, true
+		}
+		if o := fl.pass.TypesInfo.Uses[e]; o != nil {
+			return o, true
+		}
+	case *ast.SelectorExpr:
+		if o := fl.pass.TypesInfo.Uses[e.Sel]; o != nil && o.Pkg() == fl.pass.Pkg {
+			return o, true
+		}
+	}
+	return nil, false
+}
+
+// isObsSink reports whether a callee belongs to the observability
+// layer: metrics, traces and progress output never feed result values,
+// so calls into it are determinism sinks by policy.
+func isObsSink(f *types.Func) bool {
+	return f.Pkg() != nil && isObsPath(f.Pkg().Path())
+}
+
+func isObsPath(path string) bool {
+	if path == obsPkgSuffix {
+		return true
+	}
+	n := len(path) - len(obsPkgSuffix)
+	return n > 0 && path[n-1] == '/' && path[n:] == obsPkgSuffix
+}

@@ -1,0 +1,97 @@
+// Package noalloc verifies the engine's zero-allocation contracts
+// statically. A function whose doc comment carries
+//
+//	// stalint:noalloc <why>
+//
+// is transitively checked — through every static call edge the
+// callgraph summary engine can see, across packages via facts — to be
+// free of allocating operations: make/new, heap-bound composite
+// literals, map writes, growing appends (the amortized self-append
+// idiom is allowed), string concatenation and copying conversions,
+// escaping closures, interface boxing, dynamic calls, and calls into
+// code that may do any of the above. Findings land on the exact
+// operation or call edge that breaks the contract, so the
+// AllocsPerRun runtime gates (skipped under -race, which is how CI
+// runs the tests) have a static twin that runs everywhere.
+//
+// Escape hatches, each requiring a justification swept by cmd/stalint:
+// `stalint:ignore noalloc <why>` cuts one line (and the edge below a
+// comment is not traversed), `stalint:coldpath <why>` on a callee's
+// doc excludes a guarded/amortized function from summaries, and
+// `stalint:alloc-ok <why>` inside a body ends the checked region —
+// emit's "zero allocs on duplicates" contract in one marker.
+package noalloc
+
+import (
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+
+	"tpsta/internal/analysis/internal/callgraph"
+)
+
+// Analyzer is the noalloc contract checker.
+var Analyzer = &analysis.Analyzer{
+	Name:     "noalloc",
+	Doc:      "verify stalint:noalloc functions transitively free of allocating operations",
+	Requires: []*analysis.Analyzer{callgraph.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	info := pass.ResultOf[callgraph.Analyzer].(*callgraph.Info)
+
+	var roots []*callgraph.FuncSummary
+	for _, s := range info.Funcs {
+		if s.NoallocRoot {
+			roots = append(roots, s)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Decl.Pos() < roots[j].Decl.Pos() })
+
+	visited := map[*callgraph.FuncSummary]bool{}
+	var root *callgraph.FuncSummary
+	// via names the contract being broken when the finding lands
+	// outside the annotated root itself.
+	via := func(s *callgraph.FuncSummary) string {
+		if s == root {
+			return ""
+		}
+		return " (reached from " + root.Obj.Name() + ")"
+	}
+	var visit func(s *callgraph.FuncSummary)
+	visit = func(s *callgraph.FuncSummary) {
+		if visited[s] {
+			return
+		}
+		visited[s] = true
+		for _, site := range s.AllocSites {
+			pass.Reportf(site.Pos, "hot path must not allocate: %s%s", site.Reason, via(s))
+		}
+		for i := range s.Calls {
+			e := &s.Calls[i]
+			if e.NoallocCut {
+				continue
+			}
+			if e.Callee == nil {
+				pass.Reportf(e.Pos, "hot path must not allocate: dynamic call (%s) may allocate%s", e.Dynamic, via(s))
+				continue
+			}
+			if local, ok := info.Funcs[e.Callee]; ok {
+				if local.Coldpath {
+					continue
+				}
+				visit(local)
+				continue
+			}
+			if bad, why := info.EdgeMayAlloc(e); bad {
+				pass.Reportf(e.Pos, "hot path must not allocate: %s%s", why, via(s))
+			}
+		}
+	}
+	for _, r := range roots {
+		root = r
+		visit(r)
+	}
+	return nil, nil
+}

@@ -1,0 +1,148 @@
+// Package a exercises the noalloc contract analyzer.
+package a
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tpsta/dep"
+)
+
+// hot demonstrates the direct allocation policy and the amortized
+// self-append allowance.
+//
+// stalint:noalloc fixture root
+func hot(buf []int, m map[string]int) []int {
+	buf = append(buf, 1)     // self-append: amortized, allowed
+	buf = append(buf[:0], 2) // reset-append: allowed
+	_ = m["k"]               // map read: allowed
+	x := make([]int, 4)      // want `make allocates`
+	_ = x
+	m["k"] = 1                          // want `map assignment may grow the map`
+	fresh := append([]int(nil), buf...) // want `append into a fresh or escaping slice allocates`
+	_ = fresh
+	lit := []int{1, 2} // want `slice literal allocates`
+	_ = lit
+	return buf
+}
+
+// appendVia checks the pointer form of the self-append allowance.
+//
+// stalint:noalloc fixture root
+func appendVia(p *[]int, v int) {
+	*p = append(*p, v) // allowed
+}
+
+// concat flags string building.
+//
+// stalint:noalloc fixture root
+func concat(a, b string, bs []byte) string {
+	s := string(bs) // want `conversion to string allocates`
+	_ = s
+	return a + b // want `string concatenation allocates`
+}
+
+// boxing flags concrete values crossing into interfaces.
+//
+// stalint:noalloc fixture root
+func boxing(n int) interface{} {
+	var i interface{}
+	i = n // want `assignment into interface boxes a concrete value`
+	return i
+}
+
+// closures: a literal passed directly as an argument is assumed
+// non-escaping; an assigned literal is a closure allocation; invoking a
+// function value is a dynamic call.
+//
+// stalint:noalloc fixture root
+func closures() {
+	f := func() {} // want `function literal escapes`
+	f()            // want `dynamic call`
+	runner(func() {})
+	go func() {}() // want `go statement allocates`
+}
+
+func runner(f func()) {
+	f() // want `dynamic call`
+}
+
+// memo: sync.Once bodies are amortized to once per process.
+//
+// stalint:noalloc fixture root
+func memo(once *sync.Once) {
+	once.Do(func() {
+		_ = make([]int, 8) // allowed: runs once
+	})
+}
+
+// intrinsics on the allowlist are clean.
+//
+// stalint:noalloc fixture root
+func intrinsics(mu *sync.Mutex, ctr *int64) {
+	mu.Lock()
+	atomic.AddInt64(ctr, 1)
+	mu.Unlock()
+}
+
+// useFmt: external callees off the allowlist are assumed to allocate.
+//
+// stalint:noalloc fixture root
+func useFmt() string {
+	return fmt.Sprintf("x") // want `external, assumed to allocate`
+}
+
+// cross exercises fact-borne verdicts across the package boundary.
+//
+// stalint:noalloc fixture root
+func cross() {
+	_ = dep.Clean(1)
+	_ = dep.Dirty() // want `calls dep.Dirty`
+	_ = dep.Cold()  // coldpath callee: allowed
+}
+
+// cutEdge: a justified ignore cuts the edge, so helper's fmt.Errorf is
+// never reached.
+//
+// stalint:noalloc fixture root
+func cutEdge() error {
+	// stalint:ignore noalloc error path, exercised only on corrupt input
+	return helper()
+}
+
+func helper() error {
+	return fmt.Errorf("boom")
+}
+
+// emitLike models emit's contract: zero allocs up to the dedupe gate,
+// anything after the alloc-ok marker is the paid once-per-variant tail.
+//
+// stalint:noalloc fixture root
+func emitLike(seen map[uint64]struct{}, sig uint64) {
+	if _, ok := seen[sig]; ok {
+		return
+	}
+	// stalint:alloc-ok fresh-path materialization is paid once per recorded variant
+	seen[sig] = struct{}{}
+	_ = make([]byte, 8)
+}
+
+// emitRegression is the seeded regression: an allocation introduced
+// before the dedupe gate must be caught.
+//
+// stalint:noalloc fixture root
+func emitRegression(seen map[uint64]struct{}, sig uint64) {
+	key := make([]byte, 8) // want `make allocates`
+	_ = key
+	if _, ok := seen[sig]; ok {
+		return
+	}
+	// stalint:alloc-ok fresh-path materialization is paid once per recorded variant
+	seen[sig] = struct{}{}
+}
+
+// unrooted functions may allocate freely.
+func unrooted() []int {
+	return make([]int, 16)
+}

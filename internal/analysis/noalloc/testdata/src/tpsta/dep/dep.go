@@ -1,0 +1,14 @@
+// Package dep is a same-module fixture dependency: its summaries cross
+// the package boundary as facts.
+package dep
+
+// Clean is alloc-free and verified so through its fact.
+func Clean(x int) int { return x + 1 }
+
+// Dirty allocates; callers see the reason chain through its fact.
+func Dirty() []int { return make([]int, 3) }
+
+// Cold allocates but is excluded from summaries by contract.
+//
+// stalint:coldpath one-time setup amortized over the process lifetime
+func Cold() []int { return make([]int, 3) }

@@ -1,6 +1,6 @@
 // Package stalint assembles the repository's custom static-analysis
-// suite: the five analyzers that machine-check the engine invariants
-// go vet cannot see (see DESIGN §9).
+// suite: the seven analyzers that machine-check the engine invariants
+// go vet cannot see (see DESIGN §9 and §14).
 //
 //   - sharedstate: stalint:shared types mutate only in constructors or
 //     under sync.Once (concurrency invariant from the parallel search);
@@ -10,15 +10,23 @@
 //     epsilon comparison via internal/num;
 //   - obscheck: instrument names are package-prefixed constants and
 //     counters are monotonic;
-//   - errwrap: errors crossing package boundaries are wrapped with %w.
+//   - errwrap: errors crossing package boundaries are wrapped with %w;
+//   - noalloc: stalint:noalloc hot paths are transitively free of
+//     allocating operations (static twin of the AllocsPerRun gates);
+//   - determinism: stalint:deterministic result paths are free of
+//     map-order, wall-clock and rand dependence.
+//
+// The last two share the internal/callgraph bottom-up summary engine.
 package stalint
 
 import (
 	"golang.org/x/tools/go/analysis"
 
+	"tpsta/internal/analysis/determinism"
 	"tpsta/internal/analysis/errwrap"
 	"tpsta/internal/analysis/exhaustive"
 	"tpsta/internal/analysis/floatcmp"
+	"tpsta/internal/analysis/noalloc"
 	"tpsta/internal/analysis/obscheck"
 	"tpsta/internal/analysis/sharedstate"
 )
@@ -31,5 +39,18 @@ func Analyzers() []*analysis.Analyzer {
 		floatcmp.Analyzer,
 		obscheck.Analyzer,
 		errwrap.Analyzer,
+		noalloc.Analyzer,
+		determinism.Analyzer,
 	}
+}
+
+// Names returns the canonical analyzer names, for directive validation
+// in the driver.
+func Names() []string {
+	as := Analyzers()
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name
+	}
+	return names
 }

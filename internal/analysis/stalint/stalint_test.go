@@ -16,7 +16,7 @@ func TestSuite(t *testing.T) {
 	if err := analysis.Validate(as); err != nil {
 		t.Fatalf("suite does not validate: %v", err)
 	}
-	want := []string{"sharedstate", "exhaustive", "floatcmp", "obscheck", "errwrap"}
+	want := []string{"sharedstate", "exhaustive", "floatcmp", "obscheck", "errwrap", "noalloc", "determinism"}
 	if len(as) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(as), len(want))
 	}

@@ -1,0 +1,169 @@
+package stalint
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Violation is one rejected stalint directive found by SweepDirectives:
+// a suppression or contract marker that does not meet the repository's
+// justification rules. Violations are not baselineable — the driver
+// fails the run outright, so an unjustified escape hatch can never
+// ratchet in.
+type Violation struct {
+	File string // root-relative, forward slashes
+	Line int
+	Msg  string
+}
+
+// Ignore is one well-formed `stalint:ignore` directive: the suppression
+// inventory the driver's ratchet baseline tracks, so adding a new
+// suppression is as visible in review as adding a finding.
+type Ignore struct {
+	File  string // root-relative, forward slashes
+	Line  int
+	Names string // comma-joined analyzer list, as written
+	Why   string // justification text
+}
+
+// directiveKinds classifies every recognized stalint directive word.
+// needNames: the first field must be a comma-list of known analyzer
+// names. needWhy: free-text justification required after the fixed
+// part. Words absent from the map are unknown directives — a
+// misspelled suppression would otherwise silently suppress nothing.
+var directiveKinds = map[string]struct{ needNames, needWhy bool }{
+	"ignore":        {needNames: true, needWhy: true},
+	"alloc-ok":      {needWhy: true},
+	"coldpath":      {needWhy: true},
+	"noalloc":       {needWhy: true},
+	"deterministic": {needWhy: true},
+	"shared":        {},
+	"frozen":        {},
+}
+
+// SweepDirectives walks every .go file under root (skipping vendor,
+// testdata and dot-directories) and validates each stalint directive:
+//
+//   - `stalint:ignore` must name at least one known analyzer and carry
+//     a justification — a bare ignore suppresses nothing at analysis
+//     time, so one in the tree is always a mistake;
+//   - `stalint:alloc-ok`, `stalint:coldpath`, `stalint:noalloc` and
+//     `stalint:deterministic` must carry a justification;
+//   - unknown `stalint:<word>` directives are rejected.
+//
+// Directive text is extracted exactly like the analyzers extract it
+// (comment marker stripped, then whitespace), so the sweep validates
+// precisely what the suite would act on. Files that fail to parse are
+// skipped — the vet run reports those on its own.
+//
+// The returned Ignore list inventories every well-formed suppression,
+// sorted by file and line.
+func SweepDirectives(root string) ([]Violation, []Ignore, error) {
+	known := map[string]bool{}
+	for _, n := range Names() {
+		known[n] = true
+	}
+	var vs []Violation
+	var igs []Ignore
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "vendor" || name == "testdata" || strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if f == nil {
+			return nil // unparseable: vet will complain with full detail
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			rel = path
+		}
+		rel = filepath.ToSlash(rel)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				line := fset.Position(c.Pos()).Line
+				msg, ig, ok := checkDirective(c.Text, known)
+				if !ok {
+					vs = append(vs, Violation{File: rel, Line: line, Msg: msg})
+					continue
+				}
+				if ig != nil {
+					ig.File, ig.Line = rel, line
+					igs = append(igs, *ig)
+				}
+			}
+		}
+		return nil
+	})
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].File != vs[j].File {
+			return vs[i].File < vs[j].File
+		}
+		return vs[i].Line < vs[j].Line
+	})
+	sort.Slice(igs, func(i, j int) bool {
+		if igs[i].File != igs[j].File {
+			return igs[i].File < igs[j].File
+		}
+		return igs[i].Line < igs[j].Line
+	})
+	return vs, igs, err
+}
+
+// checkDirective validates one comment. ok is true when the comment is
+// not a stalint directive at all, or is a well-formed one; a
+// well-formed `stalint:ignore` additionally yields its inventory entry
+// (File and Line left for the caller to fill).
+func checkDirective(text string, known map[string]bool) (msg string, ig *Ignore, ok bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSuffix(text, "*/")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "stalint:") {
+		return "", nil, true
+	}
+	fields := strings.Fields(strings.TrimPrefix(text, "stalint:"))
+	if len(fields) == 0 {
+		return "empty stalint directive", nil, false
+	}
+	word := fields[0]
+	rest := fields[1:]
+	kind, isKnown := directiveKinds[word]
+	if !isKnown {
+		return "unknown directive stalint:" + word, nil, false
+	}
+	var names string
+	if kind.needNames {
+		if len(rest) == 0 {
+			return "bare stalint:" + word + ": must name the analyzers it silences", nil, false
+		}
+		for _, n := range strings.Split(rest[0], ",") {
+			if n != "" && !known[n] {
+				return "stalint:" + word + ` names unknown analyzer "` + n + `"`, nil, false
+			}
+		}
+		names = rest[0]
+		rest = rest[1:]
+	}
+	if kind.needWhy && len(rest) == 0 {
+		return "stalint:" + word + " without a justification", nil, false
+	}
+	if word == "ignore" {
+		return "", &Ignore{Names: names, Why: strings.Join(rest, " ")}, true
+	}
+	return "", nil, true
+}

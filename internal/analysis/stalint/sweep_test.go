@@ -1,0 +1,100 @@
+package stalint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckDirective(t *testing.T) {
+	known := map[string]bool{"floatcmp": true, "noalloc": true}
+	cases := []struct {
+		text string
+		ok   bool
+		frag string // required substring of the message when !ok
+	}{
+		{"// ordinary comment", true, ""},
+		{"// stalint:ignore floatcmp exact sentinel compare", true, ""},
+		{"// stalint:ignore floatcmp,noalloc shared justification", true, ""},
+		{"// stalint:ignore", false, "bare"},
+		{"// stalint:ignore floatcmp", false, "justification"},
+		{"// stalint:ignore nosuch reason text", false, `unknown analyzer "nosuch"`},
+		{"// stalint:alloc-ok", false, "justification"},
+		{"// stalint:alloc-ok cold rebuild path", true, ""},
+		{"// stalint:coldpath amortized build", true, ""},
+		{"// stalint:noalloc hot loop contract", true, ""},
+		{"// stalint:deterministic merge contract", true, ""},
+		{"// stalint:shared", true, ""},
+		{"// stalint:frozen", true, ""},
+		{"// stalint:ignroe floatcmp typo", false, "unknown directive"},
+		{"//\t// stalint:ignore <analyzer> doc example is inert", true, ""},
+		{"/* stalint:ignore floatcmp block form reason */", true, ""},
+	}
+	for _, c := range cases {
+		msg, _, ok := checkDirective(c.text, known)
+		if ok != c.ok {
+			t.Errorf("checkDirective(%q) ok = %v, want %v (msg %q)", c.text, ok, c.ok, msg)
+			continue
+		}
+		if !ok && !strings.Contains(msg, c.frag) {
+			t.Errorf("checkDirective(%q) msg = %q, want substring %q", c.text, msg, c.frag)
+		}
+	}
+	if _, ig, ok := checkDirective("// stalint:ignore floatcmp,noalloc why text here", known); !ok || ig == nil {
+		t.Fatal("well-formed ignore yields no inventory entry")
+	} else if ig.Names != "floatcmp,noalloc" || ig.Why != "why text here" {
+		t.Errorf("inventory entry = %+v", ig)
+	}
+}
+
+func TestSweepDirectives(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		p := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("good.go", "package p\n\n// stalint:ignore floatcmp exact sentinel\nvar x = 1\n")
+	write("bad.go", "package p\n\n// stalint:ignore\nvar y = 2\n")
+	write("testdata/skip.go", "package q\n\n// stalint:ignore\nvar z = 3\n")
+	write("vendor/skip.go", "package r\n\n// stalint:ignore\nvar w = 4\n")
+	write("str.go", "package p\n\nconst s = \"// stalint:ignore\" // a string, not a directive\n")
+
+	vs, igs, err := SweepDirectives(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations %v, want 1", len(vs), vs)
+	}
+	if vs[0].File != "bad.go" || vs[0].Line != 3 {
+		t.Errorf("violation at %s:%d, want bad.go:3", vs[0].File, vs[0].Line)
+	}
+	if len(igs) != 1 || igs[0].File != "good.go" || igs[0].Names != "floatcmp" {
+		t.Errorf("ignore inventory = %+v, want the one in good.go", igs)
+	}
+}
+
+func TestSweepRepo(t *testing.T) {
+	// The repository's own tree must satisfy the sweep — this is the
+	// committed-state guarantee the driver enforces in CI.
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("module root not found: %v", err)
+	}
+	vs, _, err := SweepDirectives(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("%s:%d: %s", v.File, v.Line, v.Msg)
+	}
+}

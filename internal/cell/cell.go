@@ -144,6 +144,7 @@ func (c *Cell) Vectors(pin string) []Vector {
 	if vs, ok := c.vectors[pin]; ok {
 		return vs
 	}
+	// stalint:alloc-ok cache miss compiles the pin's vectors once; library cells are precomputed before any hot path runs
 	valid := false
 	for _, p := range c.Inputs {
 		if p == pin {

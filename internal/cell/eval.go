@@ -20,10 +20,13 @@ func (c *Cell) EvalFast(vals []logic.Value) logic.Value {
 	if c.fastEval == nil {
 		c.compileEval()
 	}
+	// stalint:ignore noalloc the compiled closure tree evaluates with pure logic ops; no call-time allocation
 	return c.fastEval(vals)
 }
 
 // compileEval builds and caches the fast evaluator.
+//
+// stalint:coldpath compiled once per cell, normally during library load
 func (c *Cell) compileEval() {
 	idx := make(map[string]int, len(c.Inputs))
 	for i, p := range c.Inputs {

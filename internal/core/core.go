@@ -509,6 +509,9 @@ func New(c *netlist.Circuit, tc *tech.Tech, lib *charlib.Library, opts Options) 
 // serial mode a MaxSteps budget is spread across the launching inputs
 // with rollover, so a truncated search still samples every input cone
 // instead of exhausting the budget inside the first one.
+//
+// stalint:deterministic results must be byte-identical across runs and
+// worker counts (TestParallelMatchesSerial)
 func (e *Engine) Enumerate() (*Result, error) {
 	if w := e.effectiveWorkers(); w > 1 && len(e.Circuit.Inputs) > 1 {
 		return e.enumerateParallel(w)
@@ -545,6 +548,9 @@ func (e *Engine) Enumerate() (*Result, error) {
 // and returns the true variants — the developed tool pointed at a single
 // path, used to adjudicate the baseline tool's verdicts and to find the
 // worst vector of a given path.
+//
+// stalint:deterministic single-course verdicts feed A/B adjudication;
+// same contract as Enumerate
 func (e *Engine) EnumerateCourse(nodes []string) (*Result, error) {
 	start, hops, err := e.resolveCourse(nodes)
 	if err != nil {
@@ -641,6 +647,9 @@ func (e *Engine) ArcDelays(arcs []Arc, launchRising bool) ([]float64, error) {
 // arc resolves by (gate ID, pin index, vector case, edge) into the
 // run-specialized 2-variable kernels (see kernels.go), bit-identical
 // to evaluating the full 4-variable models.
+//
+// stalint:noalloc the steady-state query loop is the contract
+// (TestArcDelaysSteadyStateAllocs); error paths below carry ignores
 func (e *Engine) ArcDelaysInto(dst []float64, arcs []Arc, launchRising bool) ([]float64, error) {
 	out := dst[:0]
 	if e.Lib == nil {
@@ -669,13 +678,14 @@ func (e *Engine) ArcDelaysInto(dst []float64, arcs []Arc, launchRising bool) ([]
 		ei := edgeIndex(rising)
 		dm := ak.delay[ei]
 		if dm == nil {
-			return nil, fmt.Errorf("charlib: no polynomial arc %s",
-				charlib.PolyKey(a.Gate.Cell.Name, a.Pin, a.Vec.Key(), rising))
+			// stalint:ignore noalloc terminal error path; the query is abandoned, not retried
+			return nil, fmt.Errorf("charlib: no polynomial arc %s", charlib.PolyKey(a.Gate.Cell.Name, a.Pin, a.Vec.Key(), rising))
 		}
 		x[0], x[1] = kt.fo[a.Gate.ID], slew
 		out = append(out, dm.Eval(x[:]))
 		slew = ak.slew[ei].Eval(x[:])
 		if !ak.outOK[ei] {
+			// stalint:ignore noalloc terminal error path; the query is abandoned, not retried
 			return nil, fmt.Errorf("core: arc %s/%s vector %s does not propagate", a.Gate.Name, a.Pin, a.Vec.Key())
 		}
 		rising = ak.outRising[ei]

@@ -80,6 +80,10 @@ func (s *searcher) assertVector(g *netlist.Gate, vec cell.Vector) bool {
 // it adds nothing to the conflict counters the original attempt already
 // charged. For kindDeadArc the gate-output value tryArc's viability
 // check examined is recorded as one more read.
+//
+// stalint:coldpath opt-in learning (Options.Learning); the recording
+// re-run and store insert are paid once per learned clause, against the
+// subtrees the clause then prunes
 func (s *searcher) learnDecision(g *netlist.Gate, vec cell.Vector, f frame, kind uint8, rising bool) {
 	var t0 time.Time
 	if s.metrics != nil {

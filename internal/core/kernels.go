@@ -85,6 +85,9 @@ func edgeIndex(rising bool) int {
 // fixed (T, VDD). Per-gate load failures are deferred to query time
 // (mirroring the lazy lookup this replaces); a model whose free
 // variables are not exactly (Fo, Tin) fails the build outright.
+//
+// stalint:coldpath one build per operating point, amortized over every
+// subsequent arc query
 func newKernelTable(e *Engine) (*kernelTable, error) {
 	t0 := time.Now()
 	kt := &kernelTable{temp: e.Opts.Temp, vdd: e.Opts.VDD}
@@ -181,9 +184,11 @@ func (kt *kernelTable) arc(a *Arc) (*arcKernel, error) {
 			if vi := a.Vec.Case - 1; vi >= 0 && vi < len(ck[pi]) {
 				return &ck[pi][vi], nil
 			}
+			// stalint:ignore noalloc terminal error path; the query is abandoned, not retried
 			return nil, fmt.Errorf("core: arc %s/%s vector case %d unknown to the kernel table", a.Gate.Name, a.Pin, a.Vec.Case)
 		}
 	}
+	// stalint:ignore noalloc terminal error path; the query is abandoned, not retried
 	return nil, fmt.Errorf("core: arc pin %s/%s unknown to the kernel table", a.Gate.Name, a.Pin)
 }
 
@@ -198,6 +203,7 @@ func (e *Engine) kernels() (*kernelTable, error) {
 	if st := e.kern; st != nil && st.temp == e.Opts.Temp && st.vdd == e.Opts.VDD {
 		return st.table, st.err
 	}
+	// stalint:alloc-ok cache-miss rebuild, paid once per operating point
 	st := &kernelState{temp: e.Opts.Temp, vdd: e.Opts.VDD}
 	st.table, st.err = newKernelTable(e)
 	e.kern = st

@@ -16,6 +16,9 @@ import (
 // the "programmed to find efficiently the N true paths" mode the paper's
 // single-pass design enables — no two-step structural list whose
 // required length is unknown in advance.
+//
+// stalint:deterministic the reported k-worst set and its order must not
+// depend on worker count or heap timing (TestKWorstParallelMatchesSerial)
 func (e *Engine) KWorst(k int) (*Result, error) {
 	if k <= 0 {
 		k = 1

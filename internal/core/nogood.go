@@ -243,6 +243,10 @@ func bucketKey(g *netlist.Gate, vec cell.Vector, aliveR, aliveF bool) uint64 {
 // match reports whether a learned nogood proves the decision dead under
 // the current constraint store. Called before the decision is charged a
 // step; a hit prunes the whole subtree at zero cost.
+//
+// stalint:noalloc the prune runs ahead of every decision — a miss (the
+// common case) must cost a bucket lookup and two watch probes, nothing
+// more
 func (st *nogoodStore) match(s *searcher, g *netlist.Gate, vec cell.Vector) bool {
 	lst := st.buckets[bucketKey(g, vec, s.aliveR, s.aliveF)]
 	if len(lst) == 0 {
@@ -257,6 +261,7 @@ func (st *nogoodStore) match(s *searcher, g *netlist.Gate, vec cell.Vector) bool
 		}
 		st.stats.Hits++
 		if st.verify != nil {
+			// stalint:ignore noalloc test-only soundness hook (FuzzNogood replay); nil outside the fuzz harness
 			st.verify(s, g, vec, ng.kind)
 		}
 		return true
@@ -393,6 +398,9 @@ func (st *nogoodStore) adopt(sn *nogoodSnap) {
 
 // exchange is the periodic lock-free exchange at the donation-poll
 // site: publish what this worker learned, adopt what the pool did.
+//
+// stalint:coldpath runs at the steal-poll cadence (StealPollSteps), so
+// the snapshot copy amortizes over thousands of search steps
 func (st *nogoodStore) exchange(b *nogoodBoard) {
 	if b == nil {
 		return

@@ -290,6 +290,9 @@ func (e *Engine) kworstParallel(workers, k int) (*Result, error) {
 // then sorted by the canonical total order. k > 0 keeps the k worst
 // (KWorst); otherwise a MaxVariants cap keeps the best MaxVariants of
 // whatever the pool recorded before the cap stopped it.
+//
+// stalint:deterministic the merge is where scheduling noise would leak
+// into results; signature dedupe plus the canonical sort erase it
 func (e *Engine) finishParallel(sd *sched, outs []workerOutcome, k int) (*Result, error) {
 	for i := range outs {
 		if outs[i].err != nil {

@@ -68,6 +68,13 @@ type searcher struct {
 	// backing array.
 	dscratch []float64
 
+	// implQueue is the reusable forward-implication worklist of assign.
+	// assign is not re-entrant (the loop body only evaluates gates), so
+	// one buffer per searcher keeps the steady-state step allocation-free
+	// even when the fanout frontier outgrows what escape analysis would
+	// keep on the stack.
+	implQueue []implWork
+
 	// kworst pruning (nil when not in K-worst mode).
 	prune *pruner
 
@@ -188,7 +195,22 @@ func (s *searcher) truncate(why TruncReason) {
 	}
 }
 
+// traceTruncate emits the truncation event — kept out of the decision
+// hot path so the reason string is only rendered when a tracer exists.
+//
+// stalint:coldpath terminal truncation exit, runs at most once per
+// search and builds the event only under a configured tracer
+func (s *searcher) traceTruncate(why TruncReason, input string) {
+	if s.eng.Opts.Tracer == nil {
+		return
+	}
+	s.trace(obs.Event{Kind: "truncate", Detail: why.String(), Input: input, Steps: s.steps})
+}
+
 // trace emits ev when a tracer is configured.
+//
+// stalint:coldpath tracer-gated instrumentation — no tracer, no call
+// cost; with one, the event cost is the opt-in price of tracing
 func (s *searcher) trace(ev obs.Event) {
 	if t := s.eng.Opts.Tracer; t != nil {
 		t.Emit(ev)
@@ -199,6 +221,9 @@ func (s *searcher) trace(ev obs.Event) {
 // the DFS depth, the current frame's 128-bit path signature, the worker
 // and — while re-descending a stolen prefix — the replay provenance.
 // The event (and its hex string) is built only when a tracer exists.
+//
+// stalint:coldpath sampled instrumentation — runs once per
+// TraceSampleEvery decisions and only with a tracer configured
 func (s *searcher) traceStep() {
 	t := s.eng.Opts.Tracer
 	if t == nil {
@@ -216,6 +241,9 @@ func (s *searcher) traceStep() {
 }
 
 // progress fires the periodic progress callback.
+//
+// stalint:coldpath opt-in callback, throttled to once per progressEvery
+// decisions; the callback's cost belongs to its provider
 func (s *searcher) progress(done bool) {
 	p := s.eng.Opts.Progress
 	if p == nil {
@@ -380,19 +408,20 @@ func (s *searcher) replay(r *resumePoint, i int) {
 	s.replaying = false
 }
 
+// implWork is one pending forward implication: intersect val into nid.
+type implWork struct {
+	nid int
+	val logic.Dual
+}
+
 // assign intersects val into the node's current value (per alive
 // scenario) and forward-propagates implications through the fanout. A
 // scenario whose intersection conflicts is killed; assign fails only when
 // no scenario stays alive.
 func (s *searcher) assign(nid int, val logic.Dual) bool {
-	type work struct {
-		nid int
-		val logic.Dual
-	}
-	queue := []work{{nid, val}}
-	for len(queue) > 0 {
-		w := queue[0]
-		queue = queue[1:]
+	s.implQueue = append(s.implQueue[:0], implWork{nid, val})
+	for head := 0; head < len(s.implQueue); head++ {
+		w := s.implQueue[head]
 		cur := s.values[w.nid]
 		if s.rec != nil {
 			// Learning recorder: the intersection below depends on the
@@ -440,7 +469,7 @@ func (s *searcher) assign(nid int, val logic.Dual) bool {
 		for _, ref := range s.c.Nodes[w.nid].Fanout {
 			g := ref.Gate
 			implied := s.evalGate(g)
-			queue = append(queue, work{g.Out.ID, implied})
+			s.implQueue = append(s.implQueue, implWork{g.Out.ID, implied})
 		}
 	}
 	return true
@@ -469,6 +498,10 @@ func (s *searcher) evalGate(g *netlist.Gate) logic.Dual {
 // no contradiction surfaced. A decision a learned nogood proves dead is
 // pruned up front; a decision that dies here (or whose arc tryArc finds
 // unviable) is recorded as a new nogood.
+//
+// stalint:noalloc one decision application is budget accounting, a
+// constraint-frame save, side-value assertion and forward implication —
+// zero allocations per step (TestSearchStepDisabledZeroAlloc)
 func (s *searcher) withVector(g *netlist.Gate, vec cell.Vector, cont func()) {
 	// The nogood lookup runs before any accounting: a pruned decision is
 	// rejected before stepBudget.take(), so learning strictly reduces
@@ -501,7 +534,7 @@ func (s *searcher) withVector(g *netlist.Gate, vec cell.Vector, cont func()) {
 		if !s.budget.take() {
 			s.stopped = true
 			s.truncate(TruncMaxSteps)
-			s.trace(obs.Event{Kind: "truncate", Detail: TruncMaxSteps.String(), Steps: s.steps})
+			s.traceTruncate(TruncMaxSteps, "")
 			return
 		}
 		s.steps++
@@ -528,14 +561,14 @@ func (s *searcher) withVector(g *netlist.Gate, vec cell.Vector, cont func()) {
 		if max := s.eng.Opts.MaxSteps; max > 0 && s.steps > max {
 			s.stopped = true
 			s.truncate(TruncMaxSteps)
-			s.trace(obs.Event{Kind: "truncate", Detail: TruncMaxSteps.String(), Steps: s.steps})
+			s.traceTruncate(TruncMaxSteps, "")
 			return
 		}
 		if s.inputQuota > 0 && s.steps-s.inputStart > s.inputQuota {
 			s.inputExhausted = true
 			s.quotaExhausts++
 			s.truncate(TruncInputQuota)
-			s.trace(obs.Event{Kind: "truncate", Detail: TruncInputQuota.String(), Input: s.start.Name, Steps: s.steps})
+			s.traceTruncate(TruncInputQuota, s.start.Name)
 			return
 		}
 	}
@@ -552,6 +585,7 @@ func (s *searcher) withVector(g *netlist.Gate, vec cell.Vector, cont func()) {
 	}
 	if ok {
 		s.contDead = false
+		// stalint:ignore noalloc the continuation is invoked, not allocated, here; the literals are stack-passed through the DFS and their bodies are scanned at their creation sites
 		cont()
 		if s.contDead {
 			s.contDead = false
@@ -664,6 +698,9 @@ func nextBranch(n *netlist.Node, ref, vec int) (int, int, bool) {
 // frame exactly, so no subtree is lost or visited twice. Only called
 // from withVector (poll period Options.StealPollSteps), so every live
 // frame has a branch in flight and its position fields are valid.
+//
+// stalint:coldpath donation allocates a decision-prefix copy, paid once
+// per donated subtree and amortized over the StealPollSteps cadence
 func (s *searcher) maybeDonate() {
 	if s.sched == nil || s.sched.static || s.sched.hungry.Load() == 0 {
 		return
@@ -795,6 +832,11 @@ func (s *searcher) record() {
 // allocations and zero string work; a fresh one allocates only the
 // path record itself (its sort keys are built lazily, at compare
 // time).
+//
+// stalint:noalloc the region up to the dedupe gate runs on every
+// justified variant and must stay allocation-free
+// (TestEmitDedupeZeroAllocs); the alloc-ok marker below ends the
+// checked region where a fresh variant pays its materialization
 func (s *searcher) emit() {
 	vsig := s.pathSig
 	for _, in := range s.c.Inputs {
@@ -820,6 +862,7 @@ func (s *searcher) emit() {
 		s.deduped++
 		return
 	}
+	// stalint:alloc-ok a fresh variant materializes its path record once; only the pre-dedupe region carries the zero-alloc contract
 	s.seen[vsig] = struct{}{}
 	s.recorded++
 	// Emit cost is measured only past the dedupe check, so duplicate
@@ -891,7 +934,7 @@ func (s *searcher) emit() {
 			// recorded before the cap landed.
 			s.sched.aborting.Store(true)
 		}
-		s.trace(obs.Event{Kind: "truncate", Detail: TruncMaxVariants.String(), Steps: s.steps})
+		s.traceTruncate(TruncMaxVariants, "")
 	}
 }
 

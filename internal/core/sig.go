@@ -53,6 +53,9 @@ func mix64(x uint64) uint64 {
 // differences diffuse into both words. The +1 offset keeps the zero
 // token (node ID 0, all-zero arc fields) from being a fixed point of
 // the empty signature — mix64(0) == 0.
+//
+// stalint:noalloc runs once per decision on the hot search path,
+// inside the emit dedupe gate (TestEmitDedupeZeroAllocs)
 func (s sig128) absorb(x uint64) sig128 {
 	h := mix64(s.hi ^ ((x + 1) * 0x9e3779b97f4a7c15))
 	l := mix64(s.lo ^ ((x + 1) * 0xc2b2ae3d27d4eb4f) ^ h)

@@ -30,9 +30,14 @@ type Histogram struct {
 const histBuckets = 48
 
 // Observe records one duration. Negative durations clamp to zero.
+//
+// stalint:noalloc called from metrics-guarded hot loops; recording a
+// sample is two atomic adds
 func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
 
 // ObserveNs records one latency in nanoseconds.
+//
+// stalint:noalloc see Observe
 func (h *Histogram) ObserveNs(ns int64) {
 	if ns < 0 {
 		ns = 0

@@ -139,6 +139,7 @@ func (s *Specialized) NumTerms() int { return len(s.terms) }
 // performs no allocations.
 func (s *Specialized) Eval(x []float64) float64 {
 	if len(x) != len(s.vars) {
+		// stalint:ignore noalloc arity-mismatch panic is a caller bug, not a query outcome
 		panic(fmt.Sprintf("polyfit: Specialized.Eval with %d values for %d variables", len(x), len(s.vars)))
 	}
 	k := len(s.vars)
@@ -177,6 +178,7 @@ func (s *Specialized) Eval(x []float64) float64 {
 		}
 		return total
 	}
+	// stalint:alloc-ok beyond-kernel-shape fallback (more than evalMaxVars variables or order beyond evalMaxOrder); run-specialized 2-variable kernels stay on the stack path above
 	pows := make([][]float64, k)
 	for i := 0; i < k; i++ {
 		xn := (x[i] - s.lo[i]) * s.scale[i]
