@@ -59,6 +59,7 @@ race:
 # records the numbers as BENCH_*.json artifacts via cmd/benchjson, then
 # runs the paper-table benchmarks of the root package once.
 KERNEL_BENCH = -run '^$$' -bench 'BenchmarkArcDelays|BenchmarkKWorstDelay' -benchtime 2000x ./internal/core
+BATCH_BENCH = -run '^$$' -bench 'BenchmarkArcDelays/(batched|kernel)$$' -benchtime 200000x -count 1 ./internal/core
 STEAL_BENCH = -run '^$$' -bench 'BenchmarkWorkStealing|BenchmarkDedupeEmit' -benchtime 10x -benchmem ./internal/core
 OBS_BENCH = -run '^$$' -bench 'BenchmarkObsOverhead' -benchtime 10x -benchmem ./internal/core
 LEARN_BENCH = -run '^$$' -bench 'BenchmarkNogoodLearning' -benchtime 5x ./internal/core
@@ -68,8 +69,15 @@ bench:
 		-command "go test $(KERNEL_BENCH)" \
 		-workload "circuit=fig4 (paper Fig. 4 sample circuit, 130nm TestGrid characterization)" \
 		-workload "query=slowest enumerated path, rising launch (ArcDelays); k=5 branch-and-bound (KWorstDelay)" \
-		-note "ArcDelays/mapkeyed is the pre-kernel implementation (string-keyed library lookups, full 4-variable polynomial) kept as the differential oracle; ArcDelays/kernel is the integer-indexed (T,VDD)-specialized layer with a reused output buffer. Results are bit-identical by construction (see internal/core kernel tests); only the cost changes." \
+		-note "ArcDelays/mapkeyed is the pre-kernel implementation (string-keyed library lookups, full 4-variable polynomial) kept as the differential oracle; ArcDelays/kernel is the integer-indexed (T,VDD)-specialized layer with a reused output buffer; ArcDelays/batched is the pooled struct-of-arrays path on top (see BENCH_batched_kernels.json for the gated comparison). Results are bit-identical by construction (see internal/core kernel tests); only the cost changes." \
 		-out BENCH_delay_kernels.json
+	$(GO) test $(BATCH_BENCH) | $(GO) run ./cmd/benchjson \
+		-artifact "batched struct-of-arrays kernel evaluation" \
+		-command "go test $(BATCH_BENCH)" \
+		-workload "circuit=fig4 (paper Fig. 4 sample circuit, 130nm TestGrid characterization)" \
+		-workload "query=slowest enumerated path, rising launch, reused output buffer (steady state)" \
+		-note "ArcDelays/kernel is the PR 4 scalar walk (one Specialized.Eval per delay and per slew, two power-table builds per arc); ArcDelays/batched is the pooled struct-of-arrays path (dense slots, one shared power block per arc, branch-free fixed-shape term loop, BatchWidth-lane delay summation). Results are bit-identical by construction — the scalar-vs-batched differential suite (kernels_batch_test.go) pins Enumerate/KWorst/EnumerateCourse byte-identical at any worker count — so ns/op is the whole story and both rows must stay at 0 allocs/op. The batched row must hold >= 1.3x fewer ns/op than kernel; single-CPU shared hosts are noisy, so re-measure with interleaved runs before believing a regression." \
+		-out BENCH_batched_kernels.json
 	$(GO) test $(STEAL_BENCH) | $(GO) run ./cmd/benchjson \
 		-artifact "work-stealing parallel search + string-free dedupe" \
 		-command "go test $(STEAL_BENCH)" \
@@ -100,6 +108,7 @@ bench:
 # re-measure locally, not a merge gate.
 bench-compare:
 	$(GO) test $(KERNEL_BENCH) | $(GO) run ./cmd/benchjson -compare BENCH_delay_kernels.json
+	$(GO) test $(BATCH_BENCH) | $(GO) run ./cmd/benchjson -compare BENCH_batched_kernels.json
 	$(GO) test $(STEAL_BENCH) | $(GO) run ./cmd/benchjson -compare BENCH_work_stealing.json
 	$(GO) test $(OBS_BENCH) | $(GO) run ./cmd/benchjson -compare BENCH_obs_overhead.json
 	$(GO) test $(LEARN_BENCH) | $(GO) run ./cmd/benchjson -compare BENCH_nogood_learning.json

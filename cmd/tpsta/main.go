@@ -360,8 +360,9 @@ func run(cfg config, out io.Writer) error {
 			ps.ShardSteals, ps.SubtreeSteals, ps.Donations, ps.Balance)
 	}
 	if ks := eng.KernelStats(); ks.Arcs > 0 {
-		fmt.Fprintf(os.Stderr, "kernels: %d arcs specialized (%d terms) in %.1fms, %d arc queries\n",
-			ks.Arcs, ks.Terms, ks.BuildSeconds*1e3, ks.ArcQueries)
+		fmt.Fprintf(os.Stderr, "kernels: %d arcs specialized (%d terms) in %.1fms, %d arc queries; pool %d kernels (%d terms, %d ops), %d batch rounds at %.0f%% fill\n",
+			ks.Arcs, ks.Terms, ks.BuildSeconds*1e3, ks.ArcQueries,
+			ks.PoolKernels, ks.PoolTerms, ks.PoolOps, ks.BatchRounds, ks.BatchFill*100)
 	}
 	if cfg.learn {
 		ls := eng.LearnStats()

@@ -26,6 +26,7 @@ import (
 	"tpsta/internal/netlist"
 	"tpsta/internal/num"
 	"tpsta/internal/obs"
+	"tpsta/internal/polyfit"
 	"tpsta/internal/sim"
 	"tpsta/internal/tech"
 )
@@ -394,6 +395,11 @@ type Engine struct {
 	loadCache map[int]float64 // gate ID → output load capacitance
 	kern      *kernelState    // cached delay-kernel build (see kernels.go)
 	scratch   []float64       // serial-context arc-delay buffer (reports, bounds)
+	ksc       kernelScratch   // batched-evaluation lane scratch (per engine copy)
+	// scalarKernels forces ArcDelaysInto onto the legacy one-arc-at-a-
+	// time kernel walk. The differential suite flips it to prove the
+	// batched path byte-identical; production engines leave it false.
+	scalarKernels bool
 	lastStats SearchStats     // snapshot of the most recent search
 	lastPar   ParallelStats   // pool snapshot of the most recent parallel search
 	lastLearn LearnStats      // learning snapshot of the most recent search
@@ -640,6 +646,43 @@ func (e *Engine) ArcDelays(arcs []Arc, launchRising bool) ([]float64, error) {
 	return e.ArcDelaysInto(nil, arcs, launchRising)
 }
 
+// kernelScratch is the lane scratch of the batched arc-delay
+// evaluator: per-lane delay-kernel pool IDs, one retained power block
+// per lane, and a spare block for out-of-band scalar evaluations. One
+// lives on each engine (worker engines reset theirs at fan-out so
+// copies never share backing arrays); in steady state the buffers are
+// grown once to the longest path and reused query to query.
+type kernelScratch struct {
+	ids []int32   // per lane: delay-kernel pool ID
+	pow []float64 // per-lane power blocks (n × Pool.LaneLen, min ScratchLen)
+	one []float64 // spare EvalOne scratch (Pool.ScratchLen)
+}
+
+// ensure sizes the scratch for n lanes against the given pool. The pow
+// block also satisfies Pool.EvalBatch's ScratchLen so one scratch
+// serves both batched entry points.
+// stalint:noalloc steady-state calls take the len-check branches only;
+// growth below is first-query amortization
+func (sc *kernelScratch) ensure(n int, pool *polyfit.Pool) {
+	if cap(sc.ids) < n {
+		// stalint:alloc-ok lane buffers grow to the longest path once, then are reused
+		sc.ids = make([]int32, n)
+	}
+	sc.ids = sc.ids[:n]
+	need := n * pool.LaneLen()
+	if s := pool.ScratchLen(); need < s {
+		need = s
+	}
+	if len(sc.pow) < need {
+		// stalint:alloc-ok power blocks grow to the longest path once, then are reused
+		sc.pow = make([]float64, need)
+	}
+	if len(sc.one) < pool.ScratchLen() {
+		// stalint:alloc-ok spare block is sized once per kernel table
+		sc.one = make([]float64, pool.ScratchLen())
+	}
+}
+
 // ArcDelaysInto is ArcDelays with a caller-supplied buffer: the delays
 // are appended to dst[:0] and the (possibly grown) slice returned. In
 // steady state — kernel table built, cap(dst) ≥ len(arcs) — the query
@@ -648,11 +691,20 @@ func (e *Engine) ArcDelays(arcs []Arc, launchRising bool) ([]float64, error) {
 // run-specialized 2-variable kernels (see kernels.go), bit-identical
 // to evaluating the full 4-variable models.
 //
+// The work runs in two passes over the path (arcDelaysBatched): a
+// sequential lane-resolution pass that chains the slew recurrence —
+// arc i+1's input transition time is arc i's slew output, an inherent
+// data dependence — and a batched delay pass that scores all arcs
+// through the struct-of-arrays kernel pool, polyfit.BatchWidth lanes
+// per round. Batching changes which arc is evaluated when, never the
+// factor or summation order within one arc, so the results are
+// bit-identical to the one-arc-at-a-time walk (TestBatchedArcDelays*).
+//
 // stalint:noalloc the steady-state query loop is the contract
 // (TestArcDelaysSteadyStateAllocs); error paths below carry ignores
 func (e *Engine) ArcDelaysInto(dst []float64, arcs []Arc, launchRising bool) ([]float64, error) {
-	out := dst[:0]
 	if e.Lib == nil {
+		out := dst[:0]
 		for range arcs {
 			out = append(out, 1)
 		}
@@ -663,6 +715,91 @@ func (e *Engine) ArcDelaysInto(dst []float64, arcs []Arc, launchRising bool) ([]
 		return nil, err
 	}
 	kt.queries.Add(int64(len(arcs)))
+	if e.scalarKernels {
+		return e.arcDelaysScalarInto(kt, dst, arcs, launchRising)
+	}
+	return e.arcDelaysBatched(kt, dst, arcs, launchRising)
+}
+
+// arcDelaysBatched is the production ArcDelaysInto core. Pass 1 walks
+// the path sequentially: per arc it resolves the dense slot, builds
+// the lane's (Fo, Tin) power block once, records the delay kernel's
+// pool ID, and advances the slew chain — through the same block when
+// the slew kernel shares the delay kernel's normalization (every arc
+// of a single-grid library), falling back to a scalar evaluation
+// otherwise. The per-arc error checks (load resolution, slot lookup,
+// uncharacterized kernel, non-propagating vector) run here, in the
+// legacy order, so failures surface at the exact arc with the exact
+// message the scalar walk produces. Pass 2 sums every delay lane in
+// one tight loop over the pooled arrays (polyfit.Pool.SumBatch) — no
+// setup, no pointer chasing between lanes. The scalar walk builds two
+// power tables per arc (delay and slew evaluation each); this path
+// builds one per lane.
+//
+// stalint:noalloc the batched query path is the search's path-scoring
+// hot loop
+func (e *Engine) arcDelaysBatched(kt *kernelTable, dst []float64, arcs []Arc, launchRising bool) ([]float64, error) {
+	out := dst[:0]
+	sc := &e.ksc
+	pool := kt.pool
+	sc.ensure(len(arcs), pool)
+	lane := pool.LaneLen()
+	slew := e.Opts.InputSlew
+	rising := launchRising
+	for i := range arcs {
+		a := &arcs[i]
+		if err := kt.foErr[a.Gate.ID]; err != nil {
+			return nil, err
+		}
+		slot, err := kt.slot(a)
+		if err != nil {
+			return nil, err
+		}
+		si := slot + int32(edgeIndex(rising))
+		did := kt.delayID[si]
+		if did < 0 {
+			// stalint:ignore noalloc terminal error path; the query is abandoned, not retried
+			return nil, fmt.Errorf("charlib: no polynomial arc %s", charlib.PolyKey(a.Gate.Cell.Name, a.Pin, a.Vec.Key(), rising))
+		}
+		sc.ids[i] = did
+		pw := sc.pow[i*lane:]
+		if kt.normShared[si] {
+			pool.PowLanePair(did, kt.slewID[si], kt.fo[a.Gate.ID], slew, pw)
+			slew = pool.SumLane(kt.slewID[si], pw)
+		} else {
+			pool.PowLane(did, kt.fo[a.Gate.ID], slew, pw)
+			slew = pool.EvalOne(kt.slewID[si], kt.fo[a.Gate.ID], slew, sc.one)
+		}
+		if !kt.outOK[si] {
+			// stalint:ignore noalloc terminal error path; the query is abandoned, not retried
+			return nil, fmt.Errorf("core: arc %s/%s vector %s does not propagate", a.Gate.Name, a.Pin, a.Vec.Key())
+		}
+		rising = kt.outRise[si]
+	}
+	if cap(out) < len(arcs) {
+		// stalint:alloc-ok one-time growth to the longest path scored through this buffer
+		out = make([]float64, len(arcs))
+	} else {
+		out = out[:len(arcs)]
+	}
+	pool.SumBatch(sc.ids, sc.pow, out)
+	n := int64(len(arcs))
+	kt.batchLanes.Add(n)
+	kt.batchRounds.Add((n + polyfit.BatchWidth - 1) / polyfit.BatchWidth)
+	if m := e.Opts.Metrics; m != nil {
+		m.KernelBatchFill.ObserveNs(n)
+	}
+	return out, nil
+}
+
+// arcDelaysScalarInto is the legacy one-arc-at-a-time kernel walk
+// (the PR 4 query path), kept as the differential oracle the batched
+// core is proven byte-identical against, and as the benchmark
+// baseline its speedup is measured from.
+//
+// stalint:noalloc same steady-state contract as the batched core
+func (e *Engine) arcDelaysScalarInto(kt *kernelTable, dst []float64, arcs []Arc, launchRising bool) ([]float64, error) {
+	out := dst[:0]
 	slew := e.Opts.InputSlew
 	rising := launchRising
 	var x [2]float64

@@ -19,17 +19,27 @@ import (
 //     run's (T, VDD) into a 2-variable (Fo, Tin) kernel
 //     (polyfit.Specialize — bit-identical to the full model by
 //     contract, so the parallel merge's byte-identity survives);
-//   - every gate's equivalent fanout is precomputed from its load;
-//   - the vector's output edge (Cell.OutputEdge) is memoized alongside.
+//   - every specialized kernel is then compiled into one table-wide
+//     struct-of-arrays pool (polyfit.Pool): contiguous coefficient,
+//     factor-op and normalization arrays addressed by dense kernel IDs;
+//   - every (gate, pin, case, edge) arc resolves to a dense slot in
+//     flat per-table arrays (delay ID, slew ID, output edge) through a
+//     prebuilt per-cell pin→index map — no pointer forest, no linear
+//     pin-name scan;
+//   - every gate's equivalent fanout is precomputed from its load.
 //
 // After the build, ArcDelays resolves arcs by (gate ID, pin index,
-// vector case, edge) — no map lookups, no string building, and with a
-// caller-supplied scratch buffer no allocations.
+// vector case, edge) and scores them through the pool's batched
+// evaluator, BatchWidth lanes per round — no map lookups beyond the
+// shared pin table, no string building, and with a caller-supplied
+// scratch no allocations.
 
-// arcKernel is one fully resolved timing arc, indexed by the input
-// transition edge (edgeIndex). A nil model means the library does not
-// characterize the arc; the error is raised only when a query actually
-// reaches it, exactly like the string-keyed lookup this replaces.
+// arcKernel is one fully resolved timing arc of the legacy
+// pointer-indexed layer, indexed by the input transition edge
+// (edgeIndex). A nil model means the library does not characterize the
+// arc; the error is raised only when a query actually reaches it. The
+// layer is kept as the scalar differential oracle for the batched path
+// (arcDelaysScalarInto) and for the PR 4 benchmark baseline.
 type arcKernel struct {
 	delay, slew [2]*polyfit.Specialized
 	outRising   [2]bool // memoized Cell.OutputEdge result
@@ -43,22 +53,63 @@ type cellKernels [][]arcKernel
 
 // kernelTable is an engine's run-specialized delay-kernel layer.
 //
+// The batched query path never touches a *polyfit.Specialized: an arc
+// resolves to slot = slotBase[gate] + pinOff[gate][pin] + 2·(Case-1) +
+// edge, and the slot arrays hand back dense pool IDs plus the memoized
+// output edge. Gates of the same cell share one slot block, one pin
+// map and one pin-offset table.
+//
 // stalint:shared — the table is fully built by newKernelTable before
 // any query (parallel runs warm it before the fan-out) and is read-only
 // afterwards, shared by every worker engine's shallow copy; the only
-// post-construction mutation is the atomic query counter.
+// post-construction mutation is the atomic query/batch counters.
 type kernelTable struct {
 	temp, vdd float64 // operating point the kernels are specialized at
 
-	fo    []float64     // per gate ID: equivalent fanout at the gate's load
-	foErr []error       // per gate ID: deferred load-resolution failure
+	fo    []float64 // per gate ID: equivalent fanout at the gate's load
+	foErr []error   // per gate ID: deferred load-resolution failure
+
+	// Legacy pointer-indexed layer (scalar differential oracle).
 	gates []cellKernels // per gate ID: the cell's shared kernel block
+
+	// Struct-of-arrays batched layer.
+	pool     *polyfit.Pool      // table-wide compiled kernel pool
+	slotBase []int32            // per gate ID: base of the cell's slot block
+	pinIdx   []map[string]int32 // per gate ID: shared per-cell pin name → pin index
+	pinOff   [][]int32          // per gate ID: shared per-cell pin → slot offset (len inputs+1)
+	delayID  []int32            // per slot: delay kernel pool ID, -1 when uncharacterized
+	slewID   []int32            // per slot: slew kernel pool ID, -1 when uncharacterized
+	outRise  []bool             // per slot: memoized Cell.OutputEdge direction
+	outOK    []bool             // per slot: whether the vector propagates the edge
+	// normShared marks slots whose slew kernel has bit-identical
+	// normalization to the delay kernel (polyfit.Pool.NormShared), so
+	// one pairwise-max-order power block serves both evaluations —
+	// true for every arc of a library fitted over one characterization
+	// grid, where only the auto-fitted orders differ between the two.
+	normShared []bool
 
 	arcs  int           // kernels specialized (distinct cell arcs × edges)
 	terms int           // surviving polynomial monomials across all kernels
 	build time.Duration // one-time specialization cost
 
-	queries obs.Counter // arc evaluations served (atomic: shared by workers)
+	queries     obs.Counter // arc evaluations served (atomic: shared by workers)
+	batchRounds obs.Counter // BatchWidth-lane rounds run by the batched evaluator
+	batchLanes  obs.Counter // lanes filled across those rounds (= batched arc delays)
+}
+
+// cellBlock is one distinct cell's share of the table: its slot-array
+// base, the pin lookup structures, the legacy kernel block and the
+// compiled slot arrays (spliced into the table by newKernelTable),
+// reused by every gate of that cell.
+type cellBlock struct {
+	base   int32
+	pinIdx map[string]int32
+	pinOff []int32
+	ck     cellKernels
+
+	delayID, slewID []int32
+	outRise, outOK  []bool
+	normShared      []bool
 }
 
 // kernelState caches one build outcome — table or sticky error — at the
@@ -82,38 +133,54 @@ func edgeIndex(rising bool) int {
 // newKernelTable resolves every (gate, pin, vector, edge) arc of the
 // circuit against the library: string keys are built and looked up here
 // — and only here — and each arc's models are specialized at the run's
-// fixed (T, VDD). Per-gate load failures are deferred to query time
-// (mirroring the lazy lookup this replaces); a model whose free
-// variables are not exactly (Fo, Tin) fails the build outright.
+// fixed (T, VDD), then compiled into the struct-of-arrays pool behind
+// dense per-gate slot indexes. Per-gate load failures are deferred to
+// query time (mirroring the lazy lookup this replaces); a model whose
+// free variables are not exactly (Fo, Tin) fails the build outright.
 //
 // stalint:coldpath one build per operating point, amortized over every
 // subsequent arc query
 func newKernelTable(e *Engine) (*kernelTable, error) {
 	t0 := time.Now()
-	kt := &kernelTable{temp: e.Opts.Temp, vdd: e.Opts.VDD}
+	kt := &kernelTable{temp: e.Opts.Temp, vdd: e.Opts.VDD, pool: polyfit.NewPool()}
 	fixed := map[string]float64{
 		charlib.ModelVars[2]: e.Opts.Temp, // "T"
 		charlib.ModelVars[3]: e.Opts.VDD,  // "VDD"
 	}
-	kt.fo = make([]float64, len(e.Circuit.Gates))
-	kt.foErr = make([]error, len(e.Circuit.Gates))
-	kt.gates = make([]cellKernels, len(e.Circuit.Gates))
-	cells := map[string]cellKernels{}
+	n := len(e.Circuit.Gates)
+	kt.fo = make([]float64, n)
+	kt.foErr = make([]error, n)
+	kt.gates = make([]cellKernels, n)
+	kt.slotBase = make([]int32, n)
+	kt.pinIdx = make([]map[string]int32, n)
+	kt.pinOff = make([][]int32, n)
+	blocks := map[string]*cellBlock{}
 	for _, g := range e.Circuit.Gates {
 		kt.fo[g.ID], kt.foErr[g.ID] = e.Lib.Fo(g.Cell.Name, e.load(g))
-		ck, ok := cells[g.Cell.Name]
+		blk, ok := blocks[g.Cell.Name]
 		if !ok {
-			var arcs, terms int
-			var err error
-			ck, arcs, terms, err = specializeCell(e.Lib, g.Cell, fixed)
+			ck, arcs, terms, err := specializeCell(e.Lib, g.Cell, fixed)
 			if err != nil {
 				return nil, err
 			}
-			cells[g.Cell.Name] = ck
+			blk, err = compileCell(kt.pool, g.Cell, ck)
+			if err != nil {
+				return nil, err
+			}
+			blk.base = int32(len(kt.delayID))
+			kt.delayID = append(kt.delayID, blk.delayID...)
+			kt.slewID = append(kt.slewID, blk.slewID...)
+			kt.outRise = append(kt.outRise, blk.outRise...)
+			kt.outOK = append(kt.outOK, blk.outOK...)
+			kt.normShared = append(kt.normShared, blk.normShared...)
+			blocks[g.Cell.Name] = blk
 			kt.arcs += arcs
 			kt.terms += terms
 		}
-		kt.gates[g.ID] = ck
+		kt.gates[g.ID] = blk.ck
+		kt.slotBase[g.ID] = blk.base
+		kt.pinIdx[g.ID] = blk.pinIdx
+		kt.pinOff[g.ID] = blk.pinOff
 	}
 	kt.build = time.Since(t0)
 	if m := e.Opts.Metrics; m != nil {
@@ -121,9 +188,52 @@ func newKernelTable(e *Engine) (*kernelTable, error) {
 	}
 	if t := e.Opts.Tracer; t != nil {
 		t.Emit(obs.Event{Kind: "kernels", N: int64(kt.arcs),
-			Detail: fmt.Sprintf("%d terms, %d cells", kt.terms, len(cells))})
+			Detail: fmt.Sprintf("%d terms, %d cells, %d pooled kernels", kt.terms, len(blocks), kt.pool.NumKernels())})
 	}
 	return kt, nil
+}
+
+// compileCell flattens one cell's kernel block: every characterized
+// (pin, case, edge) arc's delay and slew kernels are added to the
+// pool, the block's slot arrays absorb their IDs and memoized output
+// edges (newKernelTable splices them into the table), and the pin
+// lookup structures are built once for all gates of the cell.
+//
+// stalint:coldpath per-cell pool compilation at table-build time
+func compileCell(pool *polyfit.Pool, c *cell.Cell, ck cellKernels) (*cellBlock, error) {
+	blk := &cellBlock{
+		pinIdx: make(map[string]int32, len(c.Inputs)),
+		pinOff: make([]int32, len(c.Inputs)+1),
+		ck:     ck,
+	}
+	off := int32(0)
+	for pi, pin := range c.Inputs {
+		blk.pinIdx[pin] = int32(pi)
+		blk.pinOff[pi] = off
+		for vi := range ck[pi] {
+			ak := &ck[pi][vi]
+			for ei := 0; ei < 2; ei++ {
+				did, sid := int32(-1), int32(-1)
+				if ak.delay[ei] != nil {
+					var err error
+					if did, err = pool.Add(ak.delay[ei]); err != nil {
+						return nil, err
+					}
+					if sid, err = pool.Add(ak.slew[ei]); err != nil {
+						return nil, err
+					}
+				}
+				blk.delayID = append(blk.delayID, did)
+				blk.slewID = append(blk.slewID, sid)
+				blk.outRise = append(blk.outRise, ak.outRising[ei])
+				blk.outOK = append(blk.outOK, ak.outOK[ei])
+				blk.normShared = append(blk.normShared, did >= 0 && pool.NormShared(did, sid))
+			}
+			off += 2
+		}
+	}
+	blk.pinOff[len(c.Inputs)] = off
+	return blk, nil
 }
 
 // specializeCell builds one cell's kernel block: both edges of every
@@ -174,22 +284,52 @@ func checkKernelVars(c *cell.Cell, pin string, s *polyfit.Specialized) error {
 	return nil
 }
 
-// arc resolves one traversed arc into its kernel by integer indexing:
-// gate ID, the entry pin's position in the cell's input list, and the
-// vector's 1-based Case.
-func (kt *kernelTable) arc(a *Arc) (*arcKernel, error) {
-	ck := kt.gates[a.Gate.ID]
-	for pi, p := range a.Gate.Cell.Inputs {
-		if p == a.Pin {
-			if vi := a.Vec.Case - 1; vi >= 0 && vi < len(ck[pi]) {
-				return &ck[pi][vi], nil
-			}
+// slot resolves one traversed arc to the dense slot pair of its
+// (pin, vector case): the returned index addresses the fall-edge slot,
+// the rise-edge slot is one past it (edgeIndex). Search-produced arcs
+// carry the pin index memoized on their vector (cell.Vector.PinIndex),
+// so resolution is pure integer arithmetic; hand-built vectors fall
+// back to the shared per-cell pin map.
+//
+// stalint:noalloc arc resolution runs per scored arc on the query path
+func (kt *kernelTable) slot(a *Arc) (int32, error) {
+	gid := a.Gate.ID
+	var pi int32
+	if ix := a.Vec.PinIndex(); ix >= 0 && ix < len(a.Gate.Cell.Inputs) && a.Gate.Cell.Inputs[ix] == a.Pin {
+		pi = int32(ix)
+	} else {
+		var ok bool
+		pi, ok = kt.pinIdx[gid][a.Pin]
+		if !ok {
 			// stalint:ignore noalloc terminal error path; the query is abandoned, not retried
-			return nil, fmt.Errorf("core: arc %s/%s vector case %d unknown to the kernel table", a.Gate.Name, a.Pin, a.Vec.Case)
+			return -1, fmt.Errorf("core: arc pin %s/%s unknown to the kernel table", a.Gate.Name, a.Pin)
 		}
 	}
+	off := kt.pinOff[gid]
+	rel := 2 * int32(a.Vec.Case-1)
+	if a.Vec.Case < 1 || off[pi]+rel >= off[pi+1] {
+		// stalint:ignore noalloc terminal error path; the query is abandoned, not retried
+		return -1, fmt.Errorf("core: arc %s/%s vector case %d unknown to the kernel table", a.Gate.Name, a.Pin, a.Vec.Case)
+	}
+	return kt.slotBase[gid] + off[pi] + rel, nil
+}
+
+// arc resolves one traversed arc into its legacy kernel block by
+// integer indexing: gate ID, the entry pin's index from the shared
+// per-cell pin table (no linear name scan), and the vector's 1-based
+// Case. Only the scalar differential path queries it.
+func (kt *kernelTable) arc(a *Arc) (*arcKernel, error) {
+	ck := kt.gates[a.Gate.ID]
+	pi, ok := kt.pinIdx[a.Gate.ID][a.Pin]
+	if !ok {
+		// stalint:ignore noalloc terminal error path; the query is abandoned, not retried
+		return nil, fmt.Errorf("core: arc pin %s/%s unknown to the kernel table", a.Gate.Name, a.Pin)
+	}
+	if vi := a.Vec.Case - 1; vi >= 0 && vi < len(ck[pi]) {
+		return &ck[pi][vi], nil
+	}
 	// stalint:ignore noalloc terminal error path; the query is abandoned, not retried
-	return nil, fmt.Errorf("core: arc pin %s/%s unknown to the kernel table", a.Gate.Name, a.Pin)
+	return nil, fmt.Errorf("core: arc %s/%s vector case %d unknown to the kernel table", a.Gate.Name, a.Pin, a.Vec.Case)
 }
 
 // kernels returns the engine's kernel table, building it on first use
@@ -234,6 +374,22 @@ type KernelStats struct {
 	// ArcQueries counts arc delay/slew evaluations served by the
 	// kernels, aggregated across parallel workers.
 	ArcQueries int64 `json:"arcQueries"`
+	// PoolKernels counts the distinct kernels compiled into the
+	// struct-of-arrays pool (delay and slew, per distinct cell).
+	PoolKernels int `json:"poolKernels"`
+	// PoolTerms and PoolOps size the pool's flat coefficient and
+	// factor-op arrays.
+	PoolTerms int `json:"poolTerms"`
+	PoolOps   int `json:"poolOps"`
+	// BatchRounds counts the BatchWidth-lane rounds the batched
+	// evaluator ran; BatchLanes the lanes they carried. Their ratio —
+	// BatchFill — is the mean lane occupancy per round.
+	BatchRounds int64 `json:"batchRounds"`
+	BatchLanes  int64 `json:"batchLanes"`
+	// BatchFill is BatchLanes / (BatchRounds × BatchWidth): 1.0 means
+	// every round ran fully occupied, lower values mean short paths
+	// left tail lanes empty.
+	BatchFill float64 `json:"batchFill"`
 }
 
 // KernelStats returns the kernel-layer snapshot of the engine.
@@ -242,10 +398,19 @@ func (e *Engine) KernelStats() KernelStats {
 	if st == nil || st.table == nil {
 		return KernelStats{}
 	}
-	return KernelStats{
+	ks := KernelStats{
 		Arcs:         st.table.arcs,
 		Terms:        st.table.terms,
 		BuildSeconds: st.table.build.Seconds(),
 		ArcQueries:   st.table.queries.Load(),
+		PoolKernels:  st.table.pool.NumKernels(),
+		PoolTerms:    st.table.pool.NumTerms(),
+		PoolOps:      st.table.pool.NumOps(),
+		BatchRounds:  st.table.batchRounds.Load(),
+		BatchLanes:   st.table.batchLanes.Load(),
 	}
+	if ks.BatchRounds > 0 {
+		ks.BatchFill = float64(ks.BatchLanes) / float64(ks.BatchRounds*polyfit.BatchWidth)
+	}
+	return ks
 }

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"tpsta/internal/cell"
+	"tpsta/internal/charlib"
+	"tpsta/internal/circuits"
+	"tpsta/internal/netlist"
+	"tpsta/internal/polyfit"
+)
+
+// Scalar-vs-batched differential suite for the struct-of-arrays kernel
+// path (arcDelaysBatched vs arcDelaysScalarInto). The batched evaluator
+// changes which arc is scored when — never the factor or summation
+// order within one arc — so every search mode must report byte-identical
+// results on either path, at any worker count, including under -race.
+
+// batchDiffEngine builds an engine pinned to the scalar or the batched
+// kernel path.
+func batchDiffEngine(t testing.TB, c *netlist.Circuit, lib *charlib.Library, workers int, scalar bool) *Engine {
+	t.Helper()
+	e := New(c, t130(t), lib, Options{Workers: workers})
+	e.scalarKernels = scalar
+	return e
+}
+
+// batchDiffSubjects is the issue-mandated circuit matrix: the two
+// characterized subjects (fig4, c17 — every cell in charLib130) and the
+// two structure-only stress subjects (mult's AOI array cells are
+// uncharacterized, so it runs with a nil library like the learning
+// suite; skew exercises deep skewed cones).
+func batchDiffSubjects(t testing.TB) []struct {
+	name string
+	c    *netlist.Circuit
+	lib  *charlib.Library
+} {
+	t.Helper()
+	lib := charLib130(t)
+	fig4, err := circuits.Get("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c17, err := circuits.Get("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mult, err := circuits.Multiplier("m", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew, err := circuits.Skewed("skewS", 14, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		name string
+		c    *netlist.Circuit
+		lib  *charlib.Library
+	}{
+		{"fig4", fig4, lib},
+		{"c17", c17, lib},
+		{"mult", mult, nil},
+		{"skew", skew, nil},
+	}
+}
+
+// TestBatchedMatchesScalarEnumerate proves full enumerations
+// byte-identical between the two kernel paths — paths, vectors, cubes,
+// delays and instrumentation counters — serial and sharded.
+func TestBatchedMatchesScalarEnumerate(t *testing.T) {
+	for _, sub := range batchDiffSubjects(t) {
+		sub := sub
+		t.Run(sub.name, func(t *testing.T) {
+			for _, w := range []int{1, 4} {
+				scalar, err := batchDiffEngine(t, sub.c, sub.lib, w, true).Enumerate()
+				if err != nil {
+					t.Fatalf("workers=%d scalar: %v", w, err)
+				}
+				batched, err := batchDiffEngine(t, sub.c, sub.lib, w, false).Enumerate()
+				if err != nil {
+					t.Fatalf("workers=%d batched: %v", w, err)
+				}
+				assertSameResult(t, fmt.Sprintf("%s/enumerate/workers=%d", sub.name, w), scalar, batched, true)
+			}
+		})
+	}
+}
+
+// TestBatchedMatchesScalarKWorst proves the branch-and-bound search
+// byte-identical: the batched gateUB bound tables must reproduce the
+// scalar bounds bit for bit, or the pruning — and with it the k-worst
+// set — would drift. Stats are compared strictly only at workers=1
+// (the parallel heap counters depend on the steal schedule).
+func TestBatchedMatchesScalarKWorst(t *testing.T) {
+	for _, sub := range batchDiffSubjects(t) {
+		sub := sub
+		t.Run(sub.name, func(t *testing.T) {
+			for _, w := range []int{1, 4} {
+				scalar, err := batchDiffEngine(t, sub.c, sub.lib, w, true).KWorst(5)
+				if err != nil {
+					t.Fatalf("workers=%d scalar: %v", w, err)
+				}
+				batched, err := batchDiffEngine(t, sub.c, sub.lib, w, false).KWorst(5)
+				if err != nil {
+					t.Fatalf("workers=%d batched: %v", w, err)
+				}
+				assertSameResult(t, fmt.Sprintf("%s/kworst/workers=%d", sub.name, w), scalar, batched, w == 1)
+			}
+		})
+	}
+}
+
+// TestBatchedMatchesScalarCourse proves single-course exploration
+// byte-identical on the worst recorded course of fig4.
+func TestBatchedMatchesScalarCourse(t *testing.T) {
+	fig4, err := circuits.Get("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := charLib130(t)
+	full, err := batchDiffEngine(t, fig4, lib, 1, false).Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	course := full.Paths[0].Nodes
+	for _, w := range []int{1, 4} {
+		scalar, err := batchDiffEngine(t, fig4, lib, w, true).EnumerateCourse(course)
+		if err != nil {
+			t.Fatalf("workers=%d scalar: %v", w, err)
+		}
+		batched, err := batchDiffEngine(t, fig4, lib, w, false).EnumerateCourse(course)
+		if err != nil {
+			t.Fatalf("workers=%d batched: %v", w, err)
+		}
+		assertSameResult(t, fmt.Sprintf("course/workers=%d", w), scalar, batched, true)
+	}
+}
+
+// invChain builds a chain of n INV gates — the one characterized cell
+// with a single arc — so paths of every length are available for the
+// tail-lane sweep.
+func invChain(t testing.TB, n int) *netlist.Circuit {
+	t.Helper()
+	lib := cell.Default()
+	c := netlist.New("invchain")
+	if _, err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	prev := "a"
+	for i := 0; i < n; i++ {
+		out := fmt.Sprintf("n%d", i+1)
+		if _, err := c.AddGate(lib, "INV", out, map[string]string{"A": prev}); err != nil {
+			t.Fatal(err)
+		}
+		prev = out
+	}
+	c.MarkOutput(prev)
+	return c
+}
+
+// TestBatchedTailLanes sweeps every path length from one arc through
+// several full BatchWidth rounds plus every partial-tail residue,
+// checking the batched delays bit for bit against the scalar walk.
+func TestBatchedTailLanes(t *testing.T) {
+	n := 2*polyfit.BatchWidth + polyfit.BatchWidth/2 // 20 arcs: full rounds + a partial tail
+	e := New(invChain(t, n), t130(t), charLib130(t), Options{})
+	res, err := e.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcs := res.Paths[0].Arcs
+	if len(arcs) != n {
+		t.Fatalf("chain path has %d arcs, want %d", len(arcs), n)
+	}
+	for pre := 1; pre <= n; pre++ {
+		e.scalarKernels = false
+		batched, err := e.ArcDelays(arcs[:pre], true)
+		if err != nil {
+			t.Fatalf("prefix %d batched: %v", pre, err)
+		}
+		e.scalarKernels = true
+		scalar, err := e.ArcDelays(arcs[:pre], true)
+		if err != nil {
+			t.Fatalf("prefix %d scalar: %v", pre, err)
+		}
+		for i := range scalar {
+			if math.Float64bits(batched[i]) != math.Float64bits(scalar[i]) {
+				t.Errorf("prefix %d arc %d: batched %v vs scalar %v", pre, i, batched[i], scalar[i])
+			}
+		}
+	}
+}
+
+// invChainWithAnd builds an INV chain with one AND2 spliced in at
+// position at (side input b held non-controlling). Gates of the same
+// cell share one kernel slot block, so the AND2 — the only one of its
+// cell — gives the nil-kernel test a slot unique to that path position.
+func invChainWithAnd(t testing.TB, n, at int) *netlist.Circuit {
+	t.Helper()
+	lib := cell.Default()
+	c := netlist.New("invchain-and")
+	for _, in := range []string{"a", "b"} {
+		if _, err := c.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := "a"
+	for i := 0; i < n; i++ {
+		out := fmt.Sprintf("n%d", i+1)
+		var err error
+		if i == at {
+			_, err = c.AddGate(lib, "AND2", out, map[string]string{"A": prev, "B": "b"})
+		} else {
+			_, err = c.AddGate(lib, "INV", out, map[string]string{"A": prev})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = out
+	}
+	c.MarkOutput(prev)
+	return c
+}
+
+// TestBatchedNilKernelErrorsAtExactArc pokes an uncharacterized hole
+// into the middle of a warm kernel table — both the dense slot and the
+// legacy block — and checks that both paths fail on the exact arc with
+// the identical message, while the prefix before the hole still scores.
+func TestBatchedNilKernelErrorsAtExactArc(t *testing.T) {
+	n := polyfit.BatchWidth + 3
+	hole := polyfit.BatchWidth + 1 // second round, mid-tail
+	e := New(invChainWithAnd(t, n, hole), t130(t), charLib130(t), Options{})
+	res, err := e.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arcs []Arc
+	for _, p := range res.Paths {
+		if p.Start == "a" && len(p.Arcs) == n {
+			arcs = p.Arcs
+			break
+		}
+	}
+	if arcs == nil {
+		t.Fatal("no full-length path from a")
+	}
+	if arcs[hole].Gate.Cell.Name != "AND2" {
+		t.Fatalf("arc %d is %s, want the spliced AND2", hole, arcs[hole].Gate.Cell.Name)
+	}
+	kt, err := e.kernels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, err := kt.slot(&arcs[hole])
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt.delayID[slot] = -1  // stalint:ignore sharedstate test pokes a hole into a single-engine table it owns
+	kt.delayID[slot+1] = -1 // stalint:ignore sharedstate test pokes a hole into a single-engine table it owns
+	ak, err := kt.arc(&arcs[hole])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ak.delay[0], ak.delay[1] = nil, nil
+
+	if _, err := e.ArcDelays(arcs[:hole], true); err != nil {
+		t.Fatalf("prefix before the hole must still score: %v", err)
+	}
+	_, batchedErr := e.ArcDelays(arcs, true)
+	e.scalarKernels = true
+	_, scalarErr := e.ArcDelays(arcs, true)
+	if batchedErr == nil || scalarErr == nil {
+		t.Fatalf("hole not detected: batched=%v scalar=%v", batchedErr, scalarErr)
+	}
+	if batchedErr.Error() != scalarErr.Error() {
+		t.Errorf("error mismatch:\n batched %v\n scalar  %v", batchedErr, scalarErr)
+	}
+}
+
+// TestBatchedArcDelaysSteadyStateAllocs is the zero-allocation gate on
+// the batched path specifically (the generic gate in kernels_test.go
+// covers the default route): warm table, warm lane scratch, supplied
+// buffer — no allocations per query on either kernel path.
+func TestBatchedArcDelaysSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under -race")
+	}
+	e := delayEngine(t, "fig4", 1)
+	res, err := e.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcs := res.Paths[0].Arcs
+	buf := make([]float64, 0, len(arcs))
+	for _, scalar := range []bool{false, true} {
+		e.scalarKernels = scalar
+		allocs := testing.AllocsPerRun(200, func() {
+			var err error
+			buf, err = e.ArcDelaysInto(buf, arcs, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("scalar=%v: steady-state ArcDelaysInto allocates %.1f objects per query", scalar, allocs)
+		}
+	}
+}
+
+// TestKernelStatsBatchFields checks the pool/batch observability the
+// struct-of-arrays layer adds to KernelStats.
+func TestKernelStatsBatchFields(t *testing.T) {
+	e := delayEngine(t, "fig4", 1)
+	if _, err := e.Enumerate(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.KernelStats()
+	if st.PoolKernels == 0 || st.PoolTerms == 0 || st.PoolOps == 0 {
+		t.Errorf("empty pool stats: %+v", st)
+	}
+	if st.BatchRounds == 0 || st.BatchLanes < st.BatchRounds {
+		t.Errorf("batch counters not advanced: %+v", st)
+	}
+	if st.BatchFill <= 0 || st.BatchFill > 1 {
+		t.Errorf("BatchFill %v outside (0, 1]", st.BatchFill)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"tpsta/internal/charlib"
 	"tpsta/internal/netlist"
 	"tpsta/internal/obs"
+	"tpsta/internal/polyfit"
 )
 
 // KWorst finds the k slowest true paths with branch-and-bound pruning:
@@ -117,22 +118,64 @@ func (p *pruner) gateUB(g *netlist.Gate) (float64, error) {
 		return 0, err
 	}
 	slowest := e.Lib.Grid.Tin[len(e.Lib.Grid.Tin)-1]
-	x := [2]float64{kt.fo[g.ID], slowest}
 	worst := 0.0
-	ck := kt.gates[g.ID]
-	for pi, pin := range g.Cell.Inputs {
-		for vi := range ck[pi] {
-			for ei := range ck[pi][vi].delay {
-				dm := ck[pi][vi].delay[ei]
-				if dm == nil {
-					vecs := g.Cell.Vectors(pin)
-					return 0, fmt.Errorf("charlib: no polynomial arc %s",
-						charlib.PolyKey(g.Cell.Name, pin, vecs[vi].Key(), ei == 1))
-				}
-				if d := dm.Eval(x[:]); d > worst {
-					worst = d
+	if e.scalarKernels {
+		// Legacy one-kernel-at-a-time walk, kept as the differential
+		// oracle for the batched bound computation below.
+		x := [2]float64{kt.fo[g.ID], slowest}
+		ck := kt.gates[g.ID]
+		for pi, pin := range g.Cell.Inputs {
+			for vi := range ck[pi] {
+				for ei := range ck[pi][vi].delay {
+					dm := ck[pi][vi].delay[ei]
+					if dm == nil {
+						vecs := g.Cell.Vectors(pin)
+						return 0, fmt.Errorf("charlib: no polynomial arc %s",
+							charlib.PolyKey(g.Cell.Name, pin, vecs[vi].Key(), ei == 1))
+					}
+					if d := dm.Eval(x[:]); d > worst {
+						worst = d
+					}
 				}
 			}
+		}
+		return worst * 1.15, nil
+	}
+	// Batched bound: the gate's slot block enumerates its (pin, case,
+	// edge) arcs in exactly the scalar walk's order, so the lane fill
+	// hits any uncharacterized arc at the same point with the same
+	// error, and the max scan sees the same values in the same order.
+	base := kt.slotBase[g.ID]
+	off := kt.pinOff[g.ID]
+	n := int(off[len(g.Cell.Inputs)])
+	sc := &e.ksc
+	sc.ensure(n, kt.pool)
+	lane := kt.pool.LaneLen()
+	li := 0
+	for pi, pin := range g.Cell.Inputs {
+		for rel := off[pi]; rel < off[pi+1]; rel++ {
+			si := base + rel
+			did := kt.delayID[si]
+			if did < 0 {
+				vecs := g.Cell.Vectors(pin)
+				return 0, fmt.Errorf("charlib: no polynomial arc %s",
+					charlib.PolyKey(g.Cell.Name, pin, vecs[int(rel-off[pi])/2].Key(), (rel-off[pi])%2 == 1))
+			}
+			sc.ids[li] = did
+			kt.pool.PowLane(did, kt.fo[g.ID], slowest, sc.pow[li*lane:])
+			li++
+		}
+	}
+	if cap(e.scratch) < n {
+		e.scratch = make([]float64, n)
+	}
+	out := e.scratch[:n]
+	kt.pool.SumBatch(sc.ids, sc.pow, out)
+	kt.batchLanes.Add(int64(n))
+	kt.batchRounds.Add((int64(n) + polyfit.BatchWidth - 1) / polyfit.BatchWidth)
+	for _, d := range out {
+		if d > worst {
+			worst = d
 		}
 	}
 	// 15 % headroom keeps the bound admissible against slew-chaining

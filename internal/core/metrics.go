@@ -36,6 +36,11 @@ type Metrics struct {
 	// rewind, the recording re-run of the dead assertion, and the store
 	// insert (nogood.go, learnDecision).
 	NogoodStoreNs obs.Histogram
+	// KernelBatchFill records the lane count of each batched arc-delay
+	// evaluation (arcDelaysBatched) — the path length scored per query.
+	// Not a latency: the histogram's log2 buckets hold arc counts, so
+	// the distribution shows how full the BatchWidth-lane rounds run.
+	KernelBatchFill obs.Histogram
 }
 
 // Instrument names of the engine's OpenMetrics exposition: dotted,
@@ -62,6 +67,7 @@ const (
 	metNogoodLearned = "core.nogood_learned"
 	metNogoodHits    = "core.nogood_hits"
 	metNogoodStoreNs = "core.nogood_store_ns"
+	metKernelBatch   = "core.kernel_batch_fill"
 )
 
 // metricsHelpText documents each instrument for the exposition's
@@ -87,6 +93,7 @@ var metricsHelpText = map[string]string{
 	metNogoodLearned: "nogoods learned from dead sensitization decisions",
 	metNogoodHits:    "decisions pruned by a learned nogood before being charged a step",
 	metNogoodStoreNs: "cost of recording one learned nogood (rewind, re-run, insert)",
+	metKernelBatch:   "lanes per batched arc-delay evaluation (path length per query)",
 }
 
 // MetricsSnapshot maps the engine's instrumentation onto an
@@ -131,6 +138,7 @@ func (e *Engine) MetricsSnapshot() obs.Snapshot {
 			metEmitNs:        m.EmitNs.Stat(),
 			metKernelBuild:   m.KernelBuildNs.Stat(),
 			metNogoodStoreNs: m.NogoodStoreNs.Stat(),
+			metKernelBatch:   m.KernelBatchFill.Stat(),
 		}
 	}
 	return snap

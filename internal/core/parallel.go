@@ -129,6 +129,9 @@ func (e *Engine) warmShared() error {
 // all workers and must be safe for concurrent Emit (obs.JSONL is).
 func (e *Engine) workerEngine(progress func(ProgressInfo), workers int) *Engine {
 	we := *e
+	// The lane scratch must be private per worker: a shared copy would
+	// hand every worker the same grown backing arrays.
+	we.ksc = kernelScratch{}
 	we.Opts.MaxSteps = 0
 	we.Opts.Progress = progress
 	if workers > 0 {

@@ -1,0 +1,318 @@
+package polyfit
+
+import "fmt"
+
+// Pool is a flat, struct-of-arrays compilation of many 2-variable
+// specialized kernels (see Specialize): one table-wide coefficient
+// array, one factor-op array and per-kernel (lo, scale, order)
+// normalization, addressed by the dense integer ID Add returns. The
+// layout removes every per-kernel pointer chase from the query path —
+// a batch of evaluations touches four contiguous arrays instead of a
+// forest of *Specialized headers — and is what the batched arc-delay
+// evaluator of internal/core rides on.
+//
+// Evaluation is bit-identical to Specialized.Eval on the kernel that
+// was added: compilation copies the coefficient order and the
+// per-monomial factor order verbatim, the normalization/clamp is the
+// same arithmetic, and the power tables use the same recurrence. The
+// batch entry point only changes *which* kernel is evaluated when,
+// never the factor or summation order within one evaluation.
+//
+// A Pool is immutable once its owner stops calling Add and is then
+// safe for concurrent EvalOne/EvalBatch from any number of goroutines
+// (each caller brings its own scratch).
+type Pool struct {
+	// Per kernel k (two entries each, variable 0 then variable 1):
+	lo    []float64 // normalization offset, lo[2k] / lo[2k+1]
+	scale []float64 // normalization scale
+	ord   []uint16  // per-variable polynomial order
+
+	termOff []uint32   // per kernel: term range [termOff[k], termOff[k+1])
+	terms   []poolTerm // table-wide fixed-shape monomials
+
+	maxOrd int // largest per-variable order across the pool
+	nops   int // factor count as added (identity factors excluded), for stats
+}
+
+// poolTerm is one pooled monomial, precompiled to the fixed factor
+// shape every run-specialized kernel has: at most one power of each
+// free variable followed by at most two fixed-variable constants,
+// multiplied in exactly that order (Model.Eval walks the variables in
+// declaration order, and the STA models put the free pair first).
+// Absent factors compile to exact identities — idx 0 addresses the
+// power block's constant 1.0, c0/c1 default to 1.0 — and multiplying
+// by an exact 1.0 is bit-exact under IEEE-754, so the fixed shape
+// evaluates bit-identically to the variable-length factor walk while
+// freeing the term loop of every branch and indirection.
+type poolTerm struct {
+	coef, c0, c1 float64
+	idx0, idx1   uint16 // flat power-block index: variable·powStride + exponent
+}
+
+// BatchWidth is the lane count of one EvalBatch round: lanes are set
+// up (normalized, clamped, power tables built) for the whole round
+// before any term work, so the round's inner loops run over the pooled
+// arrays with no per-lane pointer chasing between them.
+const BatchWidth = 8
+
+// powStride is the fixed distance between the two power tables of one
+// lane's power block, and laneLen the block's total length. Fixing the
+// stride at compile time (rather than deriving it from the pool's
+// largest order) lets Add precompile each factor's flat block index
+// and keeps every lane a constant-size array the term loop indexes
+// with a single load. Orders above powStride-1 are rejected by Add;
+// the fitter's hard ceiling (evalMaxOrder) is half of that.
+const (
+	powStride = 16
+	laneLen   = 2 * powStride
+)
+
+// NewPool returns an empty kernel pool.
+func NewPool() *Pool {
+	return &Pool{termOff: []uint32{0}}
+}
+
+// Add compiles one 2-variable specialized kernel into the pool and
+// returns its dense ID. Kernels with any other free-variable count are
+// rejected — the pool's lane layout is fixed at two variables, the
+// (Fo, Tin) shape every run-specialized delay kernel has.
+//
+// stalint:coldpath one compilation per distinct kernel at table-build
+// time, amortized over every subsequent batched query
+func (p *Pool) Add(s *Specialized) (int32, error) {
+	if len(s.vars) != 2 {
+		return -1, fmt.Errorf("polyfit: Pool.Add: kernel has %d free variables, want 2 (%v)", len(s.vars), s.vars)
+	}
+	for _, o := range s.orders {
+		if o >= powStride {
+			return -1, fmt.Errorf("polyfit: Pool.Add: order %d exceeds the pool lane layout (max %d)", o, powStride-1)
+		}
+	}
+	// Validate every term against the fixed factor shape before any
+	// mutation, so a rejected kernel leaves the pool untouched.
+	for ti := range s.terms {
+		t := &s.terms[ti]
+		lastFree, nc := int16(-1), 0
+		for _, op := range s.ops[t.lo:t.hi] {
+			if op.free >= 0 {
+				if nc > 0 || op.free <= lastFree {
+					return -1, fmt.Errorf("polyfit: Pool.Add: term factor order outside the pooled (free0, free1, const, const) shape")
+				}
+				lastFree = op.free
+			} else if nc++; nc > 2 {
+				return -1, fmt.Errorf("polyfit: Pool.Add: term has more than two fixed-variable factors")
+			}
+		}
+	}
+	id := int32(len(p.ord) / 2)
+	p.lo = append(p.lo, s.lo[0], s.lo[1])
+	p.scale = append(p.scale, s.scale[0], s.scale[1])
+	p.ord = append(p.ord, uint16(s.orders[0]), uint16(s.orders[1]))
+	for _, o := range s.orders {
+		if o > p.maxOrd {
+			p.maxOrd = o
+		}
+	}
+	for ti := range s.terms {
+		t := &s.terms[ti]
+		pt := poolTerm{coef: t.coef, c0: 1, c1: 1}
+		nc := 0
+		for _, op := range s.ops[t.lo:t.hi] {
+			switch {
+			case op.free == 0:
+				pt.idx0 = op.exp // variable 0 starts at block offset 0
+			case op.free > 0:
+				pt.idx1 = powStride + op.exp
+			case nc == 0:
+				pt.c0 = op.c
+				nc++
+			default:
+				pt.c1 = op.c
+				nc++
+			}
+		}
+		p.nops += int(t.hi - t.lo)
+		p.terms = append(p.terms, pt)
+	}
+	p.termOff = append(p.termOff, uint32(len(p.terms)))
+	return id, nil
+}
+
+// NumKernels returns the number of compiled kernels.
+func (p *Pool) NumKernels() int { return len(p.ord) / 2 }
+
+// NumTerms returns the pooled monomial count across all kernels.
+func (p *Pool) NumTerms() int { return len(p.terms) }
+
+// NumOps returns the pooled factor count across all kernels
+// (identity factors of the fixed term shape excluded).
+func (p *Pool) NumOps() int { return p.nops }
+
+// MaxOrder returns the largest per-variable order in the pool.
+func (p *Pool) MaxOrder() int { return p.maxOrd }
+
+// ScratchLen returns the length the pow scratch passed to
+// EvalOne/EvalBatch must have: BatchWidth lanes of two fixed-stride
+// power tables each. Callers size it once and reuse it query to query.
+func (p *Pool) ScratchLen() int { return BatchWidth * laneLen }
+
+// LaneLen returns the length of one lane's power block: two power
+// tables at the pool's fixed stride.
+func (p *Pool) LaneLen() int { return laneLen }
+
+// NormShared reports whether kernels a and b share bit-identical
+// normalization (lo, scale). Same-normalized kernels clamp and
+// normalize any evaluation point identically, and the power recurrence
+// pw[e] = pw[e-1]·xn yields the same prefix regardless of how far it
+// runs — so one block built to the pairwise maximum orders
+// (PowLanePair) serves both bit-identically. The delay/slew kernel
+// pair of one timing arc, fitted over the same characterization grid,
+// always qualifies; only their auto-fitted orders differ.
+func (p *Pool) NormShared(a, b int32) bool {
+	// Interchangeable power blocks need the exact build-time values.
+	// stalint:ignore floatcmp bit-identical normalization is the sharing contract
+	return p.lo[2*a] == p.lo[2*b] && p.lo[2*a+1] == p.lo[2*b+1] &&
+		p.scale[2*a] == p.scale[2*b] && p.scale[2*a+1] == p.scale[2*b+1] // stalint:ignore floatcmp bit-identical normalization is the sharing contract
+}
+
+// PowLane builds kernel k's normalized, clamped power block for
+// (x0, x1) into pw (length at least LaneLen) — the per-lane setup of a
+// batched evaluation, split out so callers can retain the block across
+// the two evaluation passes.
+//
+// stalint:noalloc per-lane setup of the batched query path
+func (p *Pool) PowLane(k int32, x0, x1 float64, pw []float64) {
+	p.powLane(k, int(p.ord[2*k]), int(p.ord[2*k+1]), x0, x1, pw)
+}
+
+// PowLanePair builds one power block for (x0, x1) serving both a and
+// b, which must share normalization (NormShared): kernel a's clamp
+// with the power tables run to the pairwise maximum order, so SumLane
+// of either kernel reads exactly the powers its own PowLane would have
+// built.
+//
+// stalint:noalloc per-lane setup of the batched query path
+func (p *Pool) PowLanePair(a, b int32, x0, x1 float64, pw []float64) {
+	o0, o1 := int(p.ord[2*a]), int(p.ord[2*a+1])
+	if o := int(p.ord[2*b]); o > o0 {
+		o0 = o
+	}
+	if o := int(p.ord[2*b+1]); o > o1 {
+		o1 = o
+	}
+	p.powLane(a, o0, o1, x0, x1, pw)
+}
+
+// SumLane evaluates kernel k against a power block previously built by
+// PowLane/PowLanePair for k or a norm-sharing kernel (NormShared) at
+// the desired point. Factor and summation order are exactly
+// Specialized.Eval's — bit-identical results.
+//
+// stalint:noalloc per-lane term loop of the batched query path
+func (p *Pool) SumLane(k int32, pw []float64) float64 {
+	return p.laneSum(k, pw)
+}
+
+// SumBatch evaluates kernel ids[i] against the i-th LaneLen-sized
+// power block of pow into out[i] — the second pass of a two-pass
+// batched evaluation whose first pass built every lane's block with
+// PowLane. One tight loop over the pooled arrays: no setup, no
+// normalization, no per-kernel pointer chasing between lanes.
+//
+// stalint:noalloc the batched summation is the hot loop of every
+// path-scoring query; it must never allocate
+func (p *Pool) SumBatch(ids []int32, pow, out []float64) {
+	for i, k := range ids {
+		out[i] = p.laneSum(k, pow[i*laneLen:])
+	}
+}
+
+// lanePow normalizes and clamps one lane's evaluation point and builds
+// its two power tables into pw to kernel k's own orders.
+func (p *Pool) lanePow(k int32, x0, x1 float64, pw []float64) {
+	p.powLane(k, int(p.ord[2*k]), int(p.ord[2*k+1]), x0, x1, pw)
+}
+
+// powLane is the shared lane setup: kernel k's normalization and
+// clamp, power tables run to the requested orders (variable 0 at
+// pw[0:], variable 1 at pw[powStride:]) — the same arithmetic, in the
+// same order, as Specialized.Eval's per-variable setup.
+func (p *Pool) powLane(k int32, o0, o1 int, x0, x1 float64, pw []float64) {
+	xn := (x0 - p.lo[2*k]) * p.scale[2*k]
+	if xn < 0 {
+		xn = 0
+	} else if xn > 1 {
+		xn = 1
+	}
+	pw[0] = 1
+	for e := 1; e <= o0; e++ {
+		pw[e] = pw[e-1] * xn
+	}
+	xn = (x1 - p.lo[2*k+1]) * p.scale[2*k+1]
+	if xn < 0 {
+		xn = 0
+	} else if xn > 1 {
+		xn = 1
+	}
+	pw[powStride] = 1
+	for e := 1; e <= o1; e++ {
+		pw[powStride+e] = pw[powStride+e-1] * xn
+	}
+}
+
+// laneSum evaluates one kernel's terms against a prepared power block:
+// coefficient times factors in original order, summed in original
+// order — bit-identical to Specialized.Eval's accumulation (absent
+// factors are exact 1.0 identities, see poolTerm). The masks just
+// prove idx < laneLen to the compiler; both hold by construction. The
+// float64 conversion pins the term's rounding per the Go spec, so no
+// fused multiply-add can leak into the accumulation on platforms that
+// have one.
+func (p *Pool) laneSum(k int32, pw []float64) float64 {
+	pw = pw[:laneLen]
+	terms := p.terms
+	total := 0.0
+	for ti := p.termOff[k]; ti < p.termOff[k+1]; ti++ {
+		t := &terms[ti]
+		total += float64(t.coef * pw[t.idx0&(laneLen-1)] * pw[t.idx1&(laneLen-1)] * t.c0 * t.c1)
+	}
+	return total
+}
+
+// EvalOne evaluates kernel k at (x0, x1) using lane 0 of pow (length
+// at least ScratchLen()). It is the scalar entry point for inherently
+// sequential chains — the slew recurrence of a timing path — and is
+// bit-identical to Specialized.Eval on the added kernel.
+//
+// stalint:noalloc the query path must stay allocation-free; the caller
+// owns and reuses the scratch
+func (p *Pool) EvalOne(k int32, x0, x1 float64, pow []float64) float64 {
+	p.lanePow(k, x0, x1, pow)
+	return p.laneSum(k, pow)
+}
+
+// EvalBatch evaluates kernel ids[i] at (x0[i], x1[i]) into out[i] for
+// every lane, BatchWidth lanes per round: each round first normalizes,
+// clamps and builds the power tables of all its lanes, then runs the
+// term loops lane by lane over the pooled arrays. Within one lane the
+// factor and summation order is exactly Specialized.Eval's, so results
+// are bit-identical to evaluating each kernel alone; across lanes only
+// the schedule changes. ids, x0, x1 and out share their length; pow is
+// the caller's reusable scratch of at least ScratchLen().
+//
+// stalint:noalloc the batched query path is the hot loop of every
+// arc-delay evaluation; it must never allocate
+func (p *Pool) EvalBatch(ids []int32, x0, x1, out, pow []float64) {
+	for base := 0; base < len(ids); base += BatchWidth {
+		n := len(ids) - base
+		if n > BatchWidth {
+			n = BatchWidth
+		}
+		for l := 0; l < n; l++ {
+			p.lanePow(ids[base+l], x0[base+l], x1[base+l], pow[laneLen*l:laneLen*(l+1)])
+		}
+		for l := 0; l < n; l++ {
+			out[base+l] = p.laneSum(ids[base+l], pow[laneLen*l:])
+		}
+	}
+}

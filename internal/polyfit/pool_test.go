@@ -1,0 +1,180 @@
+package polyfit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// poolTestModel builds a deterministic 4-variable model of the arc
+// shape (Fo, Tin, T, VDD) with dense pseudo-random coefficients.
+func poolTestModel(t *testing.T, seed int64, orders [4]int) *Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{
+		Vars:   []string{"Fo", "Tin", "T", "VDD"},
+		Lo:     []float64{1, 10e-12, -40, 1.0},
+		Scale:  []float64{1.0 / 7, 1 / 190e-12, 1.0 / 165, 1 / 0.6},
+		Orders: orders[:],
+	}
+	n := 1
+	for _, o := range m.Orders {
+		n *= o + 1
+	}
+	m.Coef = make([]float64, n)
+	for i := range m.Coef {
+		c := rng.NormFloat64()
+		if rng.Intn(4) == 0 {
+			c = 0 // exercise zero-coefficient term dropping
+		}
+		m.Coef[i] = c
+	}
+	return m
+}
+
+// poolTestKernels specializes a family of models at one operating
+// point, returning the kernels and a pool holding all of them.
+func poolTestKernels(t *testing.T) ([]*Specialized, *Pool) {
+	t.Helper()
+	fixed := map[string]float64{"T": 25, "VDD": 1.2}
+	shapes := [][4]int{{2, 3, 1, 1}, {3, 2, 2, 1}, {1, 1, 1, 1}, {4, 4, 1, 2}}
+	pool := NewPool()
+	var kernels []*Specialized
+	for i, sh := range shapes {
+		s, err := poolTestModel(t, int64(100+i), sh).Specialize(fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := pool.Add(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(id) != i {
+			t.Fatalf("kernel %d got pool ID %d", i, id)
+		}
+		kernels = append(kernels, s)
+	}
+	return kernels, pool
+}
+
+// poolTestPoints covers the interior, the borders and the clamped
+// outside of the characterized square.
+func poolTestPoints() [][2]float64 {
+	return [][2]float64{
+		{1, 10e-12}, {4, 100e-12}, {8, 200e-12},
+		{0.5, 5e-12}, {9, 300e-12}, {-1, -5e-12},
+		{3.3, 73e-12}, {6.7, 151e-12},
+	}
+}
+
+// TestPoolEvalOneBitIdentical pins the scalar pool entry point against
+// Specialized.Eval bit for bit.
+func TestPoolEvalOneBitIdentical(t *testing.T) {
+	kernels, pool := poolTestKernels(t)
+	pow := make([]float64, pool.ScratchLen())
+	for ki, s := range kernels {
+		for _, pt := range poolTestPoints() {
+			want := s.Eval([]float64{pt[0], pt[1]})
+			got := pool.EvalOne(int32(ki), pt[0], pt[1], pow)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("kernel %d at %v: pool %v vs specialized %v", ki, pt, got, want)
+			}
+		}
+	}
+}
+
+// TestPoolEvalBatchBitIdentical runs every lane count from a single
+// lane through several full rounds plus a tail, with the lanes cycling
+// over distinct kernels, and checks each lane bit for bit against the
+// scalar evaluation of that kernel alone.
+func TestPoolEvalBatchBitIdentical(t *testing.T) {
+	kernels, pool := poolTestKernels(t)
+	pow := make([]float64, pool.ScratchLen())
+	pts := poolTestPoints()
+	for n := 1; n <= 3*BatchWidth+3; n++ {
+		ids := make([]int32, n)
+		x0 := make([]float64, n)
+		x1 := make([]float64, n)
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ids[i] = int32((i * 7) % len(kernels))
+			pt := pts[(i*5)%len(pts)]
+			x0[i], x1[i] = pt[0], pt[1]
+		}
+		pool.EvalBatch(ids, x0, x1, out, pow)
+		for i := 0; i < n; i++ {
+			want := kernels[ids[i]].Eval([]float64{x0[i], x1[i]})
+			if math.Float64bits(out[i]) != math.Float64bits(want) {
+				t.Errorf("n=%d lane %d (kernel %d): batch %v vs specialized %v", n, i, ids[i], out[i], want)
+			}
+		}
+	}
+}
+
+// TestPoolAddRejectsNon2Var pins the pool's fixed lane shape: kernels
+// with any free-variable count other than two are rejected.
+func TestPoolAddRejectsNon2Var(t *testing.T) {
+	m := poolTestModel(t, 7, [4]int{2, 2, 1, 1})
+	for _, fixed := range []map[string]float64{
+		{"VDD": 1.2},                         // 3 free variables
+		{"T": 25, "VDD": 1.2, "Tin": 40e-12}, // 1 free variable
+	} {
+		s, err := m.Specialize(fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id, err := NewPool().Add(s); err == nil {
+			t.Errorf("Add accepted a %d-variable kernel (ID %d)", len(s.Vars()), id)
+		}
+	}
+}
+
+// TestPoolEvalZeroAlloc is the static twin's runtime check: steady
+// state, both pool entry points must not allocate.
+func TestPoolEvalZeroAlloc(t *testing.T) {
+	kernels, pool := poolTestKernels(t)
+	pow := make([]float64, pool.ScratchLen())
+	n := 2*BatchWidth + 3
+	ids := make([]int32, n)
+	x0 := make([]float64, n)
+	x1 := make([]float64, n)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int32(i % len(kernels))
+		x0[i], x1[i] = float64(1+i%7), float64(10+i)*1e-12
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		pool.EvalBatch(ids, x0, x1, out, pow)
+		out[0] = pool.EvalOne(ids[0], x0[0], x1[0], pow)
+	})
+	if allocs > 0 {
+		t.Errorf("pool evaluation allocates %.1f objects per query", allocs)
+	}
+}
+
+// TestPoolStats pins the bookkeeping the kernel-table stats surface.
+func TestPoolStats(t *testing.T) {
+	kernels, pool := poolTestKernels(t)
+	if got, want := pool.NumKernels(), len(kernels); got != want {
+		t.Errorf("NumKernels %d, want %d", got, want)
+	}
+	terms := 0
+	for _, s := range kernels {
+		terms += s.NumTerms()
+	}
+	if got := pool.NumTerms(); got != terms {
+		t.Errorf("NumTerms %d, want %d", got, terms)
+	}
+	if pool.NumOps() == 0 {
+		t.Error("NumOps is 0 for a dense kernel family")
+	}
+	if pool.MaxOrder() < 4 {
+		t.Errorf("MaxOrder %d, want >= 4 (the {4,4} shape)", pool.MaxOrder())
+	}
+	if got, want := pool.ScratchLen(), BatchWidth*pool.LaneLen(); got != want {
+		t.Errorf("ScratchLen %d, want %d", got, want)
+	}
+	if pool.LaneLen() <= 2*pool.MaxOrder() {
+		t.Errorf("LaneLen %d cannot hold two order-%d power tables", pool.LaneLen(), pool.MaxOrder())
+	}
+}

@@ -32,6 +32,11 @@ type Specialized struct {
 
 	terms []specTerm
 	ops   []specOp // flat factor pool; terms index slices of it
+
+	// evalFast memoizes the stack-allocated fast-path eligibility
+	// (every free variable within evalMaxVars/evalMaxOrder), so Eval
+	// does not re-derive it with a loop over orders on every call.
+	evalFast bool
 }
 
 // specTerm is one surviving monomial: its coefficient and its factor
@@ -122,6 +127,12 @@ func (m *Model) Specialize(fixed map[string]float64) (*Specialized, error) {
 			exps[i] = 0
 		}
 	}
+	s.evalFast = len(s.vars) <= evalMaxVars
+	for _, o := range s.orders {
+		if o >= evalMaxOrder {
+			s.evalFast = false
+		}
+	}
 	return s, nil
 }
 
@@ -143,13 +154,7 @@ func (s *Specialized) Eval(x []float64) float64 {
 		panic(fmt.Sprintf("polyfit: Specialized.Eval with %d values for %d variables", len(x), len(s.vars)))
 	}
 	k := len(s.vars)
-	fast := k <= evalMaxVars
-	for _, o := range s.orders {
-		if o >= evalMaxOrder {
-			fast = false
-		}
-	}
-	if fast {
+	if s.evalFast {
 		var pows [evalMaxVars][evalMaxOrder + 1]float64
 		for i := 0; i < k; i++ {
 			xn := (x[i] - s.lo[i]) * s.scale[i]

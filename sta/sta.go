@@ -130,8 +130,10 @@ type (
 	EngineParallelStats = core.ParallelStats
 	// EngineKernelStats describes the engine's run-specialized
 	// delay-kernel layer: arcs specialized at the run's (T, VDD),
-	// surviving polynomial terms, one-time build cost and arc queries
-	// served. See Engine.KernelStats.
+	// surviving polynomial terms, one-time build cost, arc queries
+	// served, the struct-of-arrays pool shape (kernels, pooled terms
+	// and factor ops) and the batched evaluator's occupancy (rounds,
+	// lanes, mean fill). See Engine.KernelStats.
 	EngineKernelStats = core.KernelStats
 	// EngineLearnStats is the conflict-driven nogood learning snapshot
 	// of the engine's most recent run (EngineOptions.Learning): clauses
