@@ -20,6 +20,11 @@
 // with exit 1 (`make bench-compare`; CI runs it as a non-blocking
 // job because shared runners are noisy). With -compare and no -out the
 // fresh artifact JSON is not printed — the comparison is the output.
+//
+// With -min-ratio "BEFORE,AFTER,MIN" the fresh results must uphold a
+// recorded speedup claim: Bench[BEFORE] must take at least MIN times
+// the ns/op of Bench[AFTER] (e.g. the multi-corner sweep's >= 1.5x
+// over independent per-corner runs), or the run fails with exit 1.
 package main
 
 import (
@@ -102,6 +107,7 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout; suppressed when -compare is set)")
 	compare := flag.String("compare", "", "baseline artifact JSON to compare against (exit 1 on regression)")
 	tol := flag.Float64("tolerance", 0.15, "fractional ns/op slowdown tolerated by -compare")
+	minRatio := flag.String("min-ratio", "", "BEFORE,AFTER,MIN: require Bench[BEFORE] >= MIN x Bench[AFTER] in ns/op (exit 1 otherwise)")
 	flag.StringVar(&r.Artifact, "artifact", "", "what the benchmarks measure")
 	flag.StringVar(&r.Command, "command", "", "the benchmark command, for reproduction")
 	flag.StringVar(&r.Note, "note", "", "free-form interpretation note")
@@ -168,6 +174,13 @@ func main() {
 				before.NsPerOp/after.NsPerOp))
 		}
 	}
+	if sweep, okS := r.Bench["MultiCorner/sweep"]; okS {
+		if ind, okI := r.Bench["MultiCorner/independent"]; okI && sweep.NsPerOp > 0 {
+			r.Note = strings.TrimSpace(r.Note + fmt.Sprintf(
+				" Measured this run: independent (N full builds) %.0f ns/op vs sweep (one build + N-1 respecializations) %.0f ns/op — %.2fx fewer ns/op.",
+				ind.NsPerOp, sweep.NsPerOp, ind.NsPerOp/sweep.NsPerOp))
+		}
+	}
 	// The NogoodLearning artifact's headline is the step-count
 	// reduction, computed from the custom steps/op columns so the
 	// recorded note always carries the measured figure.
@@ -213,6 +226,45 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *minRatio != "" {
+		if err := checkMinRatio(os.Stderr, r.Bench, *minRatio); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// checkMinRatio enforces a recorded speedup claim on the fresh
+// results: spec is "BEFORE,AFTER,MIN" and the run fails unless
+// Bench[BEFORE].ns/op >= MIN × Bench[AFTER].ns/op.
+func checkMinRatio(w io.Writer, bench map[string]metrics, spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("-min-ratio %q: want BEFORE,AFTER,MIN", spec)
+	}
+	before, after := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+	min, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil || min <= 0 {
+		return fmt.Errorf("-min-ratio %q: bad minimum ratio %q", spec, parts[2])
+	}
+	b, okB := bench[before]
+	a, okA := bench[after]
+	if !okB || !okA {
+		return fmt.Errorf("-min-ratio %q: results lack %q and/or %q", spec, before, after)
+	}
+	if a.NsPerOp <= 0 {
+		return fmt.Errorf("-min-ratio %q: %q recorded no ns/op", spec, after)
+	}
+	ratio := b.NsPerOp / a.NsPerOp
+	verdict := "ok"
+	if ratio < min {
+		verdict = "BELOW MINIMUM"
+	}
+	fmt.Fprintf(w, "benchjson: %s/%s = %.2fx (minimum %.2fx)  %s\n", before, after, ratio, min, verdict)
+	if ratio < min {
+		return fmt.Errorf("speedup %.2fx is below the gated minimum %.2fx (%s vs %s)", ratio, min, before, after)
+	}
+	return nil
 }
 
 // compareBaseline checks fresh results against a recorded artifact and

@@ -73,3 +73,33 @@ func TestCompareBaseline(t *testing.T) {
 		t.Error("missing baseline passed silently")
 	}
 }
+
+func TestCheckMinRatio(t *testing.T) {
+	bench := map[string]metrics{
+		"MultiCorner/independent": {NsPerOp: 3000},
+		"MultiCorner/sweep":       {NsPerOp: 1500},
+	}
+	var out bytes.Buffer
+	if err := checkMinRatio(&out, bench, "MultiCorner/independent,MultiCorner/sweep,1.5"); err != nil {
+		t.Errorf("2.0x against a 1.5x minimum should pass: %v", err)
+	}
+	if !strings.Contains(out.String(), "2.00x") {
+		t.Errorf("verdict line missing the measured ratio: %q", out.String())
+	}
+	if err := checkMinRatio(&out, bench, "MultiCorner/independent,MultiCorner/sweep,2.5"); err == nil {
+		t.Error("2.0x against a 2.5x minimum should fail")
+	}
+	for _, spec := range []string{
+		"",
+		"a,b",
+		"a,b,c,d",
+		"MultiCorner/independent,MultiCorner/sweep,zero",
+		"MultiCorner/independent,MultiCorner/sweep,-1",
+		"missing,MultiCorner/sweep,1.5",
+		"MultiCorner/independent,missing,1.5",
+	} {
+		if err := checkMinRatio(&out, bench, spec); err == nil {
+			t.Errorf("spec %q should be rejected", spec)
+		}
+	}
+}

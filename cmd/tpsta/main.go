@@ -20,7 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"strconv"
 	"strings"
 
 	"tpsta/internal/cell"
@@ -32,6 +34,7 @@ import (
 	"tpsta/internal/report"
 	"tpsta/internal/sdf"
 	"tpsta/internal/tech"
+	"tpsta/internal/variation"
 )
 
 // config carries every CLI option through the run.
@@ -54,6 +57,9 @@ type config struct {
 	maxSteps    int64
 	quickChar   bool
 	structural  bool
+	temp        float64 // -temp: junction temperature in °C
+	vdd         float64 // -vdd: supply in volts (0 = technology nominal)
+	corners     string  // -corners: multi-corner sweep specs
 
 	statsFile   string // -stats: machine-readable run report (JSON)
 	traceFile   string // -trace: structured search events (JSONL)
@@ -82,6 +88,9 @@ func main() {
 	flag.BoolVar(&cfg.complexOnly, "complex-only", false, "report only paths through multi-vector gates")
 	flag.Int64Var(&cfg.maxSteps, "max-steps", 2_000_000, "search budget (sensitization attempts)")
 	flag.BoolVar(&cfg.quickChar, "quick-char", false, "characterize on the reduced grid (faster startup)")
+	flag.Float64Var(&cfg.temp, "temp", 25, "junction temperature in °C")
+	flag.Float64Var(&cfg.vdd, "vdd", 0, "supply voltage in volts (0 = technology nominal)")
+	flag.StringVar(&cfg.corners, "corners", "", "batch multi-corner sweep: comma-separated slow|typ|fast names and/or TEMP:VDD pairs (e.g. slow,typ,fast or 125:1.08,-40:1.32)")
 	flag.BoolVar(&cfg.structural, "structural", false, "skip delay models (order paths by length)")
 	flag.StringVar(&cfg.statsFile, "stats", "", "write a machine-readable run report (JSON) to this file")
 	flag.StringVar(&cfg.traceFile, "trace", "", "write structured search events (JSONL) to this file")
@@ -137,6 +146,9 @@ type statsReport struct {
 	Parallel         *core.ParallelStats `json:"parallel,omitempty"`
 	Kernels          *core.KernelStats   `json:"kernels,omitempty"`
 	Learn            *core.LearnStats    `json:"learn,omitempty"`
+	// Corners is the per-corner table of a -corners sweep, in sweep
+	// order; absent on single-corner runs.
+	Corners []core.CornerStats `json:"corners,omitempty"`
 }
 
 func run(cfg config, out io.Writer) error {
@@ -216,6 +228,22 @@ func run(cfg config, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Operating-point flags are validated before any load or
+	// characterization work: a malformed corner spec must fail in
+	// milliseconds, not after a minute of library sweeping.
+	if math.IsNaN(cfg.temp) || math.IsInf(cfg.temp, 0) {
+		return fmt.Errorf("-temp %v: temperature must be a finite value in °C", cfg.temp)
+	}
+	if math.IsNaN(cfg.vdd) || math.IsInf(cfg.vdd, 0) || cfg.vdd < 0 {
+		return fmt.Errorf("-vdd %v: supply must be a positive voltage, or 0 for the %s nominal (%.2f V)", cfg.vdd, tc.Name, tc.VDD)
+	}
+	var cornerPts []core.OperatingPoint
+	if cfg.corners != "" {
+		cornerPts, err = parseCorners(cfg.corners, tc)
+		if err != nil {
+			return err
+		}
+	}
 	stopLoad := phases.Start("load")
 	loadSpan := obs.StartSpan(tr, runSpan.ID(), "load")
 	var cir *netlist.Circuit
@@ -284,11 +312,20 @@ func run(cfg config, out io.Writer) error {
 		if lib.TechName != tc.Name {
 			return fmt.Errorf("library is for %s, not %s", lib.TechName, tc.Name)
 		}
+		if len(cornerPts) > 0 && (len(lib.Grid.Temp) < 2 || len(lib.Grid.VDDRel) < 2) {
+			fmt.Fprintf(out, "warning: library characterized at nominal T/VDD only; every -corners point will report nominal delays\n")
+		}
 		fmt.Fprintf(out, "loaded %s\n", lib)
 	} else {
 		grid := charlib.NominalGrid()
 		if cfg.quickChar {
 			grid = charlib.TestGrid()
+		}
+		if len(cornerPts) > 0 {
+			// A corner sweep needs models with live T/VDD terms, which
+			// only the temperature and supply sweep provides.
+			full := charlib.FullGrid()
+			grid.Temp, grid.VDDRel = full.Temp, full.VDDRel
 		}
 		fmt.Fprintf(out, "characterizing %s library...\n", tc.Name)
 		stopChar := phases.Start("characterize")
@@ -323,6 +360,7 @@ func run(cfg config, out io.Writer) error {
 	opts := core.Options{
 		Workers: cfg.workers, ComplexOnly: cfg.complexOnly,
 		MaxSteps: cfg.maxSteps, Robust: cfg.robust, Learning: cfg.learn,
+		Temp: cfg.temp, VDD: cfg.vdd,
 		Tracer: tr, TraceParent: runSpan.ID(), TraceSampleEvery: cfg.traceSample,
 	}
 	// Histograms are collected only when an endpoint can serve them:
@@ -347,6 +385,100 @@ func run(cfg config, out io.Writer) error {
 		// The /metrics (and /debug) servers are already up; the engine's
 		// source snapshots live counters at every scrape from here on.
 		eng.RegisterMetrics("core")
+	}
+	// writeStats renders the -stats JSON for either search shape: a
+	// single-corner Result, or a -corners sweep (res nil, mc set).
+	writeStats := func(res *core.Result, mc *core.MultiCornerResult) error {
+		if statsOut == nil {
+			return nil
+		}
+		var sr statsReport
+		sr.Tool = "tpsta"
+		sr.Circuit.Name = st.Name
+		sr.Circuit.Inputs = st.Inputs
+		sr.Circuit.Outputs = st.Outputs
+		sr.Circuit.Gates = st.Gates
+		sr.Circuit.Depth = st.Depth
+		sr.Circuit.ComplexGates = st.ComplexGates
+		sr.Options.Tech = cfg.techName
+		sr.Options.K = cfg.k
+		sr.Options.MaxSteps = cfg.maxSteps
+		sr.Options.Workers = cfg.workers
+		sr.Options.Robust = cfg.robust
+		sr.Options.ComplexOnly = cfg.complexOnly
+		sr.Options.Structural = cfg.structural
+		sr.Options.Learning = cfg.learn
+		sr.PhaseSeconds = phases.Map()
+		sr.Search = eng.Stats()
+		if mc != nil {
+			sr.Corners = mc.Stats
+			sr.Result.Paths = len(mc.Cross)
+			for _, cs := range mc.Stats {
+				sr.Result.Truncated = sr.Result.Truncated || cs.Truncated
+			}
+			if len(mc.Cross) > 0 {
+				cp := mc.Cross[0]
+				sr.Result.WorstDelayPs = cp.Delays[cp.WorstCorner] * 1e12
+			}
+			if ps := mc.Parallel; ps.Workers > 1 {
+				sr.Parallel = &ps
+			}
+		} else {
+			sr.Result.Paths = len(res.Paths)
+			sr.Result.Courses = res.Courses
+			sr.Result.MultiVectorCourses = res.MultiVectorCourses
+			sr.Result.Truncated = res.Truncated
+			if len(res.Paths) > 0 {
+				sr.Result.WorstDelayPs = res.Paths[0].WorstDelay() * 1e12
+			}
+			if ps := eng.ParallelStats(); ps.Workers > 1 {
+				sr.Parallel = &ps
+			}
+		}
+		sr.Characterization = charStats
+		if ks := eng.KernelStats(); ks.Arcs > 0 {
+			sr.Kernels = &ks
+		}
+		if cfg.learn {
+			ls := eng.LearnStats()
+			sr.Learn = &ls
+		}
+		buf, err := json.MarshalIndent(&sr, "", "  ")
+		if err != nil {
+			return err
+		}
+		if _, err := statsOut.Write(append(buf, '\n')); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote run report to %s\n", cfg.statsFile)
+		return nil
+	}
+
+	if len(cornerPts) > 0 {
+		stopSearch := phases.Start("search")
+		mc, err := eng.MultiCornerKWorst(cornerPts, cfg.k)
+		if err != nil {
+			return err
+		}
+		searchDur := stopSearch()
+		if ps := mc.Parallel; ps.Workers > 1 {
+			fmt.Fprintf(os.Stderr, "parallel: %d workers over %d corner×shard units, %.0f%% pool utilization, %d shard + %d subtree steals\n",
+				ps.Workers, ps.Units, ps.Utilization*100, ps.ShardSteals, ps.SubtreeSteals)
+		}
+		if err := printCornerReport(out, mc, searchDur.Seconds()); err != nil {
+			return err
+		}
+		if err := writeStats(nil, mc); err != nil {
+			return err
+		}
+		if tracer != nil {
+			runSpan.End()
+			if err := tracer.Flush(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote search trace to %s (render it with cmd/obsreport)\n", cfg.traceFile)
+		}
+		return nil
 	}
 	stopSearch := phases.Start("search")
 	res, err := eng.KWorst(cfg.k)
@@ -439,53 +571,90 @@ func run(cfg config, out io.Writer) error {
 		fmt.Fprintf(out, "wrote search trace to %s (render it with cmd/obsreport)\n", cfg.traceFile)
 	}
 
-	if statsOut != nil {
-		var sr statsReport
-		sr.Tool = "tpsta"
-		sr.Circuit.Name = st.Name
-		sr.Circuit.Inputs = st.Inputs
-		sr.Circuit.Outputs = st.Outputs
-		sr.Circuit.Gates = st.Gates
-		sr.Circuit.Depth = st.Depth
-		sr.Circuit.ComplexGates = st.ComplexGates
-		sr.Options.Tech = cfg.techName
-		sr.Options.K = cfg.k
-		sr.Options.MaxSteps = cfg.maxSteps
-		sr.Options.Workers = cfg.workers
-		sr.Options.Robust = cfg.robust
-		sr.Options.ComplexOnly = cfg.complexOnly
-		sr.Options.Structural = cfg.structural
-		sr.Options.Learning = cfg.learn
-		sr.PhaseSeconds = phases.Map()
-		sr.Search = eng.Stats()
-		sr.Result.Paths = len(res.Paths)
-		sr.Result.Courses = res.Courses
-		sr.Result.MultiVectorCourses = res.MultiVectorCourses
-		sr.Result.Truncated = res.Truncated
-		if len(res.Paths) > 0 {
-			sr.Result.WorstDelayPs = res.Paths[0].WorstDelay() * 1e12
-		}
-		sr.Characterization = charStats
-		if ps := eng.ParallelStats(); ps.Workers > 1 {
-			sr.Parallel = &ps
-		}
-		if ks := eng.KernelStats(); ks.Arcs > 0 {
-			sr.Kernels = &ks
-		}
-		if cfg.learn {
-			ls := eng.LearnStats()
-			sr.Learn = &ls
-		}
-		buf, err := json.MarshalIndent(&sr, "", "  ")
-		if err != nil {
-			return err
-		}
-		if _, err := statsOut.Write(append(buf, '\n')); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "wrote run report to %s\n", cfg.statsFile)
+	if err := writeStats(res, nil); err != nil {
+		return err
 	}
 	return nil
+}
+
+// parseCorners turns a -corners spec into absolute operating points.
+// Each comma-separated field is either a standard corner name (slow,
+// typ/typical, fast — resolved against the technology nominal supply
+// exactly like variation.StandardCorners) or an explicit TEMP:VDD pair
+// of a finite °C temperature and a positive absolute voltage.
+func parseCorners(spec string, tc *tech.Tech) ([]core.OperatingPoint, error) {
+	std := variation.StandardCorners()
+	var pts []core.OperatingPoint
+	for _, raw := range strings.Split(spec, ",") {
+		field := strings.TrimSpace(raw)
+		var named *variation.Corner
+		switch strings.ToLower(field) {
+		case "":
+			return nil, fmt.Errorf("-corners %q: empty corner spec; want slow|typ|fast or TEMP:VDD", spec)
+		case "slow":
+			named = &std[0]
+		case "typ", "typical":
+			named = &std[1]
+		case "fast":
+			named = &std[2]
+		}
+		if named != nil {
+			pt := variation.Points(tc, []variation.Corner{*named})[0]
+			pt.Name = strings.ToLower(field)
+			pts = append(pts, pt)
+			continue
+		}
+		parts := strings.Split(field, ":")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("-corners: malformed corner %q; want slow|typ|fast or TEMP:VDD (e.g. 125:1.08)", field)
+		}
+		temp, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-corners: corner %q: bad temperature: %w", field, err)
+		}
+		vdd, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-corners: corner %q: bad supply: %w", field, err)
+		}
+		if math.IsNaN(temp) || math.IsInf(temp, 0) {
+			return nil, fmt.Errorf("-corners: corner %q: temperature must be a finite value in °C", field)
+		}
+		if math.IsNaN(vdd) || math.IsInf(vdd, 0) || vdd <= 0 {
+			return nil, fmt.Errorf("-corners: corner %q: supply must be a positive voltage in volts", field)
+		}
+		pts = append(pts, core.OperatingPoint{Temp: temp, VDD: vdd})
+	}
+	return pts, nil
+}
+
+// printCornerReport renders the per-corner summary and the
+// cross-corner path table of a batch sweep.
+func printCornerReport(out io.Writer, mc *core.MultiCornerResult, seconds float64) error {
+	tb := report.New(fmt.Sprintf("corner summary (%d corners in %.2fs)", len(mc.Stats), seconds),
+		"corner", "T(°C)", "VDD(V)", "build(ms)", "shared", "steps", "paths", "worst(ps)", "trunc")
+	for _, cs := range mc.Stats {
+		tb.Row(cs.Name, cs.Temp, cs.VDD, fmt.Sprintf("%.1f", cs.BuildSeconds*1e3),
+			cs.SharedBuild, cs.Steps, cs.Paths, report.Ps(cs.WorstDelay), cs.Truncated)
+	}
+	if err := tb.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	cols := []string{"#", "worst@"}
+	for _, cs := range mc.Stats {
+		cols = append(cols, cs.Name+"(ps)")
+	}
+	cols = append(cols, "path [cell.pin#case]")
+	xb := report.New(fmt.Sprintf("%d cross-corner paths", len(mc.Cross)), cols...)
+	for i, cp := range mc.Cross {
+		row := []interface{}{i + 1, mc.Stats[cp.WorstCorner].Name}
+		for _, d := range cp.Delays {
+			row = append(row, report.Ps(d))
+		}
+		row = append(row, cp.Path.String())
+		xb.Row(row...)
+	}
+	return xb.Render(out)
 }
 
 func cubeString(p *core.TruePath) string {

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -137,5 +140,73 @@ func TestRunWithSDFAndTests(t *testing.T) {
 	}
 	if st, err := os.Stat(testsPath); err != nil || st.Size() == 0 {
 		t.Fatalf("tests not written: %v", err)
+	}
+}
+
+// TestRunCornerFlags pins the operating-point flag contract: malformed
+// -corners specs and non-physical -temp/-vdd values fail with usage
+// errors before any characterization work, and a well-formed sweep
+// runs end to end.
+func TestRunCornerFlags(t *testing.T) {
+	base := config{circuitName: "c17", techName: "130nm", k: 5,
+		maxSteps: 10000, quickChar: true, structural: true}
+	bad := []struct {
+		name string
+		mut  func(*config)
+	}{
+		{"nan temp", func(c *config) { c.temp = math.NaN() }},
+		{"inf temp", func(c *config) { c.temp = math.Inf(1) }},
+		{"negative vdd", func(c *config) { c.vdd = -1 }},
+		{"nan vdd", func(c *config) { c.vdd = math.NaN() }},
+		{"unknown corner name", func(c *config) { c.corners = "slow,bogus" }},
+		{"empty corner field", func(c *config) { c.corners = "slow,,fast" }},
+		{"missing vdd in pair", func(c *config) { c.corners = "125" }},
+		{"extra field in pair", func(c *config) { c.corners = "125:1.2:3" }},
+		{"unparsable temp in pair", func(c *config) { c.corners = "hot:1.2" }},
+		{"zero vdd in pair", func(c *config) { c.corners = "125:0" }},
+		{"negative vdd in pair", func(c *config) { c.corners = "125:-1.2" }},
+		{"duplicate points", func(c *config) { c.corners = "slow,125:1.08" }},
+	}
+	for _, tcase := range bad {
+		cfg := base
+		tcase.mut(&cfg)
+		if err := run(cfg, io.Discard); err == nil {
+			t.Errorf("%s: run accepted %+v", tcase.name, cfg)
+		}
+	}
+
+	var buf bytes.Buffer
+	cfg := base
+	cfg.corners = "slow, TYPICAL ,-40:1.32"
+	cfg.statsFile = filepath.Join(t.TempDir(), "corners.json")
+	if err := run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"corner summary (3 corners", "slow", "typical", "T-40_V1.32", "cross-corner paths"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("corner report missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	// The -stats report of a sweep must carry the per-corner table and
+	// the sweep-wide result summary.
+	raw, err := os.ReadFile(cfg.statsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr statsReport
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+	if len(sr.Corners) != 3 {
+		t.Fatalf("stats corners = %d, want 3", len(sr.Corners))
+	}
+	for i, want := range []string{"slow", "typical", "T-40_V1.32"} {
+		if sr.Corners[i].Name != want {
+			t.Errorf("stats corner %d = %q, want %q", i, sr.Corners[i].Name, want)
+		}
+	}
+	if sr.Result.Paths == 0 || sr.Result.WorstDelayPs <= 0 {
+		t.Errorf("sweep result summary not populated: %+v", sr.Result)
 	}
 }

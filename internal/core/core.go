@@ -393,17 +393,21 @@ type Engine struct {
 	Opts Options
 
 	loadCache map[int]float64 // gate ID → output load capacitance
-	kern      *kernelState    // cached delay-kernel build (see kernels.go)
-	scratch   []float64       // serial-context arc-delay buffer (reports, bounds)
-	ksc       kernelScratch   // batched-evaluation lane scratch (per engine copy)
+	kern      *kernelState    // most recently used delay-kernel build (see kernels.go)
+	// kernCache holds the bounded per-operating-point kernel builds so a
+	// corner sweep on one engine revisits tables instead of rebuilding
+	// them on every (T, VDD) flip (maxKernelStates entries, oldest out).
+	kernCache []*kernelState
+	scratch   []float64     // serial-context arc-delay buffer (reports, bounds)
+	ksc       kernelScratch // batched-evaluation lane scratch (per engine copy)
 	// scalarKernels forces ArcDelaysInto onto the legacy one-arc-at-a-
 	// time kernel walk. The differential suite flips it to prove the
 	// batched path byte-identical; production engines leave it false.
 	scalarKernels bool
-	lastStats SearchStats     // snapshot of the most recent search
-	lastPar   ParallelStats   // pool snapshot of the most recent parallel search
-	lastLearn LearnStats      // learning snapshot of the most recent search
-	fanins    [][]int         // shared gate→fanin-node-ID table (faninTable)
+	lastStats     SearchStats   // snapshot of the most recent search
+	lastPar       ParallelStats // pool snapshot of the most recent parallel search
+	lastLearn     LearnStats    // learning snapshot of the most recent search
+	fanins        [][]int       // shared gate→fanin-node-ID table (faninTable)
 	// learnVerify, when non-nil, is handed to every searcher's nogood
 	// store: the soundness property tests re-derive the deadness of each
 	// pruned subtree through it (never set in production).

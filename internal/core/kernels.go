@@ -88,9 +88,20 @@ type kernelTable struct {
 	// grid, where only the auto-fitted orders differ between the two.
 	normShared []bool
 
+	// blocks lists the distinct-cell blocks in pool compile order;
+	// gateBlock maps each gate ID into it. Corner respecialization
+	// replays exactly this order so the rebanked pool's kernel IDs line
+	// up with the shared slot arrays.
+	blocks    []*cellBlock
+	gateBlock []int32
+
 	arcs  int           // kernels specialized (distinct cell arcs × edges)
 	terms int           // surviving polynomial monomials across all kernels
 	build time.Duration // one-time specialization cost
+	// sharedBuild marks a table produced by newCornerTable: its slot
+	// geometry, pin maps and pool term shapes are shared by reference
+	// with the base table it was rebanked from.
+	sharedBuild bool
 
 	queries     obs.Counter // arc evaluations served (atomic: shared by workers)
 	batchRounds obs.Counter // BatchWidth-lane rounds run by the batched evaluator
@@ -102,6 +113,8 @@ type kernelTable struct {
 // compiled slot arrays (spliced into the table by newKernelTable),
 // reused by every gate of that cell.
 type cellBlock struct {
+	cell   *cell.Cell
+	idx    int32 // position in kernelTable.blocks (pool compile order)
 	base   int32
 	pinIdx map[string]int32
 	pinOff []int32
@@ -140,12 +153,12 @@ func edgeIndex(rising bool) int {
 //
 // stalint:coldpath one build per operating point, amortized over every
 // subsequent arc query
-func newKernelTable(e *Engine) (*kernelTable, error) {
+func newKernelTable(e *Engine, temp, vdd float64) (*kernelTable, error) {
 	t0 := time.Now()
-	kt := &kernelTable{temp: e.Opts.Temp, vdd: e.Opts.VDD, pool: polyfit.NewPool()}
+	kt := &kernelTable{temp: temp, vdd: vdd, pool: polyfit.NewPool()}
 	fixed := map[string]float64{
-		charlib.ModelVars[2]: e.Opts.Temp, // "T"
-		charlib.ModelVars[3]: e.Opts.VDD,  // "VDD"
+		charlib.ModelVars[2]: temp, // "T"
+		charlib.ModelVars[3]: vdd,  // "VDD"
 	}
 	n := len(e.Circuit.Gates)
 	kt.fo = make([]float64, n)
@@ -154,6 +167,7 @@ func newKernelTable(e *Engine) (*kernelTable, error) {
 	kt.slotBase = make([]int32, n)
 	kt.pinIdx = make([]map[string]int32, n)
 	kt.pinOff = make([][]int32, n)
+	kt.gateBlock = make([]int32, n)
 	blocks := map[string]*cellBlock{}
 	for _, g := range e.Circuit.Gates {
 		kt.fo[g.ID], kt.foErr[g.ID] = e.Lib.Fo(g.Cell.Name, e.load(g))
@@ -167,6 +181,8 @@ func newKernelTable(e *Engine) (*kernelTable, error) {
 			if err != nil {
 				return nil, err
 			}
+			blk.cell = g.Cell
+			blk.idx = int32(len(kt.blocks))
 			blk.base = int32(len(kt.delayID))
 			kt.delayID = append(kt.delayID, blk.delayID...)
 			kt.slewID = append(kt.slewID, blk.slewID...)
@@ -174,6 +190,7 @@ func newKernelTable(e *Engine) (*kernelTable, error) {
 			kt.outOK = append(kt.outOK, blk.outOK...)
 			kt.normShared = append(kt.normShared, blk.normShared...)
 			blocks[g.Cell.Name] = blk
+			kt.blocks = append(kt.blocks, blk)
 			kt.arcs += arcs
 			kt.terms += terms
 		}
@@ -181,6 +198,7 @@ func newKernelTable(e *Engine) (*kernelTable, error) {
 		kt.slotBase[g.ID] = blk.base
 		kt.pinIdx[g.ID] = blk.pinIdx
 		kt.pinOff[g.ID] = blk.pinOff
+		kt.gateBlock[g.ID] = blk.idx
 	}
 	kt.build = time.Since(t0)
 	if m := e.Opts.Metrics; m != nil {
@@ -238,7 +256,9 @@ func compileCell(pool *polyfit.Pool, c *cell.Cell, ck cellKernels) (*cellBlock, 
 
 // specializeCell builds one cell's kernel block: both edges of every
 // (pin, vector) arc, resolved by string key once and partially
-// evaluated at the fixed operating point.
+// evaluated at the fixed operating point. Further operating points
+// respecialize the resulting kernels directly (Respecialize), so the
+// library is never consulted again.
 func specializeCell(lib *charlib.Library, c *cell.Cell, fixed map[string]float64) (ck cellKernels, arcs, terms int, err error) {
 	ck = make(cellKernels, len(c.Inputs))
 	for pi, pin := range c.Inputs {
@@ -271,6 +291,109 @@ func specializeCell(lib *charlib.Library, c *cell.Cell, fixed map[string]float64
 		}
 	}
 	return ck, arcs, terms, nil
+}
+
+// baseKernelsOf collects one cell block's base kernels in exactly
+// compileCell's Add order (pins → vectors → edges, delay then slew),
+// so the flat slice indexes by base-pool kernel ID.
+func baseKernelsOf(blk *cellBlock, kernels []*polyfit.Specialized) []*polyfit.Specialized {
+	for pi := range blk.ck {
+		for vi := range blk.ck[pi] {
+			base := &blk.ck[pi][vi]
+			for ei := 0; ei < 2; ei++ {
+				if base.delay[ei] == nil {
+					continue // uncharacterized arc: no pool slot either
+				}
+				kernels = append(kernels, base.delay[ei], base.slew[ei])
+			}
+		}
+	}
+	return kernels
+}
+
+// respecializeCell rebuilds one cell block's legacy kernel structure
+// around the respecialized kernels RespecBatch returned, consuming
+// them from cur in the same Add order baseKernelsOf walked. The
+// per-corner coefficient work itself happens in the fused pool pass
+// (polyfit Pool.RespecBatch) — a constant re-fold over the surviving
+// factors, not a fresh walk of the model's coefficient lattice —
+// which is where the batch sweep's build amortization comes from.
+//
+// stalint:coldpath per-cell corner respecialization at table-build time
+func respecializeCell(blk *cellBlock, ks []*polyfit.Specialized, cur int) (cellKernels, int) {
+	c := blk.cell
+	ck := make(cellKernels, len(c.Inputs))
+	for pi := range c.Inputs {
+		ck[pi] = make([]arcKernel, len(blk.ck[pi]))
+		for vi := range blk.ck[pi] {
+			ak := &ck[pi][vi]
+			base := &blk.ck[pi][vi]
+			ak.outRising, ak.outOK = base.outRising, base.outOK
+			for ei := 0; ei < 2; ei++ {
+				if base.delay[ei] == nil {
+					continue // uncharacterized arc, same as the base build
+				}
+				ak.delay[ei], ak.slew[ei] = ks[cur], ks[cur+1]
+				cur += 2
+			}
+		}
+	}
+	return ck, cur
+}
+
+// newCornerTable builds a corner table from an existing one: only
+// the per-corner coefficient/constant banks are recomputed (one fused
+// Pool.RespecBatch pass over the base kernels); the slot geometry,
+// pin maps, fanout table and term shapes are shared by reference with
+// the base, read-only. The result is bit-identical to a full
+// newKernelTable build at the same point — the re-fold is the same
+// arithmetic Specialize performs and RespecBatch verifies the sharing
+// contract kernel by kernel — which the differential suite pins.
+//
+// stalint:coldpath one respecialization per additional operating point
+func newCornerTable(e *Engine, base *kernelTable, temp, vdd float64) (*kernelTable, error) {
+	t0 := time.Now()
+	fixed := map[string]float64{
+		charlib.ModelVars[2]: temp, // "T"
+		charlib.ModelVars[3]: vdd,  // "VDD"
+	}
+	kt := &kernelTable{
+		temp: temp, vdd: vdd,
+		fo: base.fo, foErr: base.foErr,
+		slotBase: base.slotBase, pinIdx: base.pinIdx, pinOff: base.pinOff,
+		delayID: base.delayID, slewID: base.slewID,
+		outRise: base.outRise, outOK: base.outOK, normShared: base.normShared,
+		blocks: base.blocks, gateBlock: base.gateBlock,
+		arcs: base.arcs, terms: base.terms,
+		sharedBuild: true,
+	}
+	baseKernels := make([]*polyfit.Specialized, 0, base.pool.NumKernels())
+	for _, blk := range base.blocks {
+		baseKernels = baseKernelsOf(blk, baseKernels)
+	}
+	pool, kernels, err := base.pool.RespecBatch(baseKernels, fixed)
+	if err != nil {
+		return nil, err
+	}
+	kt.pool = pool
+	cks := make([]cellKernels, len(base.blocks))
+	cur := 0
+	for bi, blk := range base.blocks {
+		cks[bi], cur = respecializeCell(blk, kernels, cur)
+	}
+	kt.gates = make([]cellKernels, len(base.gates))
+	for _, g := range e.Circuit.Gates {
+		kt.gates[g.ID] = cks[base.gateBlock[g.ID]]
+	}
+	kt.build = time.Since(t0)
+	if m := e.Opts.Metrics; m != nil {
+		m.CornerBuildNs.Observe(kt.build)
+	}
+	if t := e.Opts.Tracer; t != nil {
+		t.Emit(obs.Event{Kind: "kernels", N: int64(kt.arcs),
+			Detail: fmt.Sprintf("respecialized at (%g C, %g V) from (%g C, %g V)", temp, vdd, base.temp, base.vdd)})
+	}
+	return kt, nil
 }
 
 // checkKernelVars verifies a specialized arc model is the 2-variable
@@ -332,22 +455,72 @@ func (kt *kernelTable) arc(a *Arc) (*arcKernel, error) {
 	return nil, fmt.Errorf("core: arc %s/%s vector case %d unknown to the kernel table", a.Gate.Name, a.Pin, a.Vec.Case)
 }
 
+// maxKernelStates bounds the per-engine keyed kernel cache: enough for
+// a standard corner sweep plus a few ad-hoc points, small enough that
+// an operating-point scan cannot hold every table it ever built.
+const maxKernelStates = 8
+
 // kernels returns the engine's kernel table, building it on first use
-// or after an operating-point change. Engines are single-threaded;
-// parallel runs warm the table before the fan-out (warmKernels) so
-// every worker shares one read-only build.
+// or after an operating-point change. Revisited operating points hit
+// the keyed cache (kernCache) instead of rebuilding — a corner sweep
+// that flips (T, VDD) back and forth pays one build per distinct
+// point. Engines are single-threaded; parallel runs warm the table
+// before the fan-out (warmKernels) so every worker shares one
+// read-only build.
 func (e *Engine) kernels() (*kernelTable, error) {
-	// The cache is keyed on the exact values the table was built at;
+	// The caches are keyed on the exact values the table was built at;
 	// any representational change of the operating point is a rebuild.
 	// stalint:ignore floatcmp cache identity wants the exact build-time values
 	if st := e.kern; st != nil && st.temp == e.Opts.Temp && st.vdd == e.Opts.VDD {
 		return st.table, st.err
 	}
-	// stalint:alloc-ok cache-miss rebuild, paid once per operating point
-	st := &kernelState{temp: e.Opts.Temp, vdd: e.Opts.VDD}
-	st.table, st.err = newKernelTable(e)
+	st := e.kernelStateAt(e.Opts.Temp, e.Opts.VDD)
 	e.kern = st
 	return st.table, st.err
+}
+
+// lookupKernelState scans the keyed cache for an exact operating-point
+// match.
+func (e *Engine) lookupKernelState(temp, vdd float64) *kernelState {
+	for _, st := range e.kernCache {
+		// stalint:ignore floatcmp cache identity wants the exact build-time values
+		if st.temp == temp && st.vdd == vdd {
+			return st
+		}
+	}
+	return nil
+}
+
+// kernelStateAt returns the cached kernel state at (temp, vdd),
+// building it on miss and installing it in the bounded keyed cache.
+// When another point's table already exists, the new one is
+// respecialized from it — shared slot geometry, fresh coefficient
+// banks — instead of paying a full build.
+//
+// stalint:coldpath cache-miss build, paid once per operating point and
+// amortized over every query at that corner
+func (e *Engine) kernelStateAt(temp, vdd float64) *kernelState {
+	if st := e.lookupKernelState(temp, vdd); st != nil {
+		return st
+	}
+	var base *kernelTable
+	for _, st := range e.kernCache {
+		if st.err == nil && st.table != nil {
+			base = st.table
+			break
+		}
+	}
+	st := &kernelState{temp: temp, vdd: vdd}
+	if base != nil {
+		st.table, st.err = newCornerTable(e, base, temp, vdd)
+	} else {
+		st.table, st.err = newKernelTable(e, temp, vdd)
+	}
+	e.kernCache = append(e.kernCache, st)
+	if len(e.kernCache) > maxKernelStates {
+		e.kernCache = e.kernCache[len(e.kernCache)-maxKernelStates:]
+	}
+	return st
 }
 
 // warmKernels pre-builds the kernel table (and with it the load cache)

@@ -41,6 +41,16 @@ type Metrics struct {
 	// Not a latency: the histogram's log2 buckets hold arc counts, so
 	// the distribution shows how full the BatchWidth-lane rounds run.
 	KernelBatchFill obs.Histogram
+	// CornerBuildNs is the cost of respecializing a kernel table at an
+	// additional operating point from an existing build
+	// (newCornerTable): one fused pool RespecBatch pass — the cheap
+	// per-corner share of a multi-corner sweep's build.
+	CornerBuildNs obs.Histogram
+	// CornerSearchNs is the wall-clock search time attributed to one
+	// corner of a multi-corner run: serial sweeps observe each corner's
+	// full search, parallel sweeps the per-corner busy time summed over
+	// workers.
+	CornerSearchNs obs.Histogram
 }
 
 // Instrument names of the engine's OpenMetrics exposition: dotted,
@@ -68,6 +78,8 @@ const (
 	metNogoodHits    = "core.nogood_hits"
 	metNogoodStoreNs = "core.nogood_store_ns"
 	metKernelBatch   = "core.kernel_batch_fill"
+	metCornerBuild   = "core.corner_build_ns"
+	metCornerSearch  = "core.corner_search_ns"
 )
 
 // metricsHelpText documents each instrument for the exposition's
@@ -94,6 +106,8 @@ var metricsHelpText = map[string]string{
 	metNogoodHits:    "decisions pruned by a learned nogood before being charged a step",
 	metNogoodStoreNs: "cost of recording one learned nogood (rewind, re-run, insert)",
 	metKernelBatch:   "lanes per batched arc-delay evaluation (path length per query)",
+	metCornerBuild:   "kernel-table respecialization time per additional operating point",
+	metCornerSearch:  "per-corner search time of a multi-corner sweep",
 }
 
 // MetricsSnapshot maps the engine's instrumentation onto an
@@ -139,6 +153,8 @@ func (e *Engine) MetricsSnapshot() obs.Snapshot {
 			metKernelBuild:   m.KernelBuildNs.Stat(),
 			metNogoodStoreNs: m.NogoodStoreNs.Stat(),
 			metKernelBatch:   m.KernelBatchFill.Stat(),
+			metCornerBuild:   m.CornerBuildNs.Stat(),
+			metCornerSearch:  m.CornerSearchNs.Stat(),
 		}
 	}
 	return snap

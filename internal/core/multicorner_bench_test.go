@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"tpsta/internal/circuits"
+)
+
+// BenchmarkMultiCorner measures the batch sweep's headline claim:
+// analyzing N corners through one MultiCorner call must beat N
+// independent engine runs, because the sweep pays one full kernel
+// compilation plus N−1 cheap coefficient respecializations into the
+// shared pool geometry where the independent runs pay N full builds.
+// The workload is a five-corner sign-off sweep: the three standard
+// corners plus two intermediate (T, VDD) points, the shape a real
+// corner signoff asks for. Both modes run serial so the figure is
+// scheduling-noise-free; the parallel fan-out is covered by the
+// differential suite, not timed here. The recorded artifact
+// (BENCH_multi_corner.json) gates the independent/sweep ratio at
+// >= 1.5x via benchjson -min-ratio.
+func BenchmarkMultiCorner(b *testing.B) {
+	tc := t130(b)
+	lib := cornerLib130(b)
+	cir, err := circuits.Get("fig4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := append(cornerPoints(tc),
+		OperatingPoint{Name: "hot-low", Temp: 85, VDD: 0.95 * tc.VDD},
+		OperatingPoint{Name: "cool-high", Temp: 0, VDD: 1.05 * tc.VDD},
+	)
+
+	b.Run("independent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, pt := range points {
+				e := New(cir, tc, lib, Options{Workers: 1, Temp: pt.Temp, VDD: pt.VDD})
+				if _, err := e.Enumerate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := New(cir, tc, lib, Options{Workers: 1})
+			if _, err := e.MultiCorner(points); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

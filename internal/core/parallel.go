@@ -151,10 +151,14 @@ type progressAgg struct {
 	fn            func(ProgressInfo)
 	maxSteps      int64
 	workers       int
-	cur, curPaths []int64 // latest cumulative report per worker
+	cur, curPaths []int64 // latest cumulative report per searcher slot
 }
 
-func newProgressAgg(e *Engine, workers int) *progressAgg {
+// newProgressAgg sizes the aggregator for `slots` concurrent
+// searchers: equal to the worker count for single-corner runs; a
+// multi-corner run keeps one persistent searcher per (worker, corner)
+// and aggregates across all of them.
+func newProgressAgg(e *Engine, workers, slots int) *progressAgg {
 	if e.Opts.Progress == nil {
 		return nil
 	}
@@ -162,13 +166,14 @@ func newProgressAgg(e *Engine, workers int) *progressAgg {
 		fn:       e.Opts.Progress,
 		maxSteps: e.Opts.MaxSteps,
 		workers:  workers,
-		cur:      make([]int64, workers),
-		curPaths: make([]int64, workers),
+		cur:      make([]int64, slots),
+		curPaths: make([]int64, slots),
 	}
 }
 
-// hook returns worker w's Progress callback (nil when no aggregation is
-// needed). Callbacks are serialized under the aggregator's mutex.
+// hook returns searcher slot w's Progress callback (nil when no
+// aggregation is needed). Callbacks are serialized under the
+// aggregator's mutex.
 func (a *progressAgg) hook(w int) func(ProgressInfo) {
 	if a == nil {
 		return nil
@@ -178,7 +183,7 @@ func (a *progressAgg) hook(w int) func(ProgressInfo) {
 		defer a.mu.Unlock()
 		a.cur[w], a.curPaths[w] = pi.Steps, pi.Paths
 		steps, paths := int64(0), int64(0)
-		for i := 0; i < a.workers; i++ {
+		for i := range a.cur {
 			steps += a.cur[i]
 			paths += a.curPaths[i]
 		}
@@ -296,10 +301,10 @@ func (e *Engine) kworstParallel(workers, k int) (*Result, error) {
 //
 // stalint:deterministic the merge is where scheduling noise would leak
 // into results; signature dedupe plus the canonical sort erase it
-func (e *Engine) finishParallel(sd *sched, outs []workerOutcome, k int) (*Result, error) {
+func (e *Engine) mergeOutcomes(outs []workerOutcome, k int) (*Result, SearchStats, LearnStats, error) {
 	for i := range outs {
 		if outs[i].err != nil {
-			return nil, outs[i].err
+			return nil, SearchStats{}, LearnStats{}, outs[i].err
 		}
 	}
 	stats := SearchStats{}
@@ -354,33 +359,6 @@ func (e *Engine) finishParallel(sd *sched, outs []workerOutcome, k int) (*Result
 		}
 	}
 	courses, multi := countCourses(paths)
-	e.publishStats(stats, int(stats.PathsRecorded))
-	e.publishLearnStats(learn)
-	var learnPtr *LearnStats
-	if e.Opts.Learning {
-		lcopy := learn
-		learnPtr = &lcopy
-	}
-	e.publishParStats(ParallelStats{
-		Workers:        sd.workers,
-		Shards:         sd.shards,
-		Units:          sd.units.Load(),
-		ShardSteals:    sd.shardSteals.Load(),
-		SubtreeSteals:  sd.subtreeSteals.Load(),
-		Donations:      sd.gauges.Donations(),
-		StealsByWorker: sd.gauges.Steals(),
-		WallSeconds:    sd.gauges.WallSeconds(),
-		BusySeconds:    sd.gauges.BusySeconds(),
-		IdleSeconds:    sd.gauges.IdleSeconds(),
-		Utilization:    sd.gauges.Utilization(),
-		Balance:        sd.gauges.Balance(),
-		Learn:          learnPtr,
-	})
-	sd.agg.finish(stats.SensitizationAttempts, stats.PathsRecorded)
-	sd.searchSpan.Steps(stats.SensitizationAttempts).End()
-	if t := e.Opts.Tracer; t != nil {
-		t.Emit(obs.Event{Kind: "done", Steps: stats.SensitizationAttempts, N: stats.PathsRecorded})
-	}
 	return &Result{
 		Paths:               paths,
 		Courses:             courses,
@@ -390,5 +368,46 @@ func (e *Engine) finishParallel(sd *sched, outs []workerOutcome, k int) (*Result
 		Steps:               stats.SensitizationAttempts,
 		JustificationAborts: stats.JustificationAborts,
 		Stats:               stats,
-	}, nil
+	}, stats, learn, nil
+}
+
+// finishParallel merges and publishes one single-corner parallel run.
+func (e *Engine) finishParallel(sd *sched, outs []workerOutcome, k int) (*Result, error) {
+	res, stats, learn, err := e.mergeOutcomes(outs, k)
+	if err != nil {
+		return nil, err
+	}
+	e.publishStats(stats, int(stats.PathsRecorded))
+	e.publishLearnStats(learn)
+	var learnPtr *LearnStats
+	if e.Opts.Learning {
+		lcopy := learn
+		learnPtr = &lcopy
+	}
+	e.publishParStats(sd.parStats(learnPtr))
+	sd.agg.finish(stats.SensitizationAttempts, stats.PathsRecorded)
+	sd.searchSpan.Steps(stats.SensitizationAttempts).End()
+	if t := e.Opts.Tracer; t != nil {
+		t.Emit(obs.Event{Kind: "done", Steps: stats.SensitizationAttempts, N: stats.PathsRecorded})
+	}
+	return res, nil
+}
+
+// parStats assembles the pool snapshot of a finished run.
+func (d *sched) parStats(learnPtr *LearnStats) ParallelStats {
+	return ParallelStats{
+		Workers:        d.workers,
+		Shards:         d.shards,
+		Units:          d.units.Load(),
+		ShardSteals:    d.shardSteals.Load(),
+		SubtreeSteals:  d.subtreeSteals.Load(),
+		Donations:      d.gauges.Donations(),
+		StealsByWorker: d.gauges.Steals(),
+		WallSeconds:    d.gauges.WallSeconds(),
+		BusySeconds:    d.gauges.BusySeconds(),
+		IdleSeconds:    d.gauges.IdleSeconds(),
+		Utilization:    d.gauges.Utilization(),
+		Balance:        d.gauges.Balance(),
+		Learn:          learnPtr,
+	}
 }

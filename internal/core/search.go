@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"time"
 
 	"tpsta/internal/cell"
@@ -85,10 +86,17 @@ type searcher struct {
 	// branch range. replaying suppresses step/conflict accounting while
 	// a stolen prefix is being re-descended (the donor already paid for
 	// it).
-	sched      *sched
-	worker     int
-	curShard   int
-	budget     *stepBudget
+	sched     *sched
+	worker    int
+	curShard  int
+	curCorner int
+	budget    *stepBudget
+	// abort is the stop flag this searcher polls and raises on a
+	// MaxVariants cap. Single-corner parallel runs point every worker
+	// at the sched's pool-wide aborting flag; multi-corner runs point
+	// each (worker, corner) searcher at that corner's private flag, so
+	// one capped corner never stops the others. nil on serial runs.
+	abort      *atomic.Bool
 	stealPoll  int64
 	replaying  bool
 	frames     []donFrame
@@ -542,7 +550,7 @@ func (s *searcher) withVector(g *netlist.Gate, vec cell.Vector, cont func()) {
 			s.progress(false)
 		}
 		if s.steps%s.stealPoll == 0 {
-			if s.sched.aborted() {
+			if s.abort.Load() {
 				s.stopped = true
 				return
 			}
@@ -737,7 +745,7 @@ func (s *searcher) maybeDonate() {
 		if s.metrics != nil {
 			r.donated = time.Now()
 		}
-		if !s.sched.offer(s.worker, task{shard: s.curShard, resume: r}) {
+		if !s.sched.offer(s.worker, task{shard: s.curShard, corner: s.curCorner, resume: r}) {
 			return // deque full — keep the frame for a later poll
 		}
 		fr.donated = true
@@ -928,11 +936,11 @@ func (s *searcher) emit() {
 	if max := s.eng.Opts.MaxVariants; max > 0 && len(s.paths) >= max {
 		s.stopped = true
 		s.truncate(TruncMaxVariants)
-		if s.sched != nil {
-			// Tell the other workers to stop at their next poll; the
-			// merge keeps the best MaxVariants of whatever the pool
-			// recorded before the cap landed.
-			s.sched.aborting.Store(true)
+		if s.abort != nil {
+			// Tell the peers searching the same corner to stop at their
+			// next poll; the merge keeps the best MaxVariants of
+			// whatever the pool recorded before the cap landed.
+			s.abort.Store(true)
 		}
 		s.traceTruncate(TruncMaxVariants, "")
 	}

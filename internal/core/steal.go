@@ -36,9 +36,12 @@ import (
 // protocol and what a truncated run still guarantees.
 
 // task is one schedulable unit: a whole shard (resume == nil) or a
-// donated DFS subtree of a shard.
+// donated DFS subtree of a shard. corner indexes the operating point
+// the unit belongs to — always 0 outside multi-corner runs, where one
+// steal pool schedules (corner × shard) units (multicorner.go).
 type task struct {
 	shard  int
+	corner int
 	resume *resumePoint
 }
 
@@ -162,29 +165,46 @@ type sched struct {
 // no-stealing ablation mode reproduces it exactly). spanName names the
 // search span the run's worker spans parent to.
 func newSched(e *Engine, shards, workers int, spanName string) *sched {
+	units := make([]task, shards)
+	for i := range units {
+		units[i] = task{shard: i}
+	}
+	d := newSchedUnits(e, units, shards, workers, workers, spanName)
+	d.budget = newStepBudget(e.Opts.MaxSteps)
+	if e.Opts.Learning && !d.static {
+		d.learn = &nogoodBoard{}
+	}
+	return d
+}
+
+// newSchedUnits seeds an explicit root-unit list round-robin across
+// the worker deques — multi-corner runs pass corner-major
+// (corner × shard) units through one steal pool, so idle workers drain
+// whichever corner still has work. progressSlots sizes the progress
+// aggregator (one slot per concurrent searcher: workers for a
+// single-corner run, workers × corners for a sweep). The caller owns
+// the budget and learn boards: multi-corner runs keep those per
+// corner, so the sched-level fields stay nil there.
+func newSchedUnits(e *Engine, units []task, shards, workers, progressSlots int, spanName string) *sched {
 	d := &sched{
 		eng:     e,
 		workers: workers,
 		static:  e.Opts.StaticSharding,
-		budget:  newStepBudget(e.Opts.MaxSteps),
-		agg:     newProgressAgg(e, workers),
+		agg:     newProgressAgg(e, workers, progressSlots),
 		gauges:  obs.NewWorkerGauges(workers),
 		deques:  make([][]task, workers),
-		pending: shards,
+		pending: len(units),
 		shards:  shards,
 	}
 	d.searchSpan = obs.StartSpan(e.Opts.Tracer, e.Opts.TraceParent, spanName)
-	if e.Opts.Learning && !d.static {
-		d.learn = &nogoodBoard{}
-	}
 	d.cond = sync.NewCond(&d.mu)
-	for i := 0; i < shards; i++ {
+	for i, u := range units {
 		w := i % workers
-		d.deques[w] = append(d.deques[w], task{shard: i})
+		d.deques[w] = append(d.deques[w], u)
 	}
-	d.units.Store(int64(shards))
-	if !d.static && workers > shards {
-		n := int32(workers - shards)
+	d.units.Store(int64(len(units)))
+	if !d.static && workers > len(units) {
+		n := int32(workers - len(units))
 		d.seedCredits.Store(n)
 		d.hungry.Store(n)
 	}
@@ -336,6 +356,7 @@ func (d *sched) runWorker(w int, prune *pruner, run func(*searcher, task)) worke
 	s.sched = d
 	s.worker = w
 	s.budget = d.budget
+	s.abort = &d.aborting
 	s.ngBoard = d.learn
 	s.prune = prune
 	credit := d.seedCredits.Add(-1) >= 0

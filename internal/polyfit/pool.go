@@ -32,6 +32,11 @@ type Pool struct {
 
 	maxOrd int // largest per-variable order across the pool
 	nops   int // factor count as added (identity factors excluded), for stats
+
+	// sealed marks a pool produced by Rebank: its normalization, order
+	// and term-offset arrays are shared by reference with the base pool,
+	// so growing it would corrupt both. Add rejects sealed pools.
+	sealed bool
 }
 
 // poolTerm is one pooled monomial, precompiled to the fixed factor
@@ -80,6 +85,9 @@ func NewPool() *Pool {
 // stalint:coldpath one compilation per distinct kernel at table-build
 // time, amortized over every subsequent batched query
 func (p *Pool) Add(s *Specialized) (int32, error) {
+	if p.sealed {
+		return -1, fmt.Errorf("polyfit: Pool.Add on a rebanked pool (its geometry arrays are shared with the base pool)")
+	}
 	if len(s.vars) != 2 {
 		return -1, fmt.Errorf("polyfit: Pool.Add: kernel has %d free variables, want 2 (%v)", len(s.vars), s.vars)
 	}
@@ -136,6 +144,263 @@ func (p *Pool) Add(s *Specialized) (int32, error) {
 	}
 	p.termOff = append(p.termOff, uint32(len(p.terms)))
 	return id, nil
+}
+
+// Rebank compiles a re-specialization of every pooled kernel at a new
+// fixed-variable operating point into a pool that shares this pool's
+// corner-invariant state. kernels[i] must be the i-th kernel Added to
+// the receiver, specialized from the same source model at the new fixed
+// point. That makes the sharing sound: a specialization's surviving
+// term set keys on the model coefficients alone, its factor structure
+// on the term exponents, and its free-variable normalization is copied
+// from the model — none depend on the fixed values — so across
+// operating points only the fixed-variable constant factors (poolTerm
+// c0/c1) differ. The returned pool references the receiver's
+// normalization, order and term-offset arrays and carries its own term
+// bank, evaluating bit-identically to a pool built by Add from the same
+// kernels, for the cost of one term-array fill.
+//
+// Every invariant is verified term by term — kernel count, coefficient
+// bits, factor indices, normalization bits — and any mismatch fails the
+// rebank rather than building a corrupt bank. The result is sealed:
+// Add on it is rejected, and like any pool it is read-only once
+// returned.
+//
+// stalint:coldpath one rebank per additional operating point at
+// table-build time, amortized over every subsequent batched query
+func (p *Pool) Rebank(kernels []*Specialized) (*Pool, error) {
+	if len(kernels) != p.NumKernels() {
+		return nil, fmt.Errorf("polyfit: Pool.Rebank: %d kernels for a pool of %d", len(kernels), p.NumKernels())
+	}
+	np := &Pool{
+		lo:      p.lo,
+		scale:   p.scale,
+		ord:     p.ord,
+		termOff: p.termOff,
+		terms:   make([]poolTerm, 0, len(p.terms)),
+		maxOrd:  p.maxOrd,
+		nops:    p.nops,
+		sealed:  true,
+	}
+	for ki, s := range kernels {
+		k := int32(ki)
+		if len(s.vars) != 2 {
+			return nil, fmt.Errorf("polyfit: Pool.Rebank: kernel %d has %d free variables, want 2", ki, len(s.vars))
+		}
+		// The shared geometry is only valid if the respecialization kept
+		// the base kernel's exact free-variable normalization and orders.
+		// stalint:ignore floatcmp bit-identical normalization is the sharing contract
+		if s.lo[0] != p.lo[2*k] || s.lo[1] != p.lo[2*k+1] ||
+			s.scale[0] != p.scale[2*k] || s.scale[1] != p.scale[2*k+1] { // stalint:ignore floatcmp bit-identical normalization is the sharing contract
+			return nil, fmt.Errorf("polyfit: Pool.Rebank: kernel %d normalization differs from the base pool", ki)
+		}
+		if uint16(s.orders[0]) != p.ord[2*k] || uint16(s.orders[1]) != p.ord[2*k+1] {
+			return nil, fmt.Errorf("polyfit: Pool.Rebank: kernel %d orders (%d,%d) differ from the base (%d,%d)",
+				ki, s.orders[0], s.orders[1], p.ord[2*k], p.ord[2*k+1])
+		}
+		if int(p.termOff[k+1]-p.termOff[k]) != len(s.terms) {
+			return nil, fmt.Errorf("polyfit: Pool.Rebank: kernel %d has %d terms, base has %d",
+				ki, len(s.terms), p.termOff[k+1]-p.termOff[k])
+		}
+		for ti := range s.terms {
+			t := &s.terms[ti]
+			pt := poolTerm{coef: t.coef, c0: 1, c1: 1}
+			nc := 0
+			for _, op := range s.ops[t.lo:t.hi] {
+				switch {
+				case op.free == 0:
+					pt.idx0 = op.exp
+				case op.free > 0:
+					pt.idx1 = powStride + op.exp
+				case nc == 0:
+					pt.c0 = op.c
+					nc++
+				case nc == 1:
+					pt.c1 = op.c
+					nc++
+				default:
+					return nil, fmt.Errorf("polyfit: Pool.Rebank: kernel %d term %d has more than two fixed-variable factors", ki, ti)
+				}
+			}
+			base := &p.terms[int(p.termOff[k])+ti]
+			// Coefficient and factor indices are corner-invariant; a
+			// mismatch means kernels[i] is not a respecialization of the
+			// base kernel.
+			// stalint:ignore floatcmp coefficients must match bit-for-bit for the banks to be interchangeable
+			if pt.coef != base.coef || pt.idx0 != base.idx0 || pt.idx1 != base.idx1 {
+				return nil, fmt.Errorf("polyfit: Pool.Rebank: kernel %d term %d shape differs from the base pool", ki, ti)
+			}
+			np.terms = append(np.terms, pt)
+		}
+	}
+	return np, nil
+}
+
+// RespecBatch re-folds every pooled kernel at a new fixed-variable
+// operating point in one fused pass: the semantics of calling
+// Specialized.Respecialize on each base kernel followed by Rebank on
+// the results, without materializing the intermediate walk twice.
+// base[i] must be the i-th kernel Added to the receiver. The returned
+// pool shares the receiver's corner-invariant geometry (normalization,
+// orders, term offsets) and carries a fresh term bank that starts as a
+// straight copy of the base bank — coefficients and factor indices are
+// corner-invariant — with only the fixed-variable constants (c0/c1)
+// re-folded. The returned kernels are the matching scalar
+// respecializations, one batch-allocated backing array for all of
+// them, in base order.
+//
+// The pass verifies the sharing contract as it goes — each kernel's
+// free-variable normalization and orders against the pool's geometry
+// arrays, each term's coefficient against the base bank — and fails
+// rather than building a corrupt bank. Fixed-variable power tables are
+// memoized across kernels: arcs characterized over one grid share
+// normalization, so the typical table is computed once, not per
+// kernel. Results are bit-identical to the two-step construction: the
+// power recurrence, clamp, term survival and factor order are all
+// unchanged.
+//
+// stalint:coldpath one fused rebank per additional operating point at
+// table-build time, amortized over every subsequent batched query
+func (p *Pool) RespecBatch(base []*Specialized, fixed map[string]float64) (*Pool, []*Specialized, error) {
+	if len(base) != p.NumKernels() {
+		return nil, nil, fmt.Errorf("polyfit: Pool.RespecBatch: %d kernels for a pool of %d", len(base), p.NumKernels())
+	}
+	np := &Pool{
+		lo:      p.lo,
+		scale:   p.scale,
+		ord:     p.ord,
+		termOff: p.termOff,
+		terms:   make([]poolTerm, len(p.terms)),
+		maxOrd:  p.maxOrd,
+		nops:    p.nops,
+		sealed:  true,
+	}
+	copy(np.terms, p.terms)
+	totalOps := 0
+	for _, s := range base {
+		totalOps += len(s.ops)
+	}
+	ks := make([]Specialized, len(base))
+	out := make([]*Specialized, len(base))
+	flatOps := make([]specOp, totalOps)
+	var memo respecMemo
+	off := 0
+	for ki, s := range base {
+		k := int32(ki)
+		if len(s.vars) != 2 {
+			return nil, nil, fmt.Errorf("polyfit: Pool.RespecBatch: kernel %d has %d free variables, want 2", ki, len(s.vars))
+		}
+		// The shared geometry is only valid if base[ki] is the kernel the
+		// pool was compiled from, bit for bit.
+		// stalint:ignore floatcmp bit-identical normalization is the sharing contract
+		if s.lo[0] != p.lo[2*k] || s.lo[1] != p.lo[2*k+1] ||
+			s.scale[0] != p.scale[2*k] || s.scale[1] != p.scale[2*k+1] { // stalint:ignore floatcmp bit-identical normalization is the sharing contract
+			return nil, nil, fmt.Errorf("polyfit: Pool.RespecBatch: kernel %d normalization differs from the base pool", ki)
+		}
+		if uint16(s.orders[0]) != p.ord[2*k] || uint16(s.orders[1]) != p.ord[2*k+1] {
+			return nil, nil, fmt.Errorf("polyfit: Pool.RespecBatch: kernel %d orders (%d,%d) differ from the base (%d,%d)",
+				ki, s.orders[0], s.orders[1], p.ord[2*k], p.ord[2*k+1])
+		}
+		if int(p.termOff[k+1]-p.termOff[k]) != len(s.terms) {
+			return nil, nil, fmt.Errorf("polyfit: Pool.RespecBatch: kernel %d has %d terms, base has %d",
+				ki, len(s.terms), p.termOff[k+1]-p.termOff[k])
+		}
+		pows, err := memo.powsFor(s, fixed)
+		if err != nil {
+			return nil, nil, err
+		}
+		ns := &ks[ki]
+		*ns = *s // immutable slices (vars, terms, fixed tables) are shared
+		ns.ops = flatOps[off : off+len(s.ops) : off+len(s.ops)]
+		copy(ns.ops, s.ops)
+		off += len(s.ops)
+		for ti := range s.terms {
+			t := &s.terms[ti]
+			pt := &np.terms[int(p.termOff[k])+ti]
+			// stalint:ignore floatcmp coefficients must match bit-for-bit for the banks to be interchangeable
+			if t.coef != pt.coef {
+				return nil, nil, fmt.Errorf("polyfit: Pool.RespecBatch: kernel %d term %d coefficient differs from the base pool", ki, ti)
+			}
+			nc := 0
+			for oi := t.lo; oi < t.hi; oi++ {
+				op := &ns.ops[oi]
+				if op.free >= 0 {
+					continue
+				}
+				c := pows[-1-int(op.free)][op.exp]
+				op.c = c
+				switch nc {
+				case 0:
+					pt.c0 = c
+				case 1:
+					pt.c1 = c
+				default:
+					return nil, nil, fmt.Errorf("polyfit: Pool.RespecBatch: kernel %d term %d has more than two fixed-variable factors", ki, ti)
+				}
+				nc++
+			}
+		}
+		out[ki] = ns
+	}
+	return np, out, nil
+}
+
+// respecMemo caches the last fixed-variable power block RespecBatch
+// built: kernels specialized from models characterized over one grid
+// share their fixed-variable normalization bit for bit, so one table
+// serves the whole batch and a second grid just rotates the memo.
+type respecMemo struct {
+	vars      []string
+	lo, scale []float64
+	orders    []int
+	pows      [][]float64
+}
+
+func (m *respecMemo) matches(s *Specialized) bool {
+	if len(m.vars) != len(s.fixedVars) {
+		return false
+	}
+	for i := range m.vars {
+		// The memo stands in for a recomputation, so only exact
+		// normalization reuse is sound.
+		// stalint:ignore floatcmp bit-identical normalization is the sharing contract
+		if m.vars[i] != s.fixedVars[i] || m.lo[i] != s.fixedLo[i] ||
+			m.scale[i] != s.fixedScale[i] || m.orders[i] != s.fixedOrders[i] { // stalint:ignore floatcmp bit-identical normalization is the sharing contract
+			return false
+		}
+	}
+	return true
+}
+
+func (m *respecMemo) powsFor(s *Specialized, fixed map[string]float64) ([][]float64, error) {
+	if m.matches(s) {
+		return m.pows, nil
+	}
+	if len(fixed) != len(s.fixedVars) {
+		return nil, fmt.Errorf("polyfit: RespecBatch with %d fixed values for %d fixed variables %v",
+			len(fixed), len(s.fixedVars), s.fixedVars)
+	}
+	m.vars, m.lo, m.scale, m.orders = s.fixedVars, s.fixedLo, s.fixedScale, s.fixedOrders
+	m.pows = m.pows[:0]
+	for fi, name := range s.fixedVars {
+		v, ok := fixed[name]
+		if !ok {
+			return nil, fmt.Errorf("polyfit: RespecBatch: %q was not fixed by Specialize (have %v)", name, s.fixedVars)
+		}
+		xn := (v - s.fixedLo[fi]) * s.fixedScale[fi]
+		if xn < 0 {
+			xn = 0
+		} else if xn > 1 {
+			xn = 1
+		}
+		p := make([]float64, s.fixedOrders[fi]+1)
+		p[0] = 1
+		for e := 1; e <= s.fixedOrders[fi]; e++ {
+			p[e] = p[e-1] * xn
+		}
+		m.pows = append(m.pows, p)
+	}
+	return m.pows, nil
 }
 
 // NumKernels returns the number of compiled kernels.

@@ -178,3 +178,221 @@ func TestPoolStats(t *testing.T) {
 		t.Errorf("LaneLen %d cannot hold two order-%d power tables", pool.LaneLen(), pool.MaxOrder())
 	}
 }
+
+// poolTestKernelsAt specializes the same model family as
+// poolTestKernels at an arbitrary operating point.
+func poolTestKernelsAt(t *testing.T, temp, vdd float64) []*Specialized {
+	t.Helper()
+	fixed := map[string]float64{"T": temp, "VDD": vdd}
+	shapes := [][4]int{{2, 3, 1, 1}, {3, 2, 2, 1}, {1, 1, 1, 1}, {4, 4, 1, 2}}
+	var kernels []*Specialized
+	for i, sh := range shapes {
+		s, err := poolTestModel(t, int64(100+i), sh).Specialize(fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernels = append(kernels, s)
+	}
+	return kernels
+}
+
+// TestPoolRebankBitIdentical pins the corner-rebanking contract: a
+// pool produced by Rebank from kernels specialized at another
+// operating point evaluates bit-identically to a pool freshly built
+// by Add from those same kernels, for every kernel, scalar and
+// batched, including operating points clamped outside the
+// characterized range.
+func TestPoolRebankBitIdentical(t *testing.T) {
+	_, base := poolTestKernels(t)
+	corners := [][2]float64{
+		{125, 1.08}, // slow
+		{-40, 1.32}, // fast
+		{25, 1.2},   // the base point itself
+		{200, 2.0},  // clamped outside the fitted range
+	}
+	for _, c := range corners {
+		kernels := poolTestKernelsAt(t, c[0], c[1])
+		rebanked, err := base.Rebank(kernels)
+		if err != nil {
+			t.Fatalf("Rebank at (%g, %g): %v", c[0], c[1], err)
+		}
+		fresh := NewPool()
+		for _, s := range kernels {
+			if _, err := fresh.Add(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got, want := rebanked.NumKernels(), fresh.NumKernels(); got != want {
+			t.Fatalf("corner (%g, %g): NumKernels %d, want %d", c[0], c[1], got, want)
+		}
+		if got, want := rebanked.NumTerms(), fresh.NumTerms(); got != want {
+			t.Fatalf("corner (%g, %g): NumTerms %d, want %d", c[0], c[1], got, want)
+		}
+		pow := make([]float64, rebanked.ScratchLen())
+		pts := poolTestPoints()
+		for ki, s := range kernels {
+			for _, pt := range pts {
+				want := s.Eval([]float64{pt[0], pt[1]})
+				got := rebanked.EvalOne(int32(ki), pt[0], pt[1], pow)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Errorf("corner (%g, %g) kernel %d at %v: rebanked %v vs specialized %v",
+						c[0], c[1], ki, pt, got, want)
+				}
+			}
+		}
+		n := 2*BatchWidth + 5
+		ids := make([]int32, n)
+		x0 := make([]float64, n)
+		x1 := make([]float64, n)
+		outR := make([]float64, n)
+		outF := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ids[i] = int32((i * 3) % len(kernels))
+			pt := pts[(i*7)%len(pts)]
+			x0[i], x1[i] = pt[0], pt[1]
+		}
+		rebanked.EvalBatch(ids, x0, x1, outR, pow)
+		fresh.EvalBatch(ids, x0, x1, outF, pow)
+		for i := 0; i < n; i++ {
+			if math.Float64bits(outR[i]) != math.Float64bits(outF[i]) {
+				t.Errorf("corner (%g, %g) lane %d: rebanked %v vs fresh %v",
+					c[0], c[1], i, outR[i], outF[i])
+			}
+		}
+	}
+}
+
+// TestPoolRebankRejects pins the shape checks: kernel-count mismatch,
+// kernels from a different model family, and non-2-variable kernels
+// are all rejected instead of silently producing a corrupt bank.
+func TestPoolRebankRejects(t *testing.T) {
+	kernels, base := poolTestKernels(t)
+	if _, err := base.Rebank(kernels[:2]); err == nil {
+		t.Error("Rebank accepted a short kernel slice")
+	}
+	// Different model family: same variable layout, different shapes
+	// and coefficients, so term shapes cannot line up.
+	other := poolTestKernelsAt(t, 25, 1.2)
+	swapped := []*Specialized{other[1], other[0], other[2], other[3]}
+	if _, err := base.Rebank(swapped); err == nil {
+		t.Error("Rebank accepted kernels from mismatched models")
+	}
+	bad, err := poolTestModel(t, 100, [4]int{2, 3, 1, 1}).Specialize(map[string]float64{"VDD": 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Rebank([]*Specialized{bad, kernels[1], kernels[2], kernels[3]}); err == nil {
+		t.Error("Rebank accepted a 3-variable kernel")
+	}
+}
+
+// TestPoolRebankSealed pins the aliasing guard: a rebanked pool
+// shares its geometry arrays with the base, so growing it must be
+// rejected — while the base pool itself stays growable.
+func TestPoolRebankSealed(t *testing.T) {
+	_, base := poolTestKernels(t)
+	rebanked, err := base.Rebank(poolTestKernelsAt(t, 125, 1.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := poolTestModel(t, 999, [4]int{2, 2, 1, 1}).Specialize(map[string]float64{"T": 25, "VDD": 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rebanked.Add(extra); err == nil {
+		t.Error("Add on a rebanked pool succeeded; geometry aliasing would corrupt the base")
+	}
+	if _, err := base.Add(extra); err != nil {
+		t.Errorf("Add on the base pool after Rebank: %v", err)
+	}
+}
+
+// TestPoolRespecBatchBitIdentical pins the fused corner re-fold
+// against the two-step construction it replaces: RespecBatch's pool
+// must evaluate bit-identically to Rebank over per-kernel
+// Respecialize results, and its returned scalar kernels bit-identically
+// to Respecialize's, at interior, border and clamped corners.
+func TestPoolRespecBatchBitIdentical(t *testing.T) {
+	base, pool := poolTestKernels(t)
+	corners := [][2]float64{
+		{125, 1.08}, // slow
+		{-40, 1.32}, // fast
+		{25, 1.2},   // the base point itself
+		{200, 2.0},  // clamped outside the fitted range
+	}
+	for _, c := range corners {
+		fixed := map[string]float64{"T": c[0], "VDD": c[1]}
+		fusedPool, fusedKernels, err := pool.RespecBatch(base, fixed)
+		if err != nil {
+			t.Fatalf("RespecBatch at (%g, %g): %v", c[0], c[1], err)
+		}
+		var twoStep []*Specialized
+		for _, s := range base {
+			ns, err := s.Respecialize(fixed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			twoStep = append(twoStep, ns)
+		}
+		rebanked, err := pool.Rebank(twoStep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pow := make([]float64, pool.ScratchLen())
+		for ki := range base {
+			for _, pt := range poolTestPoints() {
+				x := []float64{pt[0], pt[1]}
+				if got, want := fusedKernels[ki].Eval(x), twoStep[ki].Eval(x); math.Float64bits(got) != math.Float64bits(want) {
+					t.Errorf("corner (%g, %g) kernel %d at %v: fused scalar %v vs Respecialize %v",
+						c[0], c[1], ki, pt, got, want)
+				}
+				got := fusedPool.EvalOne(int32(ki), pt[0], pt[1], pow)
+				want := rebanked.EvalOne(int32(ki), pt[0], pt[1], pow)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Errorf("corner (%g, %g) kernel %d at %v: fused pool %v vs rebanked %v",
+						c[0], c[1], ki, pt, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolRespecBatchRejects pins the fused pass's sharing-contract
+// checks: kernel-count mismatch, mismatched model families,
+// non-2-variable kernels and a fixed set that does not cover the
+// Specialize-time fixed variables are all rejected.
+func TestPoolRespecBatchRejects(t *testing.T) {
+	base, pool := poolTestKernels(t)
+	fixed := map[string]float64{"T": 125, "VDD": 1.08}
+	if _, _, err := pool.RespecBatch(base[:2], fixed); err == nil {
+		t.Error("RespecBatch accepted a short kernel slice")
+	}
+	swapped := []*Specialized{base[1], base[0], base[2], base[3]}
+	if _, _, err := pool.RespecBatch(swapped, fixed); err == nil {
+		t.Error("RespecBatch accepted kernels in the wrong pool order")
+	}
+	bad, err := poolTestModel(t, 100, [4]int{2, 3, 1, 1}).Specialize(map[string]float64{"VDD": 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pool.RespecBatch([]*Specialized{bad, base[1], base[2], base[3]}, fixed); err == nil {
+		t.Error("RespecBatch accepted a 3-variable kernel")
+	}
+	if _, _, err := pool.RespecBatch(base, map[string]float64{"T": 125}); err == nil {
+		t.Error("RespecBatch accepted an incomplete fixed set")
+	}
+	if _, _, err := pool.RespecBatch(base, map[string]float64{"T": 125, "Vdd": 1.08}); err == nil {
+		t.Error("RespecBatch accepted a misnamed fixed variable")
+	}
+	fused, _, err := pool.RespecBatch(base, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := poolTestModel(t, 999, [4]int{2, 2, 1, 1}).Specialize(map[string]float64{"T": 25, "VDD": 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fused.Add(extra); err == nil {
+		t.Error("Add on a RespecBatch pool succeeded; geometry aliasing would corrupt the base")
+	}
+}

@@ -33,6 +33,16 @@ type Specialized struct {
 	terms []specTerm
 	ops   []specOp // flat factor pool; terms index slices of it
 
+	// Fixed-variable bookkeeping for Respecialize: the names,
+	// normalization and orders of the Specialize-time fixed variables,
+	// in original model order. A fixed op encodes its variable as
+	// free = -1-fi into this table, so a new operating point only has
+	// to re-fold the constants — no coefficient-lattice walk.
+	fixedVars   []string
+	fixedLo     []float64
+	fixedScale  []float64
+	fixedOrders []int
+
 	// evalFast memoizes the stack-allocated fast-path eligibility
 	// (every free variable within evalMaxVars/evalMaxOrder), so Eval
 	// does not re-derive it with a loop over orders on every call.
@@ -74,12 +84,14 @@ func (m *Model) Specialize(fixed map[string]float64) (*Specialized, error) {
 		}
 	}
 	s := &Specialized{}
-	freeOf := make([]int, k) // original index → free index, -1 when fixed
+	freeOf := make([]int, k)  // original index → free index, -1 when fixed
+	fixedOf := make([]int, k) // original index → fixed index, -1 when free
 	fixedPows := make([][]float64, k)
 	for i, name := range m.Vars {
 		v, isFixed := fixed[name]
 		if !isFixed {
 			freeOf[i] = len(s.vars)
+			fixedOf[i] = -1
 			s.vars = append(s.vars, name)
 			s.lo = append(s.lo, m.Lo[i])
 			s.scale = append(s.scale, m.Scale[i])
@@ -87,6 +99,11 @@ func (m *Model) Specialize(fixed map[string]float64) (*Specialized, error) {
 			continue
 		}
 		freeOf[i] = -1
+		fixedOf[i] = len(s.fixedVars)
+		s.fixedVars = append(s.fixedVars, name)
+		s.fixedLo = append(s.fixedLo, m.Lo[i])
+		s.fixedScale = append(s.fixedScale, m.Scale[i])
+		s.fixedOrders = append(s.fixedOrders, m.Orders[i])
 		xn := (v - m.Lo[i]) * m.Scale[i]
 		if xn < 0 {
 			xn = 0
@@ -114,7 +131,7 @@ func (m *Model) Specialize(fixed map[string]float64) (*Specialized, error) {
 				if fi := freeOf[i]; fi >= 0 {
 					s.ops = append(s.ops, specOp{free: int16(fi), exp: uint16(e)})
 				} else {
-					s.ops = append(s.ops, specOp{free: -1, c: fixedPows[i][e]})
+					s.ops = append(s.ops, specOp{free: int16(-1 - fixedOf[i]), exp: uint16(e), c: fixedPows[i][e]})
 				}
 			}
 			s.terms = append(s.terms, specTerm{coef: coef, lo: lo, hi: uint32(len(s.ops))})
@@ -134,6 +151,51 @@ func (m *Model) Specialize(fixed map[string]float64) (*Specialized, error) {
 		}
 	}
 	return s, nil
+}
+
+// Respecialize returns the kernel re-evaluated at new values of the
+// same fixed variables — the batch multi-corner fast path. Where
+// Specialize walks the model's full coefficient lattice (every
+// monomial of the mixed-radix order box, mostly zeros), Respecialize
+// only re-folds the fixed-variable constants into a copy of the
+// surviving ops: O(surviving factors) instead of O(∏(order+1)). The
+// result is bit-identical to the original model's Specialize at the
+// same point — the power recurrence, clamping, term survival and
+// factor order are all unchanged; only the folded constants differ.
+// Every key of fixed must name a Specialize-time fixed variable.
+func (s *Specialized) Respecialize(fixed map[string]float64) (*Specialized, error) {
+	if len(fixed) != len(s.fixedVars) {
+		return nil, fmt.Errorf("polyfit: Respecialize with %d fixed values for %d fixed variables %v",
+			len(fixed), len(s.fixedVars), s.fixedVars)
+	}
+	var pows [][]float64
+	for fi, name := range s.fixedVars {
+		v, ok := fixed[name]
+		if !ok {
+			return nil, fmt.Errorf("polyfit: Respecialize: %q was not fixed by Specialize (have %v)", name, s.fixedVars)
+		}
+		xn := (v - s.fixedLo[fi]) * s.fixedScale[fi]
+		if xn < 0 {
+			xn = 0
+		} else if xn > 1 {
+			xn = 1
+		}
+		p := make([]float64, s.fixedOrders[fi]+1)
+		p[0] = 1
+		for e := 1; e <= s.fixedOrders[fi]; e++ {
+			p[e] = p[e-1] * xn
+		}
+		pows = append(pows, p)
+	}
+	ns := *s // immutable slices (vars, terms, fixed tables) are shared
+	ns.ops = make([]specOp, len(s.ops))
+	copy(ns.ops, s.ops)
+	for i := range ns.ops {
+		if op := &ns.ops[i]; op.free < 0 {
+			op.c = pows[-1-int(op.free)][op.exp]
+		}
+	}
+	return &ns, nil
 }
 
 // Vars returns the free variable names in Eval's argument order.

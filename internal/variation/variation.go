@@ -47,6 +47,17 @@ func StandardCorners() []Corner {
 	}
 }
 
+// Points resolves corners against a technology's nominal supply into
+// the engine's absolute operating points, ready for
+// core.Engine.MultiCorner. Corner names pass through unchanged.
+func Points(tc *tech.Tech, corners []Corner) []core.OperatingPoint {
+	pts := make([]core.OperatingPoint, len(corners))
+	for i, c := range corners {
+		pts[i] = core.OperatingPoint{Name: c.Name, Temp: c.Temp, VDD: c.VDDRel * tc.VDD}
+	}
+	return pts
+}
+
 // Analyzer evaluates paths under varied conditions. The library must be
 // characterized over temperature and supply (charlib.FullGrid or
 // similar); with a nominal-only grid the model clamps to nominal and

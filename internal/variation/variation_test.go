@@ -95,6 +95,60 @@ func TestCornerTypicalMatchesEngineDelay(t *testing.T) {
 	}
 }
 
+// variantKey identifies a path variant across engines: the gate
+// course, the launch edges, and every traversed sensitization vector.
+func variantKey(p *core.TruePath) string {
+	k := p.CourseKey() + "|"
+	if p.RiseOK {
+		k += "R"
+	}
+	if p.FallOK {
+		k += "F"
+	}
+	for _, arc := range p.Arcs {
+		k += "|" + arc.Pin + ":" + arc.Vec.Key()
+	}
+	return k
+}
+
+// TestCornersReplayMatchesFreshEngines pins the replay contract: the
+// analyzer's per-corner chaining over nominal paths reproduces, bit
+// for bit, what a fresh engine searching at that corner records for
+// the same path variant. The polynomial model is the single source of
+// truth at every operating point — replay and search may not drift.
+func TestCornersReplayMatchesFreshEngines(t *testing.T) {
+	a, paths := setup(t)
+	corners := StandardCorners()
+	rows, err := a.Corners(paths, corners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range corners {
+		eng := core.New(a.Circuit, varTc, varLib, core.Options{Temp: c.Temp, VDD: c.VDDRel * varTc.VDD})
+		res, err := eng.Enumerate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := map[string]*core.TruePath{}
+		for _, p := range res.Paths {
+			fresh[variantKey(p)] = p
+		}
+		for _, row := range rows {
+			fp, ok := fresh[variantKey(row.Path)]
+			if !ok {
+				t.Fatalf("%s: variant %s missing from the fresh %s run", row.Path, variantKey(row.Path), c.Name)
+			}
+			want := fp.RiseDelay
+			if !launchEdge(row.Path) {
+				want = fp.FallDelay
+			}
+			if got := row.Delays[ci]; math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("%s at %s: replay %v != fresh engine %v", row.Path, c.Name, got, want)
+			}
+		}
+	}
+}
+
 func TestMonteCarloStats(t *testing.T) {
 	a, paths := setup(t)
 	res, err := a.MonteCarlo(paths, MCOptions{Samples: 400, Seed: 7})

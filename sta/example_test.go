@@ -61,6 +61,30 @@ func ExampleNewEngine() {
 	// longest path: 3 gates
 }
 
+// ExampleEngine_MultiCorner sweeps the slow/typical/fast corner trio in
+// one batch (structure-only here; with a characterized library each
+// corner reports its own delays and the cross-corner table ranks path
+// variants by their worst corner).
+func ExampleEngine_MultiCorner() {
+	tc, _ := sta.TechByName("130nm")
+	cir, _ := sta.BuiltinCircuit("c17")
+	eng := sta.NewEngine(cir, tc, nil, sta.EngineOptions{})
+	points := sta.CornerPoints(tc, sta.StandardCorners())
+	mc, err := eng.MultiCorner(points)
+	if err != nil {
+		panic(err)
+	}
+	for _, cr := range mc.Corners {
+		fmt.Printf("%s: %d true paths\n", cr.Point.Name, len(cr.Result.Paths))
+	}
+	fmt.Printf("%d distinct variants across the sweep\n", len(mc.Cross))
+	// Output:
+	// slow (125°C, 0.9·VDD): 11 true paths
+	// typical (25°C, VDD): 11 true paths
+	// fast (-40°C, 1.1·VDD): 11 true paths
+	// 11 distinct variants across the sweep
+}
+
 // ExampleTruePath_TestPair derives a two-pattern path-delay test from a
 // reported path.
 func ExampleTruePath_TestPair() {

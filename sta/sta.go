@@ -296,6 +296,42 @@ func NewBlockAnalyzer(c *Circuit, tc *Tech, lib *Library, opts BlockOptions) *Bl
 	return block.New(c, tc, lib, opts)
 }
 
+// Multi-corner batch analysis. Engine.MultiCorner (and
+// Engine.MultiCornerKWorst) run the true-path search at every
+// operating point of one batch: the corner-invariant engine state is
+// compiled once, only the per-corner coefficient banks are
+// respecialized into the shared kernel pool, and with Workers > 1 all
+// (corner × launch input) shards drain through one work-stealing
+// pool. Each corner's Result is byte-identical to an independent run
+// at that point; the cross-corner merge reports every path variant's
+// delay per corner and its worst corner.
+
+type (
+	// OperatingPoint is one corner of a multi-corner sweep (°C,
+	// absolute VDD; zero VDD = technology nominal).
+	OperatingPoint = core.OperatingPoint
+	// CornerResult pairs one corner with its full search result.
+	CornerResult = core.CornerResult
+	// CornerStats is the per-corner observability row of a sweep
+	// (build cost and shared-build flag, steps, paths, worst delay,
+	// truncation, busy seconds).
+	CornerStats = core.CornerStats
+	// CrossCornerPath is one distinct path variant with its delay at
+	// every corner and the index of its worst corner.
+	CrossCornerPath = core.CrossCornerPath
+	// MultiCornerResult is the outcome of one batch sweep: per-corner
+	// results, the cross-corner path table, per-corner stats and the
+	// shared pool's snapshot.
+	MultiCornerResult = core.MultiCornerResult
+)
+
+// CornerPoints resolves relative corners (e.g. StandardCorners) against
+// a technology's nominal supply into the absolute operating points
+// Engine.MultiCorner consumes.
+func CornerPoints(tc *Tech, corners []VariationCorner) []OperatingPoint {
+	return variation.Points(tc, corners)
+}
+
 // VariationAnalyzer evaluates true paths across environmental corners
 // and Monte Carlo samples, exploiting the polynomial model's built-in
 // temperature and supply variables.
